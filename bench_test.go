@@ -1,0 +1,249 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index), plus
+// micro-benchmarks of the simulation substrates. Each experiment benchmark
+// reports its headline quantities through b.ReportMetric so the regenerated
+// numbers appear directly in the `go test -bench` output; cmd/qlabench
+// prints the full tables.
+package qla_test
+
+import (
+	"testing"
+
+	"qla"
+	"qla/internal/ft"
+	"qla/internal/iontrap"
+	"qla/internal/netsim"
+	"qla/internal/noise"
+	"qla/internal/pauliframe"
+	"qla/internal/shor"
+	"qla/internal/stabilizer"
+	"qla/internal/steane"
+	"qla/internal/teleport"
+	"qla/internal/threshold"
+)
+
+// --- Table 1: technology parameters ---
+
+func BenchmarkTable1Params(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		p := iontrap.Expected()
+		bw = p.ChannelBandwidthQBPS()
+	}
+	b.ReportMetric(bw/1e6, "Mqbps")
+}
+
+// --- Table 2: Shor's algorithm sizing ---
+
+func BenchmarkTable2Shor(b *testing.B) {
+	var rows []shor.Resources
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = shor.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TimeDays, "days@128")
+	b.ReportMetric(rows[3].TimeDays, "days@2048")
+	b.ReportMetric(float64(rows[0].LogicalQubits), "qubits@128")
+}
+
+// --- Figure 7: threshold Monte Carlo ---
+
+func BenchmarkFig7Level1Trial(b *testing.B) {
+	cfg := threshold.Config{
+		Level: 1, PhysError: 2e-3,
+		MovePerCell: threshold.DefaultMovePerCell,
+		Trials:      b.N, Seed: 1,
+	}
+	pt, err := threshold.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(pt.FailRate, "failrate")
+}
+
+func BenchmarkFig7Level2Trial(b *testing.B) {
+	cfg := threshold.Config{
+		Level: 2, PhysError: 2e-3,
+		MovePerCell: threshold.DefaultMovePerCell,
+		Trials:      b.N, Seed: 2,
+	}
+	pt, err := threshold.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(pt.FailRate, "failrate")
+}
+
+func BenchmarkFig7Crossing(b *testing.B) {
+	// The full two-curve sweep with the interpolated pseudo-threshold.
+	var crossing float64
+	for i := 0; i < b.N; i++ {
+		ps := []float64{5e-4, 1.5e-3, 3e-3}
+		l1, err := threshold.Sweep(1, ps, 20000, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l2, err := threshold.Sweep(2, ps, 10000, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossing = threshold.Crossing(l1, l2)
+	}
+	b.ReportMetric(crossing*1e3, "pth_x1e3")
+}
+
+// --- Section 4.1.1: EC latency (Equation 1) ---
+
+func BenchmarkECCLatency(b *testing.B) {
+	var sum ft.Summary
+	for i := 0; i < b.N; i++ {
+		sum = ft.NewLatencyModel(iontrap.Expected()).Summarize()
+	}
+	b.ReportMetric(sum.ECLevel1*1e3, "T1ecc_ms")
+	b.ReportMetric(sum.ECLevel2*1e3, "T2ecc_ms")
+}
+
+// --- Section 4.1.2: Equation 2 ---
+
+func BenchmarkEquation2(b *testing.B) {
+	p0 := iontrap.Expected().AverageComponentFailure()
+	var pf float64
+	for i := 0; i < b.N; i++ {
+		pf = ft.GottesmanFailure(p0, ft.PthLocal, 12, 2)
+	}
+	b.ReportMetric(pf*1e16, "Pf_x1e16")
+}
+
+// --- Figure 9: interconnect connection time ---
+
+func BenchmarkFig9Connection(b *testing.B) {
+	lp := teleport.DefaultLinkParams()
+	var t6000 float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		t6000, err = lp.ConnectionTime(6000, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(t6000*1e3, "ms@6000/100")
+}
+
+func BenchmarkFig9FullSeries(b *testing.B) {
+	lp := teleport.DefaultLinkParams()
+	dists := []int{2000, 6000, 12000, 24000, 30000}
+	var cross int
+	for i := 0; i < b.N; i++ {
+		_ = lp.Figure9Series(dists)
+		cross = lp.CrossoverDistance(100, 350, dists)
+	}
+	b.ReportMetric(float64(cross), "crossover_cells")
+}
+
+// --- Section 5: EPR scheduler ---
+
+func BenchmarkScheduler(b *testing.B) {
+	var util float64
+	for i := 0; i < b.N; i++ {
+		rows, err := netsim.DefaultExperiment([]int{2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = rows[0].Utilization
+	}
+	b.ReportMetric(util*100, "util%@B2")
+}
+
+// --- Section 5: the 128-bit headline ---
+
+func BenchmarkShor128(b *testing.B) {
+	var r shor.Resources
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = shor.Estimate(128, iontrap.Expected())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TimeHours, "hours")
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkStabilizerCNOT1024(b *testing.B) {
+	s := stabilizer.New(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CNOT(i%1023, (i%1023)+1)
+	}
+}
+
+func BenchmarkStabilizerMeasure1024(b *testing.B) {
+	s := stabilizer.New(1024)
+	for q := 0; q < 1024; q++ {
+		s.H(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % 1024
+		s.H(q)
+		s.Measure(q)
+	}
+}
+
+func BenchmarkPauliFrameCNOT(b *testing.B) {
+	f := pauliframe.New(1024)
+	f.InjectX(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CNOT(i%1023, (i%1023)+1)
+	}
+}
+
+func BenchmarkNoisyCircuitRun(b *testing.B) {
+	c := qla.NewCircuit(8)
+	for q := 0; q < 7; q++ {
+		c.H(q)
+		c.CNOT(q, q+1)
+	}
+	for q := 0; q < 8; q++ {
+		c.MeasureZ(q)
+	}
+	m := noise.NewModel(iontrap.Current(), 3)
+	f := pauliframe.New(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Clear()
+		m.RunNoisy(c, f)
+	}
+}
+
+func BenchmarkSteaneEncodeDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var w [7]int
+		w[i%7] = 1
+		if steane.DecodeBlock(w) != 0 {
+			b.Fatal("single error misdecoded")
+		}
+	}
+}
+
+func BenchmarkMachineEstimate(b *testing.B) {
+	m, err := qla.NewMachine(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := qla.NewCircuit(16)
+	for q := 0; q < 15; q++ {
+		c.CNOT(q, q+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.EstimateCircuit(c, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command arq is the ARQ simulator front end: it reads a circuit in the
+// .qc text format, maps it onto a QLA machine, and either estimates its
+// architecture-level execution, runs it exactly on the stabilizer backend,
+// runs a noisy Monte Carlo, or emits the lowered pulse schedule.
+//
+// Usage:
+//
+//	arq -mode estimate circuit.qc
+//	arq -mode run -seed 7 circuit.qc
+//	arq -mode noisy -trials 2000 -params current circuit.qc
+//	arq -mode pulses circuit.qc
+//	arq -mode control circuit.qc
+//
+// With no file argument the circuit is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qla"
+)
+
+func main() {
+	mode := flag.String("mode", "estimate", "estimate|run|noisy|pulses|control")
+	params := flag.String("params", "expected", "technology parameters: expected|current")
+	trials := flag.Int("trials", 1000, "Monte Carlo trials for -mode noisy")
+	seed := flag.Uint64("seed", 1, "random seed")
+	level := flag.Int("level", 2, "recursion level of the logical qubits")
+	flag.Parse()
+
+	if err := run(*mode, *params, *trials, *seed, *level, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "arq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, params string, trials int, seed uint64, level int, args []string) error {
+	var in io.Reader = os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var tech qla.TechParams
+	switch params {
+	case "expected":
+		tech = qla.ExpectedParams()
+	case "current":
+		tech = qla.CurrentParams()
+	default:
+		return fmt.Errorf("unknown parameter set %q", params)
+	}
+
+	job, err := qla.ParseJob(in, qla.WithParams(tech), qla.WithLevel(level))
+	if err != nil {
+		return err
+	}
+
+	switch mode {
+	case "estimate":
+		rep, err := job.Estimate()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("logical qubits:        %d\n", rep.LogicalQubits)
+		fmt.Printf("EC steps (depth):      %d\n", rep.ECSteps)
+		fmt.Printf("EC step time:          %.4f s\n", job.Machine.ECStepTime())
+		fmt.Printf("estimated wall clock:  %.3f s\n", rep.Seconds)
+		fmt.Printf("2q comm overlapped:    %d\n", rep.CommOverlapped)
+		fmt.Printf("2q comm exposed:       %d (extra %.3f s)\n", rep.CommExposed, rep.ExtraCommTime)
+		fmt.Printf("failure budget used:   %.3g\n", rep.FailureBudget)
+		fmt.Printf("chip area:             %.4f m²\n", job.Machine.AreaM2())
+	case "run":
+		out := job.RunExact(seed)
+		fmt.Printf("measurements: %v\n", out)
+	case "noisy":
+		res, err := job.RunNoisy(tech, trials, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trials:          %d\n", res.Trials)
+		fmt.Printf("errors injected: %d\n", res.ErrorsInjected)
+		fmt.Printf("trials w/ flips: %d (%.3f%%)\n", res.AnyFlipTrials,
+			100*float64(res.AnyFlipTrials)/float64(res.Trials))
+		for i, f := range res.FlipHistogram {
+			fmt.Printf("  measurement %d flipped in %d trials\n", i, f)
+		}
+	case "pulses":
+		return job.WritePulses(os.Stdout)
+	case "control":
+		b := qla.AnalyzeControl(job)
+		fmt.Printf("pulses:                %d\n", b.Ops)
+		fmt.Printf("makespan:              %.6f s\n", b.Makespan)
+		fmt.Printf("peak lasers:           %d dedicated, %d SIMD groups (MEMS fanout)\n",
+			b.PeakLasers, b.PeakLasersSIMD)
+		fmt.Printf("peak photodetectors:   %d\n", b.PeakDetectors)
+		fmt.Printf("control event rate:    %.3g/s mean, %.3g/s peak (%.0f µs window)\n",
+			b.MeanEventRate, b.PeakEventRate, b.EventWindow*1e6)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}

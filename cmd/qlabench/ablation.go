@@ -1,0 +1,205 @@
+package main
+
+// Ablation experiments for the extension systems: the design decisions
+// DESIGN.md calls out (adder choice, error-correcting code choice,
+// repeater interconnect vs naive teleportation, ballistic substrate
+// behaviour, multi-chip partitioning) each get a regeneration target
+// here, alongside the paper's own tables and figures.
+
+import (
+	"fmt"
+
+	"qla"
+	"qla/internal/codes"
+	"qla/internal/modarith"
+	"qla/internal/qft"
+	"qla/internal/shor"
+)
+
+// adders regenerates the arithmetic ablation: ripple vs lookahead
+// Toffoli critical path across operand widths, with the paper's
+// 4·log2(n) model series.
+func adders() error {
+	fmt.Println("Adder ablation: Toffoli critical path, ripple vs QCLA")
+	fmt.Printf("%6s %14s %14s %10s %12s %14s\n",
+		"bits", "ripple depth", "QCLA depth", "speedup", "QCLA wires", "model 4·lg n")
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		cmp := qla.CompareAdders(n)
+		fmt.Printf("%6d %14d %14d %9.1fx %12d %14d\n",
+			n, cmp.Ripple.ToffoliDepth, cmp.CLA.ToffoliDepth,
+			cmp.DepthRatio, cmp.CLA.Width, shor.QCLAToffoliDepth(n))
+	}
+	fmt.Println("\npaper: the QCLA is \"most optimized for time of computation")
+	fmt.Println("rather than system size\" — the crossover lands by n=8 and the")
+	fmt.Println("gap widens as 2n vs Θ(log n).")
+
+	fmt.Println("\nModular adder (VBE construction, 4 adder passes), Toffoli depth:")
+	fmt.Printf("%6s %10s %16s %16s %12s\n", "bits", "modulus", "ripple-based", "QCLA-based", "ratio/adder")
+	for _, row := range []struct {
+		n int
+		m uint64
+	}{{8, 251}, {12, 3677}, {16, 40961}} {
+		rip := modarith.Measure(row.n, row.m, modarith.Ripple)
+		cla := modarith.Measure(row.n, row.m, modarith.CLA)
+		fmt.Printf("%6d %10d %16d %16d %11.1fx\n",
+			row.n, row.m, rip.ToffoliDepth, cla.ToffoliDepth,
+			float64(cla.ToffoliDepth)/float64(cla.AdderDepth))
+	}
+	fmt.Println("\nThe modular adder costs ~4 adder passes (Van Meter–Itoh count the")
+	fmt.Println("additions per modular multiplication the same way), so the QCLA's")
+	fmt.Println("log-depth advantage carries straight into modular exponentiation.")
+	return nil
+}
+
+// codeAblation regenerates the error-correcting-code comparison.
+func codeAblation() error {
+	fmt.Println("Code ablation: syndrome-extraction bill per full round")
+	fmt.Printf("%-22s %6s %8s %9s %8s %12s %6s\n",
+		"code", "data", "ancilla", "2q-gates", "meas", "time/round", "CSS")
+	for _, c := range qla.CodeCatalog() {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+	}
+	for _, cost := range qla.CodeAblation(qla.ExpectedParams()) {
+		css := "no"
+		for _, c := range qla.CodeCatalog() {
+			if c.Name == cost.Code && c.IsCSS() {
+				css = "yes"
+			}
+		}
+		fmt.Printf("%-22s %6d %8d %9d %8d %9.0f µs %6s\n",
+			cost.Code, cost.DataQubits, cost.AncillaQubits,
+			cost.TwoQubitGates, cost.Measures, cost.TimeSeconds*1e6, css)
+	}
+	fmt.Println("\nLogical failure rate under i.i.d. depolarizing noise (decoder MC,")
+	fmt.Println("100k trials/point; d=3 codes suppress O(p²), repetition codes leak O(p)):")
+	ps := []float64{0.002, 0.01, 0.05}
+	fmt.Printf("%-22s", "code")
+	for _, p := range ps {
+		fmt.Printf(" %11s", fmt.Sprintf("p=%g", p))
+	}
+	fmt.Println()
+	rows, err := codes.MonteCarloSweep(ps, 100000, 17)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(rows); i += len(ps) {
+		fmt.Printf("%-22s", rows[i].Code)
+		for j := 0; j < len(ps); j++ {
+			fmt.Printf(" %11.2e", rows[i+j].LogicalRate)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\npaper: Steane [[7,1,3]] chosen as the smallest CSS block with a")
+	fmt.Println("fully transversal Clifford group (Section 4.1).")
+	return nil
+}
+
+// chainMC regenerates the gate-level interconnect validation: the
+// repeater protocol executed on the stabilizer backend vs the Werner
+// recurrences, plus the naive-teleportation comparison.
+func chainMC(trials int, seed uint64) error {
+	if trials > 6000 {
+		trials = 6000 // the default fig7 budget is far more than needed here
+	}
+	fmt.Println("Repeater-chain Monte Carlo (stabilizer backend) vs Werner model")
+	fmt.Printf("%7s %9s %8s %12s %12s %10s\n",
+		"links", "purify", "eps", "measured", "predicted", "raw pairs")
+	for _, cfg := range []qla.ChainConfig{
+		{Links: 2, LinkEps: 0.06, PurifyRounds: 0, Trials: trials, Seed: seed},
+		{Links: 2, LinkEps: 0.06, PurifyRounds: 1, Trials: trials, Seed: seed + 1},
+		{Links: 4, LinkEps: 0.06, PurifyRounds: 1, Trials: trials, Seed: seed + 2},
+		{Links: 8, LinkEps: 0.06, PurifyRounds: 2, Trials: trials, Seed: seed + 3},
+	} {
+		res, err := qla.RunChain(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%7d %9d %8.2f %12.4f %12.4f %10.1f\n",
+			cfg.Links, cfg.PurifyRounds, cfg.LinkEps,
+			res.ErrorRate, res.PredictedError, res.RawPairsMean)
+	}
+	cmp, err := qla.CompareCommStrategies(0.05, 8, 1, trials, seed+10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nnaive end-to-end pair over 8 segments: error %.4f\n", cmp.Naive.ErrorRate)
+	fmt.Printf("repeater chain over the same channel:  error %.4f\n", cmp.Repeater.ErrorRate)
+	fmt.Println("\npaper (contribution 2): the simplistic approach collapses with")
+	fmt.Println("distance; repeater islands keep the delivered fidelity pinned.")
+	return nil
+}
+
+// shuttle regenerates the QCCD substrate experiment: executed
+// transversal gates vs the analytic movement budget.
+func shuttle() error {
+	p := qla.ExpectedParams()
+	fmt.Println("QCCD substrate: executed 7-ion transversal gate vs analytic budget")
+	fmt.Printf("%12s %14s %14s %8s %8s %10s\n",
+		"separation", "makespan", "analytic", "moves", "stalls", "max turns")
+	for _, sep := range []int{12, 50, 100, 350} {
+		rep, err := qla.RunTransversalGate(7, sep, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d cells %11.1f µs %11.1f µs %8d %8d %10d\n",
+			sep, rep.Makespan*1e6, rep.AnalyticSeconds*1e6,
+			rep.Stats.Moves, rep.Stats.Stalls, rep.MaxCorners)
+	}
+	fmt.Println("\npaper design rules validated: at most two turns per ballistic")
+	fmt.Println("route; split time dominates short hops; movement pipelines.")
+	return nil
+}
+
+// qftCheck regenerates the QFT-charge validation: the banded transform
+// the paper's EC-step model assumes, built as a real gate list and
+// verified against the DFT matrix at small widths.
+func qftCheck() error {
+	fmt.Println("QFT: banded circuit vs the paper's 2N·(log2(2N)+2) EC-step charge")
+	fmt.Println("\nexact-circuit verification against the DFT matrix:")
+	for n := 2; n <= 6; n++ {
+		fmt.Printf("  n=%d: max basis-state L2 error %.2e\n", n, qft.Exact(n).MaxBasisError())
+	}
+	fmt.Println("\nbanding error at n=6 (Coppersmith: O(n·2^-band)):")
+	for band := 3; band <= 7; band++ {
+		fmt.Printf("  band %d: %.4f\n", band, qft.Banded(6, band).MaxBasisError())
+	}
+	fmt.Println("\ngate count of the banded transform vs the model charge:")
+	fmt.Printf("%6s %8s %12s %12s %8s\n", "N", "band", "gates", "model", "ratio")
+	for _, n := range []int{32, 128, 512, 1024} {
+		band := qft.PaperBand(n)
+		c := qft.Banded(2*n, band)
+		total := int64(c.Counts().Total())
+		model := shor.QFTSteps(n)
+		fmt.Printf("%6d %8d %12d %12d %8.2f\n", n, band, total, model, float64(total)/float64(model))
+	}
+	fmt.Println("\nThe model's serial charge brackets the circuit's gate count; ASAP")
+	fmt.Println("depth is lower still, so the QFT term stays a rounding error next")
+	fmt.Println("to the 21-EC-step Toffolis in Table 2.")
+	return nil
+}
+
+// multichipPlan regenerates the Section-6 multi-chip scaling study.
+func multichipPlan() error {
+	p := qla.ExpectedParams()
+	link := qla.DefaultPhotonicLink()
+	fmt.Println("Multi-chip partitioning (Section 6), 33 cm max chip edge")
+	fmt.Printf("%6s %10s %7s %12s %12s %12s %10s\n",
+		"N", "qubits", "chips", "chip edge", "mono edge", "links/bdry", "slowdown")
+	for _, n := range []int{128, 512, 1024, 2048} {
+		pt, err := qla.PlanMultichip(n, 33, 0, link, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d %10d %7d %9.1f cm %9.1f cm %12d %9.2fx\n",
+			pt.N, pt.LogicalQubits, pt.Chips, pt.ChipEdgeCM,
+			pt.MonolithicEdgeCM, pt.LinksPerBoundary, pt.Slowdown)
+	}
+	fmt.Println("\npaper: \"impractical for N > 128 with current single chip")
+	fmt.Println("technology... a multi-chip solution is desirable.\" The link")
+	fmt.Println("budget keeps inter-chip EPR supply ahead of the 2-pairs-per-EC-")
+	fmt.Println("step demand, preserving full communication overlap.")
+	return nil
+}

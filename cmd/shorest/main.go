@@ -1,0 +1,50 @@
+// Command shorest sizes Shor's factoring algorithm on the QLA for an
+// arbitrary modulus width, reporting the Table-2 style resource row and
+// the classical number-field-sieve comparison.
+//
+// Usage:
+//
+//	shorest -bits 128
+//	shorest -bits 1024 -params current
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qla"
+	"qla/internal/shor"
+)
+
+func main() {
+	bits := flag.Int("bits", 128, "modulus width in bits")
+	params := flag.String("params", "expected", "technology parameters: expected|current")
+	flag.Parse()
+
+	tech := qla.ExpectedParams()
+	if *params == "current" {
+		tech = qla.CurrentParams()
+	} else if *params != "expected" {
+		fmt.Fprintf(os.Stderr, "shorest: unknown parameter set %q\n", *params)
+		os.Exit(2)
+	}
+
+	r, err := qla.EstimateShor(*bits, tech)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shorest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Shor's algorithm for a %d-bit modulus on the QLA (%s parameters)\n\n", *bits, tech.Name)
+	fmt.Printf("logical qubits:      %d\n", r.LogicalQubits)
+	fmt.Printf("Toffoli depth:       %d\n", r.ToffoliDepth)
+	fmt.Printf("total gates:         %d\n", r.TotalGates)
+	fmt.Printf("EC steps:            %d (QFT share %d)\n", r.ECSteps, r.QFTSteps)
+	fmt.Printf("EC step time:        %.4f s\n", r.ECStepSeconds)
+	fmt.Printf("single run:          %.2f h\n", r.TimeSeconds/3600)
+	fmt.Printf("with 1.3 retries:    %.2f days\n", r.TimeDays)
+	fmt.Printf("chip area:           %.3f m²\n", r.AreaM2)
+	fmt.Printf("system size S = K·Q: %.3g\n", r.SystemSize)
+	fmt.Printf("\nclassical NFS estimate: %.3g MIPS-years (512-bit anchor: 8400)\n",
+		shor.ClassicalNFSMIPSYears(*bits))
+}

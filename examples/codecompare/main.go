@@ -1,0 +1,74 @@
+// Codecompare exercises the generic stabilizer-code framework: every
+// catalog code is validated, its distance certified by brute force, its
+// encoder run on the stabilizer backend, its single-error correction
+// checked through the syndrome-table decoder, and its syndrome-
+// extraction bill compared — the quantitative backing for the paper's
+// choice of the Steane [[7,1,3]] code and its remark that the block
+// structure "is easily extended to 7-bit and larger codes."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qla"
+	"qla/internal/codes"
+	"qla/internal/pauli"
+	"qla/internal/stabilizer"
+)
+
+func main() {
+	fmt.Println("== catalog validation and distance certification ==")
+	for _, c := range qla.CodeCatalog() {
+		if err := c.Validate(); err != nil {
+			log.Fatalf("%s: %v", c.Name, err)
+		}
+		d, ok := c.Distance(c.N)
+		css := "CSS (transversal CNOT)"
+		if !c.IsCSS() {
+			css = "non-CSS"
+		}
+		fmt.Printf("  %-22s n=%d k=%d  distance=%d (certified=%v)  %s\n",
+			c.Name, c.N, c.K, d, ok, css)
+	}
+
+	fmt.Println("\n== projective encoding + single-error correction round trip ==")
+	for _, c := range []*codes.Code{codes.Perfect5(), codes.Steane7(), codes.Shor9()} {
+		dec, err := codes.NewDecoder(c, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := stabilizer.NewSeeded(c.N, 42)
+		if err := c.PrepareZero(s); err != nil {
+			log.Fatal(err)
+		}
+		// Hit every qubit with every Pauli; decode and verify.
+		fails := 0
+		for q := 0; q < c.N; q++ {
+			for _, letter := range []byte{'X', 'Y', 'Z'} {
+				e := pauli.NewIdentity(c.N)
+				e.Set(q, letter)
+				if !dec.Corrects(e) {
+					fails++
+				}
+			}
+		}
+		fmt.Printf("  %-22s all %d weight-1 errors corrected: %v  (table %d syndromes)\n",
+			c.Name, 3*c.N, fails == 0, dec.TableSize())
+	}
+
+	fmt.Println("\n== syndrome-extraction cost (Shor-style cat states, Table-1 times) ==")
+	fmt.Printf("  %-22s %6s %8s %8s %8s %12s\n",
+		"code", "data", "ancilla", "2q-gates", "meas", "time/round")
+	for _, cost := range qla.CodeAblation(qla.ExpectedParams()) {
+		fmt.Printf("  %-22s %6d %8d %8d %8d %9.0f µs\n",
+			cost.Code, cost.DataQubits, cost.AncillaQubits,
+			cost.TwoQubitGates, cost.Measures, cost.TimeSeconds*1e6)
+	}
+
+	fmt.Println("\nWhy Steane: the [[5,1,3]] block is smaller but not CSS, so the")
+	fmt.Println("QLA's transversal logical gates are unavailable; Shor's [[9,1,3]]")
+	fmt.Println("is CSS but needs 9 data ions and a wider cat state. The Steane")
+	fmt.Println("code is the smallest block with the full transversal Clifford")
+	fmt.Println("group — the property the 49-parallel-pulse logical gates rely on.")
+}

@@ -1,0 +1,48 @@
+// Factor128 reproduces the paper's headline result (Section 5): sizing a
+// QLA machine that factors a 128-bit RSA modulus with Shor's algorithm in
+// about a day, and comparing against the classical number-field sieve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qla"
+	"qla/internal/shor"
+)
+
+func main() {
+	r, err := qla.EstimateShor(128, qla.ExpectedParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := qla.NewMachine(r.LogicalQubits)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Factoring a 128-bit number with Shor's algorithm on the QLA")
+	fmt.Println()
+	fmt.Printf("%-28s %d\n", "logical qubits:", r.LogicalQubits)
+	fmt.Printf("%-28s %d  (paper: 63,730)\n", "critical-path Toffolis:", r.ToffoliDepth)
+	fmt.Printf("%-28s %d = 21/Toffoli + QFT (paper: 1.34e6)\n", "error-correction steps:", r.ECSteps)
+	fmt.Printf("%-28s %.4f s (paper: 0.043 s)\n", "EC step (level-2):", r.ECStepSeconds)
+	fmt.Printf("%-28s %.1f h  (paper: ~16 h)\n", "single run:", r.TimeSeconds/3600)
+	fmt.Printf("%-28s %.1f h  (paper: ~21 h)\n", "with 1.3 avg repetitions:", r.TimeHours)
+	fmt.Println()
+	fmt.Printf("%-28s %.2f m², edge %.0f cm (paper: 0.11 m², 33 cm)\n",
+		"chip area:", r.AreaM2, m.Floorplan.EdgeCM())
+	fmt.Printf("%-28s %.2g    (paper: ~7e6)\n", "physical ions:", float64(m.PhysicalIons()))
+	fmt.Printf("%-28s %.3g\n", "system size S = K·Q:", r.SystemSize)
+	fmt.Printf("%-28s %.3g  (level-2 budget: %.3g)\n",
+		"failure budget used:", r.SystemSize/m.MaxComputationSize(), m.MaxComputationSize())
+	fmt.Println()
+	fmt.Println("classical comparison (number field sieve, 512-bit = 8400 MIPS-years):")
+	for _, bits := range []int{128, 512, 1024} {
+		fmt.Printf("  %4d bits: %.3g MIPS-years classical", bits, shor.ClassicalNFSMIPSYears(bits))
+		if q, err := qla.EstimateShor(bits, qla.ExpectedParams()); err == nil {
+			fmt.Printf(" vs %.1f days quantum", q.TimeDays)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,67 @@
+package adder
+
+import "qla/internal/revcirc"
+
+// Metrics summarizes an adder circuit for the architecture model: the
+// QLA latency model consumes the Toffoli critical path (each Toffoli is
+// a fault-tolerant construction of ~21 error-correction steps), and the
+// floorplanner consumes the wire count.
+type Metrics struct {
+	// N is the operand width in bits.
+	N int
+	// Width is the total number of logical qubits the circuit occupies.
+	Width int
+	// Counts tallies gates by kind.
+	Counts revcirc.Counts
+	// Depth is the full critical path counting every gate.
+	Depth int
+	// ToffoliDepth is the critical path counting only Toffoli gates,
+	// the quantity the paper models as 4*log2(n) for the QCLA.
+	ToffoliDepth int
+}
+
+func measure(c *revcirc.Circuit, lay Layout) Metrics {
+	return Metrics{
+		N:            lay.N,
+		Width:        lay.Width,
+		Counts:       c.Counts(),
+		Depth:        c.Depth(),
+		ToffoliDepth: c.ToffoliDepth(),
+	}
+}
+
+// MeasureRipple builds and measures the ripple-carry adder.
+func MeasureRipple(n int) Metrics {
+	c, lay := Ripple(n)
+	return measure(c, lay)
+}
+
+// MeasureCLA builds and measures the carry-lookahead adder.
+func MeasureCLA(n int) Metrics {
+	c, lay := CLA(n)
+	return measure(c, lay)
+}
+
+// Comparison pairs the two adders at one operand width — one row of the
+// ablation study behind the paper's adder choice (Section 5: the QCLA is
+// "most optimized for time of computation rather than system size").
+type Comparison struct {
+	Ripple, CLA Metrics
+	// DepthRatio is ripple Toffoli depth over CLA Toffoli depth: how
+	// many times faster the lookahead adder's critical path is.
+	DepthRatio float64
+	// WidthRatio is CLA width over ripple width: the qubit price paid.
+	WidthRatio float64
+}
+
+// Compare measures both adders at width n.
+func Compare(n int) Comparison {
+	r := MeasureRipple(n)
+	c := MeasureCLA(n)
+	return Comparison{
+		Ripple:     r,
+		CLA:        c,
+		DepthRatio: float64(r.ToffoliDepth) / float64(c.ToffoliDepth),
+		WidthRatio: float64(c.Width) / float64(r.Width),
+	}
+}

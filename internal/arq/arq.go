@@ -1,0 +1,148 @@
+// Package arq is the reproduction of ARQ, the paper's scalable
+// quantum-architecture simulator: "ARQ takes a description of a general
+// quantum circuit with a sequence of quantum gates as an input, maps it
+// onto a specified physical layout, and generates pulse sequence files,
+// which are then executed on the general quantum architecture simulator."
+//
+// The package ties the substrates together: circuits are parsed from the
+// .qc format, mapped onto a QLA floorplan, lowered to timed physical pulse
+// operations, and simulated — exactly (stabilizer backend) or as a noisy
+// Monte Carlo (Pauli-frame backend with the Table-1 error models).
+package arq
+
+import (
+	"fmt"
+	"io"
+
+	"qla/internal/circuit"
+	"qla/internal/core"
+	"qla/internal/iontrap"
+	"qla/internal/noise"
+	"qla/internal/pauliframe"
+)
+
+// Job is a circuit mapped onto a machine.
+type Job struct {
+	Machine   *core.Machine
+	Circuit   *circuit.Circuit
+	Placement []int // circuit qubit -> tile
+}
+
+// NewJob maps a circuit onto a fresh QLA machine sized to fit it
+// (row-major identity placement).
+func NewJob(c *circuit.Circuit, opts ...core.Option) (*Job, error) {
+	m, err := core.New(c.N, opts...)
+	if err != nil {
+		return nil, err
+	}
+	placement := make([]int, c.N)
+	for i := range placement {
+		placement[i] = i
+	}
+	return &Job{Machine: m, Circuit: c, Placement: placement}, nil
+}
+
+// Parse reads a .qc circuit and maps it onto a machine.
+func Parse(r io.Reader, opts ...core.Option) (*Job, error) {
+	c, err := circuit.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewJob(c, opts...)
+}
+
+// Estimate returns the architecture-level execution report.
+func (j *Job) Estimate() (core.Report, error) {
+	return j.Machine.EstimateCircuit(j.Circuit, j.Placement)
+}
+
+// RunExact executes the circuit on the noiseless stabilizer backend and
+// returns the measurement outcomes in program order.
+func (j *Job) RunExact(seed uint64) []int {
+	return j.Circuit.Run(seed)
+}
+
+// NoisyResult summarizes a physical-noise Monte Carlo of the circuit.
+type NoisyResult struct {
+	Trials         int
+	FlipHistogram  []int // per measurement op: trials whose outcome flipped
+	AnyFlipTrials  int   // trials with at least one flipped outcome
+	ErrorsInjected int64
+}
+
+// RunNoisy executes the circuit through the Pauli-frame backend `trials`
+// times under the given technology parameters, reporting how often each
+// measurement outcome deviates from the noiseless reference.
+func (j *Job) RunNoisy(p iontrap.Params, trials int, seed uint64) (NoisyResult, error) {
+	if trials <= 0 {
+		return NoisyResult{}, fmt.Errorf("arq: need positive trials")
+	}
+	res := NoisyResult{
+		Trials:        trials,
+		FlipHistogram: make([]int, j.Circuit.Measurements()),
+	}
+	for trial := 0; trial < trials; trial++ {
+		model := noise.NewModel(p, seed^uint64(trial+1)*0x9e3779b97f4a7c15)
+		frame := pauliframe.New(j.Circuit.N)
+		flips := model.RunNoisy(j.Circuit, frame)
+		any := false
+		for i, f := range flips {
+			if f != 0 {
+				res.FlipHistogram[i]++
+				any = true
+			}
+		}
+		if any {
+			res.AnyFlipTrials++
+		}
+		res.ErrorsInjected += model.TotalInjected()
+	}
+	return res, nil
+}
+
+// PulseOp is one timed physical control operation in a lowered schedule.
+type PulseOp struct {
+	Start    float64 // seconds
+	Duration float64
+	Op       circuit.Op
+}
+
+// Lower produces the timed pulse schedule of the circuit under the
+// machine's technology parameters with ASAP scheduling (the "pulse
+// sequence file" ARQ generates).
+func (j *Job) Lower() []PulseOp {
+	p := j.Machine.Params
+	avail := make([]float64, j.Circuit.N)
+	var out []PulseOp
+	for _, op := range j.Circuit.Ops {
+		start := 0.0
+		for _, q := range op.Qubits() {
+			if avail[q] > start {
+				start = avail[q]
+			}
+		}
+		var dur float64
+		if op.Type == circuit.Move {
+			dur = p.MoveTime(op.Cells, op.Corners)
+		} else {
+			dur = p.Time[op.Type.OpClass()]
+		}
+		out = append(out, PulseOp{Start: start, Duration: dur, Op: op})
+		for _, q := range op.Qubits() {
+			avail[q] = start + dur
+		}
+	}
+	return out
+}
+
+// WritePulses renders the pulse schedule as text, one op per line:
+//
+//	t=0.000000000 dur=0.000001000 h 0
+func (j *Job) WritePulses(w io.Writer) error {
+	for _, po := range j.Lower() {
+		if _, err := fmt.Fprintf(w, "t=%.9f dur=%.9f %s\n", po.Start, po.Duration, po.Op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

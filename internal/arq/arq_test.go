@@ -1,0 +1,121 @@
+package arq
+
+import (
+	"strings"
+	"testing"
+
+	"qla/internal/circuit"
+	"qla/internal/iontrap"
+)
+
+const bellSrc = `# Bell pair and readout
+qubits 2
+h 0
+cnot 0 1
+measure 0
+measure 1
+`
+
+func TestParseAndRunExact(t *testing.T) {
+	job, err := Parse(strings.NewReader(bellSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		out := job.RunExact(seed)
+		if len(out) != 2 || out[0] != out[1] {
+			t.Fatalf("Bell outcomes %v not correlated (seed %d)", out, seed)
+		}
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	job, err := Parse(strings.NewReader(bellSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := job.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ECSteps <= 0 || rep.Seconds <= 0 {
+		t.Errorf("degenerate estimate %+v", rep)
+	}
+	if rep.CommExposed != 0 {
+		t.Error("adjacent-qubit Bell circuit should fully overlap communication")
+	}
+}
+
+func TestRunNoisyCleanAndNoisy(t *testing.T) {
+	job, err := Parse(strings.NewReader(bellSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := job.RunNoisy(iontrap.Uniform(0, 0), 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.AnyFlipTrials != 0 || clean.ErrorsInjected != 0 {
+		t.Errorf("zero-noise run flipped outcomes: %+v", clean)
+	}
+	noisy, err := job.RunNoisy(iontrap.Uniform(0.05, 0), 500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.AnyFlipTrials == 0 {
+		t.Error("5% error rate should flip some outcomes")
+	}
+	if len(noisy.FlipHistogram) != 2 {
+		t.Errorf("histogram for %d measurements", len(noisy.FlipHistogram))
+	}
+	if _, err := job.RunNoisy(iontrap.Expected(), 0, 1); err == nil {
+		t.Error("zero trials should fail")
+	}
+}
+
+func TestLowerSchedule(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).H(1).CNOT(0, 1).MeasureZ(1)
+	job, err := NewJob(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulses := job.Lower()
+	if len(pulses) != 4 {
+		t.Fatalf("%d pulses", len(pulses))
+	}
+	// The two H's start together; the CNOT starts when both end.
+	if pulses[0].Start != 0 || pulses[1].Start != 0 {
+		t.Error("parallel H gates should start at t=0")
+	}
+	if pulses[2].Start != pulses[0].Duration {
+		t.Errorf("CNOT starts at %g, want %g", pulses[2].Start, pulses[0].Duration)
+	}
+	if pulses[3].Start != pulses[2].Start+pulses[2].Duration {
+		t.Error("measurement should wait for the CNOT")
+	}
+}
+
+func TestWritePulses(t *testing.T) {
+	job, err := Parse(strings.NewReader(bellSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := job.WritePulses(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "\n") != 4 {
+		t.Errorf("pulse file has %d lines, want 4", strings.Count(out, "\n"))
+	}
+	if !strings.Contains(out, "cnot 0 1") || !strings.HasPrefix(out, "t=0.000000000") {
+		t.Errorf("pulse format unexpected:\n%s", out)
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("frobnicate")); err == nil {
+		t.Error("bad circuit text should fail")
+	}
+}

@@ -1,0 +1,149 @@
+package arq
+
+// The pulse-sequence file round trip. ARQ "generates pulse sequence
+// files, which are then executed on the general quantum architecture
+// simulator" (Section 3); WritePulses emits them and ParsePulses reads
+// them back, so schedules can be stored, inspected, diffed, and fed to
+// the classical-control analyzer without rebuilding the job.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"qla/internal/circuit"
+)
+
+// pulseOpNames maps the textual gate mnemonics back to op types; it is
+// the inverse of circuit.OpType.String for every single- and two-qubit
+// op (move lines carry their own structure).
+var pulseOpNames = map[string]circuit.OpType{
+	"prep0": circuit.Prep0, "prep+": circuit.PrepPlus,
+	"h": circuit.H, "s": circuit.S, "sdg": circuit.Sdg,
+	"x": circuit.X, "y": circuit.Y, "z": circuit.Z,
+	"cnot": circuit.CNOT, "cz": circuit.CZ, "swap": circuit.SWAP,
+	"measure": circuit.MeasureZ, "measurex": circuit.MeasureX,
+	"cool": circuit.Cool,
+}
+
+// ParsePulses reads the text format produced by WritePulses:
+//
+//	t=0.000000000 dur=0.000001000 h 0
+//	t=0.000001000 dur=0.000010000 cnot 0 1
+//	t=0.000011000 dur=0.000100300 move 2 cells=30 corners=1
+//
+// Blank lines and lines starting with '#' are ignored. Pulses are
+// returned in file order; starts must be non-negative and durations
+// positive.
+func ParsePulses(r io.Reader) ([]PulseOp, error) {
+	var out []PulseOp
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("arq: pulse line %d: want at least 4 fields, got %d", lineNo, len(fields))
+		}
+		start, err := parseKeyedFloat(fields[0], "t")
+		if err != nil {
+			return nil, fmt.Errorf("arq: pulse line %d: %w", lineNo, err)
+		}
+		dur, err := parseKeyedFloat(fields[1], "dur")
+		if err != nil {
+			return nil, fmt.Errorf("arq: pulse line %d: %w", lineNo, err)
+		}
+		if start < 0 || dur <= 0 {
+			return nil, fmt.Errorf("arq: pulse line %d: bad timing t=%g dur=%g", lineNo, start, dur)
+		}
+		op, err := parsePulseOp(fields[2:])
+		if err != nil {
+			return nil, fmt.Errorf("arq: pulse line %d: %w", lineNo, err)
+		}
+		out = append(out, PulseOp{Start: start, Duration: dur, Op: op})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("arq: reading pulses: %w", err)
+	}
+	return out, nil
+}
+
+func parseKeyedFloat(field, key string) (float64, error) {
+	prefix := key + "="
+	if !strings.HasPrefix(field, prefix) {
+		return 0, fmt.Errorf("expected %q field, got %q", prefix, field)
+	}
+	v, err := strconv.ParseFloat(field[len(prefix):], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s value: %w", key, err)
+	}
+	return v, nil
+}
+
+func parsePulseOp(fields []string) (circuit.Op, error) {
+	name := fields[0]
+	if name == "move" {
+		// move <q> cells=<n> corners=<n>
+		if len(fields) != 4 {
+			return circuit.Op{}, fmt.Errorf("move wants 4 fields, got %d", len(fields))
+		}
+		q, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return circuit.Op{}, fmt.Errorf("bad move qubit: %w", err)
+		}
+		cells, err := parseKeyedInt(fields[2], "cells")
+		if err != nil {
+			return circuit.Op{}, err
+		}
+		corners, err := parseKeyedInt(fields[3], "corners")
+		if err != nil {
+			return circuit.Op{}, err
+		}
+		return circuit.Op{Type: circuit.Move, Q: [2]int{q, -1}, Cells: cells, Corners: corners}, nil
+	}
+	t, ok := pulseOpNames[name]
+	if !ok {
+		return circuit.Op{}, fmt.Errorf("unknown op %q", name)
+	}
+	wantArgs := 1
+	if t.IsTwoQubit() {
+		wantArgs = 2
+	}
+	if len(fields) != 1+wantArgs {
+		return circuit.Op{}, fmt.Errorf("%s wants %d qubits, got %d", name, wantArgs, len(fields)-1)
+	}
+	q0, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return circuit.Op{}, fmt.Errorf("bad qubit: %w", err)
+	}
+	op := circuit.Op{Type: t, Q: [2]int{q0, -1}}
+	if wantArgs == 2 {
+		q1, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return circuit.Op{}, fmt.Errorf("bad qubit: %w", err)
+		}
+		if q1 == q0 {
+			return circuit.Op{}, fmt.Errorf("%s qubits must differ", name)
+		}
+		op.Q[1] = q1
+	}
+	return op, nil
+}
+
+func parseKeyedInt(field, key string) (int, error) {
+	prefix := key + "="
+	if !strings.HasPrefix(field, prefix) {
+		return 0, fmt.Errorf("expected %q field, got %q", prefix, field)
+	}
+	v, err := strconv.Atoi(field[len(prefix):])
+	if err != nil {
+		return 0, fmt.Errorf("bad %s value: %w", key, err)
+	}
+	return v, nil
+}

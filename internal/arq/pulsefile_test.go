@@ -1,0 +1,125 @@
+package arq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qla/internal/circuit"
+)
+
+// TestPulseRoundTrip: WritePulses then ParsePulses reproduces the
+// schedule exactly.
+func TestPulseRoundTrip(t *testing.T) {
+	c := circuit.New(4)
+	c.Prep0(0).H(0).CNOT(0, 1).SWAP(1, 2).Move(3, 25, 2).MeasureZ(0).MeasureX(1)
+	j, err := NewJob(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := j.WritePulses(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePulses(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := j.Lower()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d pulses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op.String() != want[i].Op.String() {
+			t.Fatalf("pulse %d op %q != %q", i, got[i].Op, want[i].Op)
+		}
+		if diff := got[i].Start - want[i].Start; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("pulse %d start %g != %g", i, got[i].Start, want[i].Start)
+		}
+		if diff := got[i].Duration - want[i].Duration; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("pulse %d duration %g != %g", i, got[i].Duration, want[i].Duration)
+		}
+	}
+}
+
+func TestParsePulsesCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+t=0.000000000 dur=0.000001000 h 0
+
+t=0.000001000 dur=0.000010000 cnot 0 1
+`
+	pulses, err := ParsePulses(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pulses) != 2 {
+		t.Fatalf("parsed %d pulses, want 2", len(pulses))
+	}
+	if pulses[1].Op.Type != circuit.CNOT || pulses[1].Op.Q != [2]int{0, 1} {
+		t.Fatalf("second pulse %+v", pulses[1].Op)
+	}
+}
+
+func TestParsePulsesMoveLine(t *testing.T) {
+	pulses, err := ParsePulses(strings.NewReader(
+		"t=0.5 dur=0.25 move 7 cells=120 corners=2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := pulses[0].Op
+	if op.Type != circuit.Move || op.Q[0] != 7 || op.Cells != 120 || op.Corners != 2 {
+		t.Fatalf("move parsed as %+v", op)
+	}
+}
+
+func TestParsePulsesErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"too few fields", "t=0 dur=1 h\n"},
+		{"missing t key", "x=0 dur=1 h 0\n"},
+		{"missing dur key", "t=0 d=1 h 0\n"},
+		{"bad float", "t=zz dur=1 h 0\n"},
+		{"negative start", "t=-1 dur=1 h 0\n"},
+		{"zero duration", "t=0 dur=0 h 0\n"},
+		{"unknown op", "t=0 dur=1 frobnicate 0\n"},
+		{"one-qubit op with two args", "t=0 dur=1 h 0 1\n"},
+		{"two-qubit op with one arg", "t=0 dur=1 cnot 0\n"},
+		{"identical cnot qubits", "t=0 dur=1 cnot 2 2\n"},
+		{"bad qubit", "t=0 dur=1 h q\n"},
+		{"move missing corners", "t=0 dur=1 move 0 cells=5\n"},
+		{"move bad cells", "t=0 dur=1 move 0 cells=x corners=0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParsePulses(strings.NewReader(tc.src)); err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+		})
+	}
+}
+
+// TestParsedPulsesFeedControlAnalyzer: the parsed schedule is usable
+// downstream (its op classes and timing survive the trip).
+func TestParsedPulsesDurationsPositive(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0).H(1).H(2).CNOT(0, 1).MeasureZ(2)
+	j, err := NewJob(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := j.WritePulses(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pulses, err := ParsePulses(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pulses {
+		if p.Duration <= 0 {
+			t.Fatalf("pulse %d non-positive duration", i)
+		}
+	}
+}

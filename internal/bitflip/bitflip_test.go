@@ -1,0 +1,110 @@
+package bitflip
+
+import (
+	"testing"
+
+	"qla/internal/stabilizer"
+	"qla/internal/steane"
+)
+
+func TestEncoderStabilized(t *testing.T) {
+	s := stabilizer.New(N)
+	EncodeZero().RunOn(s)
+	for i, g := range Stabilizers() {
+		if e := s.Expectation(g); e != 1 {
+			t.Errorf("<generator %d> = %d after encoding", i, e)
+		}
+	}
+	if e := s.Expectation(LogicalZ()); e != 1 {
+		t.Errorf("<Z_L> = %d on |0>_L", e)
+	}
+}
+
+func TestSingleXErrorsCorrected(t *testing.T) {
+	for q := 0; q < N; q++ {
+		var w [N]int
+		w[q] = 1
+		if DecodePosition(Syndrome(w)) != q {
+			t.Errorf("X on qubit %d misdecoded", q)
+		}
+		if DecodeBlock(w) != 0 {
+			t.Errorf("single X on qubit %d caused logical failure", q)
+		}
+	}
+	var clean [N]int
+	if Syndrome(clean) != 0 || DecodeBlock(clean) != 0 {
+		t.Error("clean word should decode trivially")
+	}
+}
+
+func TestDoubleXErrorsFail(t *testing.T) {
+	// Majority vote flips on any two errors: distance 3 against X.
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for _, p := range pairs {
+		var w [N]int
+		w[p[0]], w[p[1]] = 1, 1
+		if DecodeBlock(w) != 1 {
+			t.Errorf("double error %v should defeat the majority vote", p)
+		}
+	}
+}
+
+func TestZErrorsInvisible(t *testing.T) {
+	// The ablation: no Z-error pattern produces a syndrome.
+	for mask := 1; mask < 8; mask++ {
+		var w [N]int
+		for q := 0; q < N; q++ {
+			w[q] = (mask >> q) & 1
+		}
+		if CorrectsZ(w) {
+			t.Errorf("Z pattern %03b unexpectedly detected", mask)
+		}
+	}
+}
+
+func TestZErrorBreaksLogicalStateOnBackend(t *testing.T) {
+	// End-to-end on the exact backend: encode |+>_L (logical X
+	// eigenstate), hit one qubit with Z, verify the logical X expectation
+	// flips while every stabilizer stays +1 — an undetectable logical
+	// error, the reason the QLA uses a CSS code.
+	s := stabilizer.New(N)
+	s.H(0) // |+> on the input qubit
+	EncodeZero().RunOn(s)
+	if e := s.Expectation(LogicalX()); e != 1 {
+		t.Fatalf("<X_L> = %d on encoded |+>", e)
+	}
+	s.Z(0)
+	for i, g := range Stabilizers() {
+		if e := s.Expectation(g); e != 1 {
+			t.Errorf("stabilizer %d saw the Z error (%d); it should not", i, e)
+		}
+	}
+	if e := s.Expectation(LogicalX()); e != -1 {
+		t.Errorf("<X_L> = %d after Z error, want -1 (undetected logical flip)", e)
+	}
+}
+
+func TestComparisonWithSteane(t *testing.T) {
+	// The Steane code detects every single Z error that the repetition
+	// code misses — the quantitative reason for the [[7,1,3]] choice.
+	missedByBitflip := 0
+	for q := 0; q < N; q++ {
+		var w [N]int
+		w[q] = 1
+		if !CorrectsZ(w) {
+			missedByBitflip++
+		}
+	}
+	if missedByBitflip != 3 {
+		t.Errorf("repetition code missed %d/3 single Z errors, want all 3", missedByBitflip)
+	}
+	for q := 0; q < steane.N; q++ {
+		var w [steane.N]int
+		w[q] = 1
+		// In the Steane code, Z errors are decoded by the X-stabilizers
+		// with the same Hamming syndrome arithmetic.
+		if steane.DecodePosition(steane.Syndrome(w)) != q {
+			t.Errorf("Steane missed a single Z error on qubit %d", q)
+		}
+	}
+}

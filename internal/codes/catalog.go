@@ -1,0 +1,105 @@
+package codes
+
+import (
+	"qla/internal/pauli"
+	"qla/internal/steane"
+)
+
+// Bitflip3 returns the 3-qubit repetition code the paper's Figure 4
+// uses to illustrate the level-1 building block. It corrects a single
+// bit-flip (X-distance 3) but no phase flips (Z-distance 1, so the
+// quantum distance is 1).
+func Bitflip3() *Code {
+	return &Code{
+		Name: "bit-flip [[3,1,1]]",
+		N:    3, K: 1, D: 1,
+		Stabilizers: []pauli.String{
+			pauli.MustParse("+ZZI"),
+			pauli.MustParse("+IZZ"),
+		},
+		LogicalX: []pauli.String{pauli.MustParse("+XXX")},
+		LogicalZ: []pauli.String{pauli.MustParse("+ZII")},
+	}
+}
+
+// Phaseflip3 returns the 3-qubit phase-flip repetition code: the
+// Hadamard conjugate of Bitflip3 (Z-distance 3, X-distance 1).
+func Phaseflip3() *Code {
+	return &Code{
+		Name: "phase-flip [[3,1,1]]",
+		N:    3, K: 1, D: 1,
+		Stabilizers: []pauli.String{
+			pauli.MustParse("+XXI"),
+			pauli.MustParse("+IXX"),
+		},
+		LogicalX: []pauli.String{pauli.MustParse("+XII")},
+		LogicalZ: []pauli.String{pauli.MustParse("+ZZZ")},
+	}
+}
+
+// Shor9 returns Shor's [[9,1,3]] code — the concatenation of the
+// phase-flip code over bit-flip triples, and the first code shown to
+// correct an arbitrary single-qubit error. Its inner Z-checks have
+// weight 2, cheaper to extract than Steane's weight-4 checks, but the
+// block needs 9 data ions instead of 7 — the trade the cost model in
+// this package quantifies.
+func Shor9() *Code {
+	return &Code{
+		Name: "Shor [[9,1,3]]",
+		N:    9, K: 1, D: 3,
+		Stabilizers: []pauli.String{
+			pauli.MustParse("+ZZIIIIIII"),
+			pauli.MustParse("+IZZIIIIII"),
+			pauli.MustParse("+IIIZZIIII"),
+			pauli.MustParse("+IIIIZZIII"),
+			pauli.MustParse("+IIIIIIZZI"),
+			pauli.MustParse("+IIIIIIIZZ"),
+			pauli.MustParse("+XXXXXXIII"),
+			pauli.MustParse("+IIIXXXXXX"),
+		},
+		// |0⟩_L = (|000⟩+|111⟩)^⊗3: a single Z in each triple flips the
+		// relative sign, so X̄ = Z1·Z4·Z7; X on a full triple fixes
+		// |0⟩_L and negates |1⟩_L, so Z̄ = X1·X2·X3.
+		LogicalX: []pauli.String{pauli.MustParse("+ZIIZIIZII")},
+		LogicalZ: []pauli.String{pauli.MustParse("+XXXIIIIII")},
+	}
+}
+
+// Steane7 returns the Steane [[7,1,3]] code as a Code value, sourced
+// from internal/steane so the two packages can never drift apart. This
+// is the code the QLA adopts: it is the smallest CSS code with a full
+// transversal Clifford group, which is what lets the paper implement
+// every logical gate as 49 parallel physical gates.
+func Steane7() *Code {
+	return &Code{
+		Name: "Steane [[7,1,3]]",
+		N:    steane.N, K: 1, D: 3,
+		Stabilizers: steane.Generators(),
+		LogicalX:    []pauli.String{steane.LogicalX()},
+		LogicalZ:    []pauli.String{steane.LogicalZ()},
+	}
+}
+
+// Perfect5 returns the [[5,1,3]] "perfect" code — the smallest code
+// correcting an arbitrary single-qubit error. It is not CSS, so CNOT
+// is not transversal on it; the QLA's transversal-gate requirement is
+// exactly why the paper passes over it despite the smaller block.
+func Perfect5() *Code {
+	return &Code{
+		Name: "perfect [[5,1,3]]",
+		N:    5, K: 1, D: 3,
+		Stabilizers: []pauli.String{
+			pauli.MustParse("+XZZXI"),
+			pauli.MustParse("+IXZZX"),
+			pauli.MustParse("+XIXZZ"),
+			pauli.MustParse("+ZXIXZ"),
+		},
+		LogicalX: []pauli.String{pauli.MustParse("+XXXXX")},
+		LogicalZ: []pauli.String{pauli.MustParse("+ZZZZZ")},
+	}
+}
+
+// All returns the full catalog, smallest block first.
+func All() []*Code {
+	return []*Code{Bitflip3(), Phaseflip3(), Perfect5(), Steane7(), Shor9()}
+}

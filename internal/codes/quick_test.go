@@ -1,0 +1,118 @@
+package codes
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"qla/internal/pauli"
+	"qla/internal/stabilizer"
+)
+
+func randomPauli(r *rand.Rand, n int) pauli.String {
+	p := pauli.NewIdentity(n)
+	for q := 0; q < n; q++ {
+		p.Set(q, "IXYZ"[r.IntN(4)])
+	}
+	return p
+}
+
+// Property: multiplying an error by any stabilizer-group element leaves
+// its syndrome unchanged (the coset structure the decoder relies on).
+func TestQuickSyndromeCosetInvariant(t *testing.T) {
+	catalog := All()
+	f := func(seed uint64, pick, mask uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0xc0de))
+		c := catalog[int(pick)%len(catalog)]
+		e := randomPauli(r, c.N)
+		s := pauli.NewIdentity(c.N)
+		for i, g := range c.Stabilizers {
+			if mask>>(uint(i)%8)&1 == 1 {
+				s = s.Mul(g)
+			}
+		}
+		return c.SyndromeOf(e.Mul(s)) == c.SyndromeOf(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: applying a random product of pure errors produces exactly
+// the syndrome of the chosen subset mask.
+func TestQuickPureErrorSubsets(t *testing.T) {
+	catalog := []*Code{Perfect5(), Steane7(), Shor9()}
+	pures := make([][]pauli.String, len(catalog))
+	for i, c := range catalog {
+		p, err := c.PureErrors()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pures[i] = p
+	}
+	f := func(pick uint8, mask uint16) bool {
+		i := int(pick) % len(catalog)
+		c := catalog[i]
+		m := uint64(mask) & (1<<uint(len(c.Stabilizers)) - 1)
+		e := pauli.NewIdentity(c.N)
+		for j := range c.Stabilizers {
+			if m>>uint(j)&1 == 1 {
+				e = e.Mul(pures[i][j])
+			}
+		}
+		return c.SyndromeOf(e) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after PrepareZero, applying any stabilizer-group element
+// leaves the tableau state fixed up to global phase (SameState).
+func TestQuickStabilizersFixPreparedState(t *testing.T) {
+	catalog := []*Code{Perfect5(), Steane7(), Shor9()}
+	f := func(seed uint64, pick, mask uint8) bool {
+		c := catalog[int(pick)%len(catalog)]
+		s := stabilizer.NewSeeded(c.N, seed)
+		if err := c.PrepareZero(s); err != nil {
+			return false
+		}
+		g := pauli.NewIdentity(c.N)
+		for i := range c.Stabilizers {
+			if mask>>(uint(i)%8)&1 == 1 {
+				g = g.Mul(c.Stabilizers[i])
+			}
+		}
+		ref := s.Clone()
+		s.ApplyPauli(g)
+		return s.SameState(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the decoder corrects every weight-1 error regardless of
+// which qubit and letter are hit (randomized variant of the exhaustive
+// unit test, exercised across all distance-3 codes).
+func TestQuickWeight1AlwaysCorrected(t *testing.T) {
+	catalog := []*Code{Perfect5(), Steane7(), Shor9()}
+	decs := make([]*Decoder, len(catalog))
+	for i, c := range catalog {
+		d, err := NewDecoder(c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decs[i] = d
+	}
+	f := func(pick, q, letter uint8) bool {
+		i := int(pick) % len(catalog)
+		c := catalog[i]
+		e := pauli.NewIdentity(c.N)
+		e.Set(int(q)%c.N, "XYZ"[int(letter)%3])
+		return decs[i].Corrects(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"qla/internal/circuit"
+	"qla/internal/iontrap"
+)
+
+func TestNewDefaults(t *testing.T) {
+	m, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LogicalQubits() != 100 {
+		t.Errorf("capacity = %d", m.LogicalQubits())
+	}
+	if m.Level != 2 || m.Bandwidth != 2 {
+		t.Errorf("defaults wrong: level %d bandwidth %d", m.Level, m.Bandwidth)
+	}
+	// The clock tick is the paper's 0.043 s level-2 EC step (±20%).
+	if ec := m.ECStepTime(); ec < 0.035 || ec > 0.050 {
+		t.Errorf("EC step = %.4f s, want ≈0.043", ec)
+	}
+}
+
+func TestOptionsAndValidation(t *testing.T) {
+	m, err := New(10, WithLevel(1), WithBandwidth(4), WithParams(iontrap.Current()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Level != 1 || m.Bandwidth != 4 || m.Params.Name != "current" {
+		t.Error("options not applied")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("zero qubits should fail")
+	}
+	if _, err := New(10, WithLevel(9)); err == nil {
+		t.Error("absurd level should fail")
+	}
+	if _, err := New(10, WithBandwidth(0)); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+}
+
+func TestPhysicalIons(t *testing.T) {
+	// Section 7: "a system of 7×10⁶ physical ions to be able to implement
+	// Shor's algorithm to factor a 128-bit number". 37971 tiles × ions per
+	// tile should land within a small factor of that.
+	m, err := New(37971)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ions := m.PhysicalIons()
+	if ions < 5e6 || ions > 5e7 {
+		t.Errorf("Shor-128 machine has %d ions; paper says ≈7e6 (same order)", ions)
+	}
+}
+
+func TestFailureBudget(t *testing.T) {
+	m, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the empirical threshold the level-2 machine supports ≈1e20+
+	// elementary steps (Section 4.1.3: "approaching 10⁻²¹" failure).
+	if s := m.MaxComputationSize(); s < 1e19 {
+		t.Errorf("max computation size = %.3g, want ≥1e19", s)
+	}
+}
+
+func TestCommunicationOverlap(t *testing.T) {
+	m, err := New(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbours communicate well under one EC step.
+	ok, err := m.Overlapped(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("adjacent qubits should overlap communication with EC")
+	}
+	// Self-communication is free.
+	if tm, _ := m.CommunicationTime(5, 5); tm != 0 {
+		t.Error("self communication should cost nothing")
+	}
+	// Far corners still resolve to a finite plan.
+	tm, err := m.CommunicationTime(0, 399)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm <= 0 {
+		t.Error("long-distance communication should take time")
+	}
+}
+
+func TestEstimateCircuit(t *testing.T) {
+	m, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(4)
+	c.H(0).CNOT(0, 1).CNOT(2, 3).CNOT(1, 2).MeasureZ(3)
+	rep, err := m.EstimateCircuit(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layers: [H, CNOT01|CNOT23? H blocks q0...] — depth from circuit.
+	if rep.ECSteps != int64(c.Depth()) {
+		t.Errorf("EC steps = %d, want depth %d", rep.ECSteps, c.Depth())
+	}
+	if rep.Seconds < float64(rep.ECSteps)*m.ECStepTime() {
+		t.Error("wall clock below EC floor")
+	}
+	if rep.CommOverlapped+rep.CommExposed != 3 {
+		t.Errorf("two-qubit gates accounted = %d, want 3", rep.CommOverlapped+rep.CommExposed)
+	}
+	if rep.FailureBudget <= 0 || rep.FailureBudget >= 1 {
+		t.Errorf("failure budget = %g, want small positive", rep.FailureBudget)
+	}
+}
+
+func TestEstimateCircuitPlacementErrors(t *testing.T) {
+	m, _ := New(4)
+	c := circuit.New(2)
+	c.CNOT(0, 1)
+	if _, err := m.EstimateCircuit(c, []int{0}); err == nil {
+		t.Error("short placement should fail")
+	}
+	if _, err := m.EstimateCircuit(c, []int{0, 99}); err == nil {
+		t.Error("out-of-machine placement should fail")
+	}
+}
+
+func TestLevelAffectsClock(t *testing.T) {
+	m1, _ := New(10, WithLevel(1))
+	m2, _ := New(10, WithLevel(2))
+	if m2.ECStepTime() <= m1.ECStepTime() {
+		t.Error("level-2 EC step must exceed level-1")
+	}
+	if m2.LogicalFailureRate() >= m1.LogicalFailureRate() {
+		t.Error("below threshold, level 2 must be more reliable")
+	}
+}

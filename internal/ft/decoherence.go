@@ -1,0 +1,64 @@
+package ft
+
+import (
+	"fmt"
+
+	"qla/internal/iontrap"
+)
+
+// Decoherence budgeting: DiVincenzo criterion 4 ("It must allow much
+// longer qubit lifetimes than the time of a quantum logic gate") applied
+// to the QLA's actual cadence. The relevant ratio is not lifetime/gate but
+// lifetime/EC-step: a logical qubit is refreshed once per EC step, so the
+// per-step idle error T_ecc/lifetime must sit safely inside the code's
+// correction budget, even though a full Shor run (hours) vastly exceeds
+// any single ion's lifetime (10-100 s).
+
+// DecoherenceReport summarizes the idle-error budget at one recursion
+// level.
+type DecoherenceReport struct {
+	Level          int
+	ECStep         float64 // seconds between refreshes
+	Lifetime       float64 // memory lifetime, seconds
+	IdleErrPerStep float64 // per-qubit idle error accumulated per EC step
+	Threshold      float64 // the budget it must stay under
+	Margin         float64 // Threshold / IdleErrPerStep
+	OK             bool
+}
+
+// CheckDecoherence evaluates whether the memory lifetime supports the EC
+// cadence at the given level with the given threshold budget.
+func CheckDecoherence(p iontrap.Params, level int, threshold float64) (DecoherenceReport, error) {
+	if level < 1 {
+		return DecoherenceReport{}, fmt.Errorf("ft: level must be ≥ 1")
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return DecoherenceReport{}, fmt.Errorf("ft: threshold %g outside (0,1)", threshold)
+	}
+	if p.MemoryLifetime <= 0 {
+		return DecoherenceReport{}, fmt.Errorf("ft: non-positive memory lifetime")
+	}
+	ec := NewLatencyModel(p).ECTime(level)
+	rep := DecoherenceReport{
+		Level:          level,
+		ECStep:         ec,
+		Lifetime:       p.MemoryLifetime,
+		IdleErrPerStep: ec / p.MemoryLifetime,
+		Threshold:      threshold,
+	}
+	rep.OK = rep.IdleErrPerStep < threshold
+	if rep.IdleErrPerStep > 0 {
+		rep.Margin = threshold / rep.IdleErrPerStep
+	}
+	return rep, nil
+}
+
+// AlgorithmLifetimes returns how many ion lifetimes a computation of the
+// given duration spans — the reason error correction (not raw memory) is
+// what makes hours-long algorithms possible.
+func AlgorithmLifetimes(p iontrap.Params, durationSec float64) float64 {
+	if p.MemoryLifetime <= 0 {
+		return 0
+	}
+	return durationSec / p.MemoryLifetime
+}

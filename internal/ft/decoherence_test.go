@@ -1,0 +1,79 @@
+package ft
+
+import (
+	"testing"
+
+	"qla/internal/iontrap"
+)
+
+func TestCheckDecoherenceExpected(t *testing.T) {
+	// Expected parameters: 100 s lifetime, 0.046 s EC step -> idle error
+	// ≈ 4.6e-4 per step, inside the empirical threshold budget with
+	// comfortable margin.
+	rep, err := CheckDecoherence(iontrap.Expected(), 2, PthEmpiricalQLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("expected parameters should pass the decoherence check: %+v", rep)
+	}
+	if rep.IdleErrPerStep < 1e-4 || rep.IdleErrPerStep > 1e-3 {
+		t.Errorf("idle error per EC step = %.3g, expected ≈5e-4", rep.IdleErrPerStep)
+	}
+	if rep.Margin < 2 {
+		t.Errorf("margin = %.2f, expected comfortable headroom", rep.Margin)
+	}
+}
+
+func TestCheckDecoherenceTightLifetime(t *testing.T) {
+	// A 0.1 s lifetime cannot support a 0.046 s EC cadence at any
+	// realistic threshold.
+	p := iontrap.Expected()
+	p.MemoryLifetime = 0.1
+	rep, err := CheckDecoherence(p, 2, PthEmpiricalQLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("a 0.1 s lifetime should fail the level-2 decoherence check")
+	}
+}
+
+func TestCheckDecoherenceLevelDependence(t *testing.T) {
+	// Level 1's faster cadence leaves more lifetime margin than level 2.
+	p := iontrap.Expected()
+	r1, err := CheckDecoherence(p, 1, PthEmpiricalQLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CheckDecoherence(p, 2, PthEmpiricalQLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Margin <= r2.Margin {
+		t.Error("level 1 should have more decoherence margin than level 2")
+	}
+}
+
+func TestAlgorithmLifetimes(t *testing.T) {
+	// The 128-bit factorization (≈16 h) spans hundreds of ion lifetimes —
+	// the whole point of active error correction.
+	spans := AlgorithmLifetimes(iontrap.Expected(), 16*3600)
+	if spans < 100 {
+		t.Errorf("16 h spans %.0f lifetimes; expected hundreds", spans)
+	}
+}
+
+func TestCheckDecoherenceValidation(t *testing.T) {
+	if _, err := CheckDecoherence(iontrap.Expected(), 0, 1e-3); err == nil {
+		t.Error("level 0 should be rejected")
+	}
+	if _, err := CheckDecoherence(iontrap.Expected(), 2, 1.5); err == nil {
+		t.Error("threshold > 1 should be rejected")
+	}
+	bad := iontrap.Expected()
+	bad.MemoryLifetime = 0
+	if _, err := CheckDecoherence(bad, 2, 1e-3); err == nil {
+		t.Error("zero lifetime should be rejected")
+	}
+}

@@ -1,0 +1,174 @@
+package ft
+
+import (
+	"math"
+	"testing"
+
+	"qla/internal/iontrap"
+)
+
+func TestEquation2PaperNumbers(t *testing.T) {
+	// Section 4.1.2: with p0 = average expected failure rate, pth =
+	// 7.5e-5, r = 12 cells, level 2 gives P_f ≈ 1.0e-16 and
+	// S = K·Q ≈ 9.9e15.
+	p0 := iontrap.Expected().AverageComponentFailure()
+	pf := GottesmanFailure(p0, PthLocal, 12, 2)
+	if pf < 0.8e-16 || pf > 1.2e-16 {
+		t.Errorf("Equation 2 level-2 failure = %.3g, paper says ≈1.0e-16", pf)
+	}
+	s := MaxSystemSize(pf)
+	if s < 8e15 || s > 1.2e16 {
+		t.Errorf("system size = %.3g, paper says ≈9.9e15", s)
+	}
+}
+
+func TestEquation2EmpiricalThreshold(t *testing.T) {
+	// "Reevaluating Equation 2 with the empirical value for pth we get an
+	// estimated level 2 reliability approaching 10^-21."
+	p0 := iontrap.Expected().AverageComponentFailure()
+	pf := GottesmanFailure(p0, PthEmpiricalQLA, 12, 2)
+	if pf > 1e-20 || pf < 1e-22 {
+		t.Errorf("empirical-threshold level-2 failure = %.3g, paper says ≈1e-21", pf)
+	}
+}
+
+func TestEquation2Monotonicity(t *testing.T) {
+	p0 := 1e-6
+	// Below threshold, more recursion must help.
+	prev := GottesmanFailure(p0, PthLocal, 12, 0)
+	for l := 1; l <= 4; l++ {
+		cur := GottesmanFailure(p0, PthLocal, 12, l)
+		if cur >= prev {
+			t.Errorf("level %d failure %.3g not below level %d failure %.3g", l, cur, l-1, prev)
+		}
+		prev = cur
+	}
+	// Above threshold, recursion hurts.
+	p0 = 1e-3
+	if GottesmanFailure(p0, PthLocal, 12, 2) <= GottesmanFailure(p0, PthLocal, 12, 1) {
+		t.Error("above threshold, level 2 should be worse than level 1")
+	}
+}
+
+func TestRequiredLevel(t *testing.T) {
+	p0 := iontrap.Expected().AverageComponentFailure()
+	// Shor-1024 needs S ≈ 4.4e12 (paper): level 2 must suffice and level
+	// 1 must not.
+	l, err := RequiredLevel(p0, PthLocal, 12, 4.4e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 2 {
+		t.Errorf("required level for Shor-1024 = %d, paper says 2", l)
+	}
+	// Tiny computations need no encoding.
+	l, err = RequiredLevel(p0, PthLocal, 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 0 {
+		t.Errorf("required level for S=10 at p0=%.2g = %d, want 0", p0, l)
+	}
+	// Above threshold: error.
+	if _, err := RequiredLevel(1e-3, PthLocal, 12, 1e6); err == nil {
+		t.Error("RequiredLevel above threshold should fail")
+	}
+}
+
+func TestECLatencyPaperValues(t *testing.T) {
+	// Section 4.1.1: T_{1,ecc} ≈ 0.003 s and T_{2,ecc} ≈ 0.043 s.
+	m := NewLatencyModel(iontrap.Expected())
+	sum := m.Summarize()
+	if sum.ECLevel1 < 0.002 || sum.ECLevel1 > 0.004 {
+		t.Errorf("T(1,ecc) = %.4f s, paper says ≈0.003 s", sum.ECLevel1)
+	}
+	if sum.ECLevel2 < 0.035 || sum.ECLevel2 > 0.050 {
+		t.Errorf("T(2,ecc) = %.4f s, paper says ≈0.043 s", sum.ECLevel2)
+	}
+	if sum.AncillaPrep <= 0 || sum.AncillaPrep >= sum.ECLevel2 {
+		t.Errorf("ancilla prep %.4f s should be positive and below T(2,ecc)", sum.AncillaPrep)
+	}
+}
+
+func TestECLatencyStructure(t *testing.T) {
+	m := NewLatencyModel(iontrap.Expected())
+	// Level 0 costs nothing; levels increase steeply.
+	if m.ECTime(0) != 0 {
+		t.Error("ECTime(0) should be 0")
+	}
+	t1, t2 := m.ECTime(1), m.ECTime(2)
+	if t2 < 5*t1 {
+		t.Errorf("level-2 EC (%.4f) should dwarf level-1 (%.4f)", t2, t1)
+	}
+	// Syndrome extraction dominates: T_ecc ≈ 2·T_synd at the trivial
+	// branch, so T_ecc < 2.2·T_synd with the tiny non-trivial weighting.
+	if r := t2 / m.SyndromeTime(2); r < 2.0 || r > 2.2 {
+		t.Errorf("T_ecc/T_synd at level 2 = %.3f, want ≈2", r)
+	}
+}
+
+func TestNonTrivialBranchIncreasesLatency(t *testing.T) {
+	m := NewLatencyModel(iontrap.Expected())
+	base := m.ECTime(2)
+	m.NonTrivialRate[2] = 0.5 // force frequent repeats
+	if m.ECTime(2) <= base {
+		t.Error("raising the non-trivial syndrome rate must increase EC time")
+	}
+	m.NonTrivialRate[2] = 0
+	if got := m.ECTime(2); math.Abs(got-2*m.SyndromeTime(2)) > 1e-12 {
+		t.Errorf("with pnt=0, ECTime = %.5g, want exactly 2·T_synd = %.5g", got, 2*m.SyndromeTime(2))
+	}
+}
+
+func TestToffoliCost(t *testing.T) {
+	if ToffoliECSteps != 21 {
+		t.Errorf("Toffoli EC steps = %d, paper says 15+6 = 21", ToffoliECSteps)
+	}
+	// 128-bit modular exponentiation sanity (Section 5): 63730 Toffolis
+	// at 21 steps each ≈ 1.34e6 EC steps; at 0.043 s per step ≈ 16 h.
+	m := NewLatencyModel(iontrap.Expected())
+	steps := 21.0 * 63730
+	hours := steps * m.ECTime(2) / 3600
+	if hours < 12 || hours > 21 {
+		t.Errorf("128-bit modexp ≈ %.1f h, paper says ≈16 h", hours)
+	}
+}
+
+func TestMeasureParallelismKnob(t *testing.T) {
+	m := NewLatencyModel(iontrap.Expected())
+	base := m.Readout()
+	m.MeasureParallelism = 7
+	if m.Readout() >= base {
+		t.Error("more readout channels must shorten readout")
+	}
+	if m.Readout() != m.P.Time[iontrap.OpMeasure] {
+		t.Error("7-way parallel readout should take one measurement time")
+	}
+}
+
+func TestGottesmanFailurePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { GottesmanFailure(0, PthLocal, 12, 2) },
+		func() { GottesmanFailure(1e-6, 0, 12, 2) },
+		func() { GottesmanFailure(1e-6, PthLocal, 0, 2) },
+		func() { GottesmanFailure(1e-6, PthLocal, 12, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid Equation-2 input")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaxSystemSizeEdge(t *testing.T) {
+	if !math.IsInf(MaxSystemSize(0), 1) {
+		t.Error("zero failure rate means unbounded computation")
+	}
+	if MaxSystemSize(1e-10) != 1e10 {
+		t.Error("MaxSystemSize should invert the failure rate")
+	}
+}

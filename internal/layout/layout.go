@@ -1,0 +1,218 @@
+// Package layout models the QLA chip geometry: the level-1 building block,
+// the level-2 logical-qubit tile, the channel grid between tiles, repeater
+// (teleportation) island placement, and chip floorplans for a given number
+// of logical qubits.
+//
+// Dimensions follow Section 4 and Table 2 of the paper: a level-2 logical
+// qubit occupies 36×147 cells of 20 µm, with 11 extra channel cells in the
+// x̂ direction and 12 in ŷ, giving a tile pitch of 47×159 cells and the
+// Table-2 chip areas.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geometry constants (cells of CellUM micrometers).
+const (
+	// CellUM is the trap/cell pitch in micrometers.
+	CellUM = 20.0
+
+	// TileW and TileH are the level-2 logical-qubit dimensions in cells.
+	TileW = 36
+	TileH = 147
+
+	// ChanW and ChanH are the channel widths added in x̂ and ŷ.
+	ChanW = 11
+	ChanH = 12
+
+	// PitchX and PitchY are the tile pitches including channels.
+	PitchX = TileW + ChanW // 47
+	PitchY = TileH + ChanH // 159
+
+	// BlockW and BlockH are the level-1 block footprint in cells: three
+	// blocks across a tile (36/3) and seven block rows (147/7).
+	BlockW = TileW / 3 // 12
+	BlockH = TileH / 7 // 21
+
+	// InterBlockCells is r in Equation 2: the average communication
+	// distance between level-1 blocks ("aligned in QLA to allow r = 12
+	// cells on average") — one block width.
+	InterBlockCells = BlockW
+
+	// IntraBlockCells is the typical shuttle distance for a physical
+	// two-qubit gate between neighbouring traps inside a block.
+	IntraBlockCells = 2
+
+	// MaxTurnsBallistic is the design guarantee: "no single gate will
+	// require more than two turns when we are using direct ballistic
+	// communication, and no turns at all when we are using teleportation".
+	MaxTurnsBallistic = 2
+
+	// IslandSpacingShort and IslandSpacingLong are the two island
+	// separations the interconnect analysis selects between (Figure 9).
+	IslandSpacingShort = 100
+	IslandSpacingLong  = 350
+)
+
+// TileCells is the number of cells in one logical-qubit tile (no channels).
+const TileCells = TileW * TileH // 5292
+
+// TilePitchCells is the number of cells per tile including its share of
+// channels; Table 2 chip area = Q · TilePitchCells · (20 µm)².
+const TilePitchCells = PitchX * PitchY // 7473
+
+// TileAreaMM2 returns the area of the bare tile in mm² (paper: 2.11 mm²).
+func TileAreaMM2() float64 {
+	return float64(TileCells) * CellUM * CellUM * 1e-6
+}
+
+// TilePitchAreaM2 returns the area of a tile plus channels in m².
+func TilePitchAreaM2() float64 {
+	return float64(TilePitchCells) * CellUM * CellUM * 1e-12
+}
+
+// Floorplan is a rectangular arrangement of logical-qubit tiles.
+type Floorplan struct {
+	Q    int // logical qubits placed
+	Cols int
+	Rows int
+}
+
+// NewFloorplan lays out q logical qubits so that the chip is near-square
+// in physical extent: tiles are PitchY/PitchX ≈ 3.4× taller than wide, so
+// the grid uses correspondingly more columns than rows.
+func NewFloorplan(q int) (Floorplan, error) {
+	if q <= 0 {
+		return Floorplan{}, fmt.Errorf("layout: need a positive qubit count, got %d", q)
+	}
+	aspect := float64(PitchY) / float64(PitchX)
+	rows := int(math.Max(1, math.Round(math.Sqrt(float64(q)/aspect))))
+	cols := (q + rows - 1) / rows
+	return Floorplan{Q: q, Cols: cols, Rows: rows}, nil
+}
+
+// TilePosition returns the (col,row) grid position of logical qubit i in
+// row-major order.
+func (f Floorplan) TilePosition(i int) (col, row int) {
+	if i < 0 || i >= f.Q {
+		panic(fmt.Sprintf("layout: qubit %d out of range [0,%d)", i, f.Q))
+	}
+	return i % f.Cols, i / f.Cols
+}
+
+// TileCenterCells returns the cell coordinates of the center of qubit i.
+func (f Floorplan) TileCenterCells(i int) (x, y int) {
+	c, r := f.TilePosition(i)
+	return c*PitchX + PitchX/2, r*PitchY + PitchY/2
+}
+
+// DistanceCells returns the Manhattan distance in cells between the
+// centers of two logical qubits.
+func (f Floorplan) DistanceCells(i, j int) int {
+	xi, yi := f.TileCenterCells(i)
+	xj, yj := f.TileCenterCells(j)
+	return abs(xi-xj) + abs(yi-yj)
+}
+
+// WidthCells and HeightCells give the chip extent.
+func (f Floorplan) WidthCells() int { return f.Cols * PitchX }
+
+// HeightCells returns the chip height in cells.
+func (f Floorplan) HeightCells() int { return f.Rows * PitchY }
+
+// AreaM2 returns the chip area in m² using the Table-2 model: every placed
+// tile contributes its pitch area (channels included).
+func (f Floorplan) AreaM2() float64 {
+	return float64(f.Q) * TilePitchAreaM2()
+}
+
+// EdgeCM returns the edge length in centimeters of a square chip of the
+// same area (the paper quotes "33 centimeters at each edge" for 0.11 m²...
+// for the 512-bit, 0.45 m² chip).
+func (f Floorplan) EdgeCM() float64 {
+	return math.Sqrt(f.AreaM2()) * 100
+}
+
+// MaxDistanceCells returns the largest tile-to-tile Manhattan distance on
+// the floorplan (the worst-case communication span).
+func (f Floorplan) MaxDistanceCells() int {
+	if f.Q <= 1 {
+		return 0
+	}
+	return (f.Cols-1)*PitchX + (f.Rows-1)*PitchY
+}
+
+// Island is a repeater (teleportation) island position in cell coordinates.
+type Island struct {
+	X, Y int
+}
+
+// Islands places repeater islands on the floorplan's channel grid with the
+// given spacing in cells along x̂; along ŷ one island is placed per tile row
+// ("in the ŷ direction we place an island at every logical qubit").
+func (f Floorplan) Islands(spacingX int) []Island {
+	if spacingX <= 0 {
+		panic("layout: island spacing must be positive")
+	}
+	var out []Island
+	w, h := f.WidthCells(), f.HeightCells()
+	for y := PitchY / 2; y < h; y += PitchY {
+		for x := 0; x <= w; x += spacingX {
+			out = append(out, Island{X: x, Y: y})
+		}
+	}
+	return out
+}
+
+// IslandsPerQubitX returns how many logical qubits sit between two islands
+// in the x̂ direction at the given spacing (paper: "an island at every
+// third and tenth logical qubit" for 100 and 350 cells).
+func IslandsPerQubitX(spacingX int) float64 {
+	return float64(spacingX) / float64(PitchX)
+}
+
+// GateMove describes the ballistic path charged to one physical two-qubit
+// gate, per the QLA design rules.
+type GateMove struct {
+	Cells   int
+	Corners int
+}
+
+// IntraBlockGateMove is the path for a gate between ions in one block.
+func IntraBlockGateMove() GateMove {
+	return GateMove{Cells: IntraBlockCells, Corners: 0}
+}
+
+// InterBlockGateMove is the path for a transversal gate between adjacent
+// level-1 blocks (r = 12 cells, at most 2 turns).
+func InterBlockGateMove() GateMove {
+	return GateMove{Cells: InterBlockCells, Corners: MaxTurnsBallistic}
+}
+
+// RenderBlock draws an ASCII sketch of one level-1 building block
+// (Figure 4): a column of data ions (o) with sympathetic cooling ions (.)
+// beside them, surrounded by ballistic channel cells (space) and electrode
+// cells (#).
+func RenderBlock() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Repeat("#", BlockW) + "\n")
+	for row := 0; row < 7; row++ {
+		sb.WriteString("#    o.    #\n")
+		if row < 6 {
+			sb.WriteString("#          #\n")
+			sb.WriteString("#          #\n")
+		}
+	}
+	sb.WriteString(strings.Repeat("#", BlockW))
+	return sb.String()
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

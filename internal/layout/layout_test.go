@@ -1,0 +1,191 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTileDimensions(t *testing.T) {
+	// Section 4.2: "our qubit will have dimensions of (36×147) cells =
+	// 2.11 mm² at 20 µm on each cell side".
+	if TileW != 36 || TileH != 147 {
+		t.Errorf("tile = %dx%d, want 36x147", TileW, TileH)
+	}
+	area := TileAreaMM2()
+	if math.Abs(area-2.11) > 0.01 {
+		t.Errorf("tile area = %.3f mm², paper says 2.11", area)
+	}
+}
+
+func TestPitchMatchesTable2AreaModel(t *testing.T) {
+	// Table 2: area = Q · pitch · (20µm)²; N=2048 has Q=602259 and
+	// area 1.80 m².
+	got := 602259 * TilePitchAreaM2()
+	if math.Abs(got-1.80) > 0.01 {
+		t.Errorf("area(N=2048) = %.4f m², Table 2 says 1.80", got)
+	}
+	// N=128: Q=37971 -> 0.11 m².
+	got = 37971 * TilePitchAreaM2()
+	if math.Abs(got-0.11) > 0.005 {
+		t.Errorf("area(N=128) = %.4f m², Table 2 says 0.11", got)
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	// Three level-1 blocks across a tile, seven rows of them; the block
+	// width is the inter-block distance r = 12 of Equation 2.
+	if BlockW*3 != TileW || BlockH*7 != TileH {
+		t.Errorf("block %dx%d does not tile the %dx%d qubit", BlockW, BlockH, TileW, TileH)
+	}
+	if InterBlockCells != 12 {
+		t.Errorf("r = %d cells, paper says 12", InterBlockCells)
+	}
+}
+
+func TestFloorplanShape(t *testing.T) {
+	f, err := NewFloorplan(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grid compensates the 3.4:1 tile aspect: more columns than rows.
+	if f.Cols <= f.Rows {
+		t.Errorf("floorplan(100) = %dx%d; expected cols > rows for tall tiles", f.Cols, f.Rows)
+	}
+	if f.Cols*f.Rows < f.Q {
+		t.Error("floorplan too small for its qubits")
+	}
+	f, _ = NewFloorplan(101)
+	if f.Cols*f.Rows < 101 {
+		t.Error("floorplan(101) cannot hold 101 qubits")
+	}
+	if _, err := NewFloorplan(0); err == nil {
+		t.Error("NewFloorplan(0) should fail")
+	}
+}
+
+func TestTilePositions(t *testing.T) {
+	f, _ := NewFloorplan(10)
+	c, r := f.TilePosition(0)
+	if c != 0 || r != 0 {
+		t.Errorf("qubit 0 at (%d,%d)", c, r)
+	}
+	c, r = f.TilePosition(f.Cols + 1)
+	if c != 1 || r != 1 {
+		t.Errorf("qubit cols+1 at (%d,%d), want (1,1)", c, r)
+	}
+	// Distances are symmetric and satisfy the triangle inequality shape.
+	d01 := f.DistanceCells(0, 1)
+	if d01 != PitchX {
+		t.Errorf("adjacent-qubit distance = %d, want pitch %d", d01, PitchX)
+	}
+	if f.DistanceCells(3, 7) != f.DistanceCells(7, 3) {
+		t.Error("distance not symmetric")
+	}
+	if f.DistanceCells(2, 2) != 0 {
+		t.Error("self distance not zero")
+	}
+}
+
+func TestShor1024CommunicationSpan(t *testing.T) {
+	// Section 4.2: "to factor a 1024-bit number we may need to
+	// communicate over a distance as large as 60 centimeters". The chip
+	// is ≈0.9 m² (edge ≈95 cm), so worst-case spans are tens of cm.
+	f, _ := NewFloorplan(301251)
+	spanCM := float64(f.MaxDistanceCells()) * CellUM * 1e-4
+	if spanCM < 60 || spanCM > 250 {
+		t.Errorf("Shor-1024 max span = %.1f cm, expected tens-of-cm scale (paper: ≥60 cm occurs)", spanCM)
+	}
+	// The chip itself should be near-square with edge ≈ sqrt(0.90) m.
+	wCM := float64(f.WidthCells()) * CellUM * 1e-4
+	hCM := float64(f.HeightCells()) * CellUM * 1e-4
+	if ratio := wCM / hCM; ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("chip aspect ratio %.2f (%.0fx%.0f cm), want near-square", ratio, wCM, hCM)
+	}
+}
+
+func TestHundredQubitsPerP4(t *testing.T) {
+	// Section 4.2: "we can fit 100 logical qubits per 90nm-technology
+	// Pentium IV processor" — a P4 die is ≈2 cm²; 100 tiles ≈ 2.1 cm².
+	tiles := 100.0 * TileAreaMM2() // mm²
+	if tiles < 150 || tiles > 250 {
+		t.Errorf("100 qubits occupy %.0f mm², expected ≈211 (P4-die scale)", tiles)
+	}
+}
+
+func TestIslands(t *testing.T) {
+	f, _ := NewFloorplan(16) // 4x4 tiles
+	isl := f.Islands(IslandSpacingShort)
+	if len(isl) == 0 {
+		t.Fatal("no islands placed")
+	}
+	// One island row per tile row.
+	rows := map[int]bool{}
+	for _, is := range isl {
+		rows[is.Y] = true
+	}
+	if len(rows) != f.Rows {
+		t.Errorf("%d island rows, want %d (one per tile row)", len(rows), f.Rows)
+	}
+	// Spacing along x is honored.
+	var xs []int
+	for _, is := range isl {
+		if is.Y == PitchY/2 {
+			xs = append(xs, is.X)
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i]-xs[i-1] != IslandSpacingShort {
+			t.Errorf("island spacing %d, want %d", xs[i]-xs[i-1], IslandSpacingShort)
+		}
+	}
+	// Wider spacing places fewer islands.
+	if len(f.Islands(IslandSpacingLong)) >= len(isl) {
+		t.Error("350-cell spacing should use fewer islands than 100-cell")
+	}
+}
+
+func TestIslandsPerQubitX(t *testing.T) {
+	// Paper: islands at every ~2-3 qubits for d=100 and every ~7-10 for
+	// d=350 in the x̂ direction.
+	if r := IslandsPerQubitX(IslandSpacingShort); r < 1.5 || r > 3.5 {
+		t.Errorf("d=100 spans %.1f qubits, expected 2-3", r)
+	}
+	if r := IslandsPerQubitX(IslandSpacingLong); r < 6 || r > 10.5 {
+		t.Errorf("d=350 spans %.1f qubits, expected 7-10", r)
+	}
+}
+
+func TestGateMoves(t *testing.T) {
+	intra, inter := IntraBlockGateMove(), InterBlockGateMove()
+	if intra.Cells >= inter.Cells {
+		t.Error("intra-block moves should be shorter than inter-block")
+	}
+	if inter.Corners > MaxTurnsBallistic {
+		t.Errorf("inter-block gate uses %d turns, design allows ≤ %d", inter.Corners, MaxTurnsBallistic)
+	}
+	if inter.Cells != 12 {
+		t.Errorf("inter-block distance = %d, want r = 12", inter.Cells)
+	}
+}
+
+func TestRenderBlock(t *testing.T) {
+	art := RenderBlock()
+	lines := strings.Split(art, "\n")
+	if len(lines) < 10 {
+		t.Errorf("block sketch only %d lines", len(lines))
+	}
+	if strings.Count(art, "o") != 7 {
+		t.Errorf("block sketch shows %d data ions, want 7", strings.Count(art, "o"))
+	}
+	if strings.Count(art, ".") != 7 {
+		t.Errorf("block sketch shows %d cooling ions, want 7", strings.Count(art, "."))
+	}
+}
+
+func TestAreaEdge(t *testing.T) {
+	f, _ := NewFloorplan(37971) // Shor-128
+	if e := f.EdgeCM(); e < 25 || e > 45 {
+		t.Errorf("Shor-128 chip edge = %.1f cm, paper says ≈33 cm", e)
+	}
+}

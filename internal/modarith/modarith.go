@@ -1,0 +1,337 @@
+// Package modarith builds verified modular-arithmetic circuits from the
+// adders in internal/adder — the layer between plain addition and the
+// modular exponentiation that dominates Shor's algorithm (Section 5 of
+// the QLA paper: "modular exponentiation consists of modular
+// multiplication, which itself can be divided into additions").
+//
+// The construction is the classical Vedral–Barenco–Ekert modular adder:
+//
+//	b := (a + b) mod M        for a, b < M < 2^n
+//
+// implemented as four adder passes — add a, subtract M, conditionally
+// add M back, and a compare pass that uncomputes the condition flag —
+// plus constant loading of M by NOT gates and conditional loading
+// through CNOT fanout. Every ancilla is returned to zero, which the
+// executor checks on every run.
+//
+// The adder subroutine is pluggable (ripple or carry-lookahead), so the
+// package also quantifies how the paper's QCLA choice propagates
+// through modular arithmetic: the modular adder's Toffoli depth is
+// essentially four adder depths, which is what the Van Meter–Itoh
+// latency model multiplies by the number of additions per
+// multiplication.
+package modarith
+
+import (
+	"fmt"
+
+	"qla/internal/adder"
+	"qla/internal/revcirc"
+)
+
+// AdderKind selects the addition subroutine.
+type AdderKind int
+
+const (
+	// Ripple uses the Cuccaro linear-depth adder.
+	Ripple AdderKind = iota
+	// CLA uses the DKRS carry-lookahead adder.
+	CLA
+)
+
+// String names the adder kind.
+func (k AdderKind) String() string {
+	if k == CLA {
+		return "CLA"
+	}
+	return "Ripple"
+}
+
+// Layout names the wires of the modular adder circuit.
+type Layout struct {
+	// N is the operand width; operands must be < M < 2^n.
+	N int
+	// M is the modulus baked into the circuit.
+	M uint64
+	// A and B are the operand registers; after execution B holds
+	// (a+b) mod M and A is preserved.
+	A, B []int
+	// Anc lists every ancilla wire; all are restored to zero.
+	Anc []int
+	// Width is the total wire count.
+	Width int
+}
+
+// Pack builds the input word for operands a, b.
+func (l Layout) Pack(a, b uint64) uint64 {
+	if a >= l.M || b >= l.M {
+		panic(fmt.Sprintf("modarith: operands must be below M=%d", l.M))
+	}
+	var x uint64
+	for i := 0; i < l.N; i++ {
+		x |= (a >> uint(i) & 1) << uint(l.A[i])
+		x |= (b >> uint(i) & 1) << uint(l.B[i])
+	}
+	return x
+}
+
+// Unpack extracts (aOut, result) and whether ancilla are clean.
+func (l Layout) Unpack(x uint64) (aOut, result uint64, clean bool) {
+	for i := 0; i < l.N; i++ {
+		aOut |= (x >> uint(l.A[i]) & 1) << uint(i)
+		result |= (x >> uint(l.B[i]) & 1) << uint(i)
+	}
+	clean = true
+	for _, w := range l.Anc {
+		if x>>uint(w)&1 == 1 {
+			clean = false
+		}
+	}
+	return aOut, result, clean
+}
+
+// builder assembles the modular adder.
+type builder struct {
+	c   *revcirc.Circuit
+	lay Layout
+
+	// Sub-adder wires, all width n+1 (the sum a+b needs one extra bit).
+	cin  int   // shared ripple carry-in, always returned to 0
+	ext  []int // b extended by the high bit: ext = B ++ [hi]
+	hi   int   // the (n+1)-th bit of the running sum
+	mreg []int // n+1 wires holding the constant M (loaded by X gates)
+	lreg []int // n+1 wires for the conditional M load
+	t    int   // "sum < M" flag from the subtraction borrow
+	w    int   // scratch borrow bit for the final compare pass
+
+	// scratch is the shared internal-ancilla region for sub-adders;
+	// every pass restores it to zero, so passes can reuse it.
+	scratch []int
+
+	kind AdderKind
+
+	// n+1-wide adder template and its layout, built once.
+	add    *revcirc.Circuit
+	addLay adder.Layout
+	// n-wide adder for the compare pass.
+	cmp    *revcirc.Circuit
+	cmpLay adder.Layout
+}
+
+// ModAdd builds the modular adder circuit for modulus M at width n
+// using the selected adder subroutine. Requirements: 2 ≤ M ≤ 2^n - 1
+// (so operands and results fit in n bits), n ≤ 20 with the ripple
+// subroutine to stay within the 64-wire packed executor (wider circuits
+// run through Run/AddWide).
+func ModAdd(n int, m uint64, kind AdderKind) (*revcirc.Circuit, Layout) {
+	if n <= 0 || n > 62 {
+		panic(fmt.Sprintf("modarith: width %d out of range", n))
+	}
+	if m < 2 || m > (uint64(1)<<uint(n))-1 {
+		panic(fmt.Sprintf("modarith: modulus %d not in [2, 2^%d)", m, n))
+	}
+	b := &builder{kind: kind}
+	b.plan(n, m)
+	b.emit()
+	return b.c, b.lay
+}
+
+func (b *builder) newAdder(width int) (*revcirc.Circuit, adder.Layout) {
+	if b.kind == CLA {
+		return adder.CLA(width)
+	}
+	return adder.Ripple(width)
+}
+
+func (b *builder) plan(n int, m uint64) {
+	lay := Layout{N: n, M: m, A: make([]int, n), B: make([]int, n)}
+	next := 0
+	alloc := func(k int) []int {
+		out := make([]int, k)
+		for i := range out {
+			out[i] = next
+			next++
+		}
+		return out
+	}
+	b.cin = alloc(1)[0]
+	copy(lay.A, alloc(n))
+	copy(lay.B, alloc(n))
+	b.hi = alloc(1)[0]
+	b.mreg = alloc(n + 1)
+	b.lreg = alloc(n + 1)
+	b.t = alloc(1)[0]
+	b.w = alloc(1)[0]
+
+	// Sub-adder templates. The width-(n+1) adder drives the main
+	// passes; the width-n adder drives the final compare.
+	b.add, b.addLay = b.newAdder(n + 1)
+	b.cmp, b.cmpLay = b.newAdder(n)
+
+	// Sub-adders bring their own internal ancilla; reserve a shared
+	// scratch region big enough for the larger template and reuse it
+	// for every pass (each pass restores it to zero).
+	extra := b.add.N() - (2*(n+1) + 2) // beyond cin/a/b/cout
+	if b.kind == CLA {
+		extra = b.add.N() - (2*(n+1) + 1) // CLA has no cin
+	}
+	if extra < 0 {
+		extra = 0
+	}
+	scratch := alloc(extra)
+
+	b.ext = append(append([]int{}, lay.B...), b.hi)
+	b.lay = lay
+	b.lay.Width = next
+	b.lay.Anc = append([]int{b.cin, b.hi}, b.mreg...)
+	b.lay.Anc = append(b.lay.Anc, b.lreg...)
+	b.lay.Anc = append(b.lay.Anc, b.t, b.w)
+	b.lay.Anc = append(b.lay.Anc, scratch...)
+	b.scratch = scratch
+	b.c = revcirc.New(b.lay.Width)
+}
+
+// mapping builds the wire map embedding a sub-adder with the given
+// operand registers (x into y) and carry-out wire.
+func (b *builder) mapping(sub adder.Layout, x, y []int, cout int) []int {
+	mp := make([]int, 0, sub.Width)
+	used := make(map[int]int) // sub wire -> big wire
+	assign := func(subWire, bigWire int) {
+		used[subWire] = bigWire
+	}
+	if sub.Cin >= 0 {
+		assign(sub.Cin, b.cin)
+	}
+	for i, w := range sub.A {
+		assign(w, x[i])
+	}
+	for i, w := range sub.B {
+		assign(w, y[i])
+	}
+	assign(sub.Cout, cout)
+	si := 0
+	for _, w := range sub.Anc {
+		assign(w, b.scratch[si])
+		si++
+	}
+	for i := 0; i < sub.Width; i++ {
+		bw, ok := used[i]
+		if !ok {
+			panic(fmt.Sprintf("modarith: sub-adder wire %d unassigned", i))
+		}
+		mp = append(mp, bw)
+	}
+	return mp
+}
+
+func (b *builder) emit() {
+	n, m := b.lay.N, b.lay.M
+	c := b.c
+
+	// Load the constant M into mreg (high bit of the n+1-bit M is 0
+	// because M < 2^n).
+	for i := 0; i < n; i++ {
+		if m>>uint(i)&1 == 1 {
+			c.X(b.mreg[i])
+		}
+	}
+
+	// Pass 1 — (hi, b) := a + b: a width-n addition whose carry-out
+	// lands on the extension bit, making ext = b ++ [hi] the full
+	// (n+1)-bit sum V = a + b < 2M.
+	c.AppendMapped(b.cmp, b.mapping(b.cmpLay, b.lay.A, b.lay.B, b.hi))
+
+	// Pass 2 — (ext) -= M over n+1 bits; borrow lands on t.
+	c.AppendMapped(b.add.Inverse(), b.mapping(b.addLay, b.mreg, b.ext, b.t))
+
+	// Pass 3 — conditionally add M back: load M into lreg when t=1,
+	// add lreg into ext, unload. The carry of this addition equals t,
+	// so one CNOT clears the carry target (we reuse w, then clear it).
+	for i := 0; i < n; i++ {
+		if m>>uint(i)&1 == 1 {
+			c.CNOT(b.t, b.lreg[i])
+		}
+	}
+	c.AppendMapped(b.add, b.mapping(b.addLay, b.lreg, b.ext, b.w))
+	c.CNOT(b.t, b.w)
+	for i := 0; i < n; i++ {
+		if m>>uint(i)&1 == 1 {
+			c.CNOT(b.t, b.lreg[i])
+		}
+	}
+
+	// Pass 4 — uncompute t: t=1 iff result >= a iff NOT borrow(b - a).
+	// Subtract a (width n, borrow onto w), flip, absorb into t, restore.
+	c.AppendMapped(b.cmp.Inverse(), b.mapping(b.cmpLay, b.lay.A, b.lay.B, b.w))
+	c.X(b.w)
+	c.CNOT(b.w, b.t)
+	c.X(b.w)
+	c.AppendMapped(b.cmp, b.mapping(b.cmpLay, b.lay.A, b.lay.B, b.w))
+
+	// Unload the constant M.
+	for i := 0; i < n; i++ {
+		if m>>uint(i)&1 == 1 {
+			c.X(b.mreg[i])
+		}
+	}
+}
+
+// Add executes the modular adder on (a, b) and returns (a+b) mod M,
+// panicking if the circuit corrupted a, an ancilla, or the flag — the
+// tests rely on this self-check.
+func Add(c *revcirc.Circuit, lay Layout, a, b uint64) uint64 {
+	var out uint64
+	if c.N() <= 64 {
+		out = c.RunUint(lay.Pack(a, b))
+	} else {
+		bits := make([]bool, c.N())
+		for i := 0; i < lay.N; i++ {
+			bits[lay.A[i]] = a>>uint(i)&1 == 1
+			bits[lay.B[i]] = b>>uint(i)&1 == 1
+		}
+		res := c.Run(bits)
+		for i, v := range res {
+			if v {
+				out |= 1 << uint(i)
+			}
+		}
+	}
+	aOut, r, clean := lay.Unpack(out)
+	if aOut != a || !clean {
+		panic(fmt.Sprintf("modarith: corrupted state a=%d aOut=%d clean=%v", a, aOut, clean))
+	}
+	return r
+}
+
+// Metrics reports the cost of a modular adder — roughly four plain
+// adder passes, the structural fact behind the Van Meter–Itoh counting
+// of modular multiplication as a sequence of additions.
+type Metrics struct {
+	N            int
+	M            uint64
+	Kind         AdderKind
+	Width        int
+	Counts       revcirc.Counts
+	ToffoliDepth int
+	// AdderDepth is the Toffoli depth of one plain adder pass at the
+	// same width, for the ratio ToffoliDepth/AdderDepth ≈ 4.
+	AdderDepth int
+}
+
+// Measure builds and measures a modular adder.
+func Measure(n int, m uint64, kind AdderKind) Metrics {
+	c, lay := ModAdd(n, m, kind)
+	var one adder.Metrics
+	if kind == CLA {
+		one = adder.MeasureCLA(n + 1)
+	} else {
+		one = adder.MeasureRipple(n + 1)
+	}
+	return Metrics{
+		N: n, M: m, Kind: kind,
+		Width:        lay.Width,
+		Counts:       c.Counts(),
+		ToffoliDepth: c.ToffoliDepth(),
+		AdderDepth:   one.ToffoliDepth,
+	}
+}

@@ -1,0 +1,159 @@
+package modarith
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+var kinds = []AdderKind{Ripple, CLA}
+
+// TestExhaustiveSmallModuli checks every (M, a, b) combination at small
+// widths against integer modular addition, for both adder subroutines.
+// Add panics if the circuit corrupts a or any ancilla, so operand
+// preservation and ancilla restoration are covered implicitly.
+func TestExhaustiveSmallModuli(t *testing.T) {
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			for n := 2; n <= 4; n++ {
+				for m := uint64(2); m < 1<<uint(n); m++ {
+					c, lay := ModAdd(n, m, kind)
+					for a := uint64(0); a < m; a++ {
+						for b := uint64(0); b < m; b++ {
+							got := Add(c, lay, a, b)
+							want := (a + b) % m
+							if got != want {
+								t.Fatalf("n=%d M=%d: %d+%d = %d, want %d", n, m, a, b, got, want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRandomWideModuli spot-checks wider circuits, including widths
+// that exceed the 64-wire packed executor.
+func TestRandomWideModuli(t *testing.T) {
+	r := rand.New(rand.NewPCG(97, 101))
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, n := range []int{8, 12, 16} {
+				mask := uint64(1)<<uint(n) - 1
+				for rep := 0; rep < 4; rep++ {
+					m := 2 + r.Uint64()%(mask-2)
+					c, lay := ModAdd(n, m, kind)
+					for trial := 0; trial < 40; trial++ {
+						a := r.Uint64() % m
+						b := r.Uint64() % m
+						if got, want := Add(c, lay, a, b), (a+b)%m; got != want {
+							t.Fatalf("n=%d M=%d: %d+%d = %d, want %d", n, m, a, b, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPowerOfTwoBoundary exercises M just below the register capacity,
+// where the intermediate sum uses the extension bit heavily.
+func TestPowerOfTwoBoundary(t *testing.T) {
+	n := 6
+	m := uint64(1)<<uint(n) - 1 // 63
+	c, lay := ModAdd(n, m, Ripple)
+	for _, pair := range [][2]uint64{{62, 62}, {62, 1}, {0, 62}, {31, 32}, {0, 0}} {
+		got := Add(c, lay, pair[0], pair[1])
+		want := (pair[0] + pair[1]) % m
+		if got != want {
+			t.Fatalf("%d+%d mod %d = %d, want %d", pair[0], pair[1], m, got, want)
+		}
+	}
+}
+
+// TestMetricsFourAdderPasses pins the structural cost: the modular
+// adder is four adder passes plus constant overhead, so its Toffoli
+// depth sits near 4x one adder's.
+func TestMetricsFourAdderPasses(t *testing.T) {
+	for _, kind := range kinds {
+		mt := Measure(12, 3677, kind)
+		ratio := float64(mt.ToffoliDepth) / float64(mt.AdderDepth)
+		if ratio < 2.5 || ratio > 5.5 {
+			t.Fatalf("%v: depth ratio %.2f outside [2.5, 5.5] (want ~4 passes)", kind, ratio)
+		}
+	}
+}
+
+// TestCLAShallowerThanRipple: the adder choice propagates — the
+// lookahead-based modular adder has the shorter critical path at Shor
+// widths.
+func TestCLAShallowerThanRipple(t *testing.T) {
+	rip := Measure(16, 40961, Ripple)
+	cla := Measure(16, 40961, CLA)
+	if cla.ToffoliDepth >= rip.ToffoliDepth {
+		t.Fatalf("CLA modular adder depth %d not below ripple %d", cla.ToffoliDepth, rip.ToffoliDepth)
+	}
+	if cla.Width <= rip.Width {
+		t.Fatalf("CLA should pay qubits: %d vs %d", cla.Width, rip.Width)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { ModAdd(0, 3, Ripple) },
+		func() { ModAdd(4, 1, Ripple) },  // modulus too small
+		func() { ModAdd(4, 16, Ripple) }, // modulus needs 5 bits
+		func() {
+			_, lay := ModAdd(4, 11, Ripple)
+			lay.Pack(11, 0) // operand not reduced
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestQuickLikeSweep drives many random (M, a, b) triples through one
+// mid-sized circuit per kind, as a randomized regression net.
+func TestQuickLikeSweep(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 13))
+	for _, kind := range kinds {
+		n := 10
+		m := uint64(997) // prime near 2^10
+		c, lay := ModAdd(n, m, kind)
+		for trial := 0; trial < 300; trial++ {
+			a := r.Uint64() % m
+			b := r.Uint64() % m
+			if got, want := Add(c, lay, a, b), (a+b)%m; got != want {
+				t.Fatalf("%v: %d+%d mod %d = %d, want %d", kind, a, b, m, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkBuildModAdd16(b *testing.B) {
+	for _, kind := range kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ModAdd(16, 40961, kind)
+			}
+		})
+	}
+}
+
+func BenchmarkModAdd12(b *testing.B) {
+	c, lay := ModAdd(12, 3677, Ripple)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(c, lay, uint64(i)%3677, uint64(i*7)%3677)
+	}
+}

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the greedy scheduler never over-subscribes any channel lane,
+// every scheduled path is a connected grid walk with the right endpoints,
+// and scheduled+failed accounts for every request.
+func TestQuickSchedulerSoundness(t *testing.T) {
+	f := func(seed uint64, wRaw, hRaw, reqRaw, bRaw uint8) bool {
+		w := 4 + int(wRaw%12)
+		h := 4 + int(hRaw%12)
+		b := 1 + int(bRaw%3)
+		nReq := 1 + int(reqRaw)%80
+		r := rand.New(rand.NewPCG(seed, seed^1))
+		var reqs []Request
+		for i := 0; i < nReq; i++ {
+			reqs = append(reqs, Request{
+				ID:  i,
+				Src: Node{r.IntN(w), r.IntN(h)},
+				Dst: Node{r.IntN(w), r.IntN(h)},
+			})
+		}
+		net, err := New(w, h, b)
+		if err != nil {
+			return false
+		}
+		res := net.ScheduleGreedy(reqs)
+		if len(res.Scheduled)+len(res.Failed) != nReq {
+			return false
+		}
+		// Rebuild lane usage from the reported paths and compare against
+		// capacity.
+		used := map[[2]Node]int{}
+		for _, sp := range res.Scheduled {
+			p := sp.Path
+			if len(p) == 0 {
+				return false
+			}
+			if p[0] != sp.Request.Src {
+				return false
+			}
+			last := p[len(p)-1]
+			okDst := last == sp.Request.Dst
+			for _, alt := range sp.Request.AltDst {
+				if last == alt {
+					okDst = true
+				}
+			}
+			if !okDst {
+				return false
+			}
+			for i := 1; i < len(p); i++ {
+				dx := p[i].X - p[i-1].X
+				dy := p[i].Y - p[i-1].Y
+				if dx*dx+dy*dy != 1 {
+					return false // not a grid step
+				}
+				used[[2]Node{p[i-1], p[i]}]++
+			}
+		}
+		for _, v := range used {
+			if v > b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: utilization is always in [0,1] and grows monotonically as
+// requests are added one at a time.
+func TestQuickUtilizationBounds(t *testing.T) {
+	f := func(seed uint64, reqRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^2))
+		net, err := New(8, 8, 2)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for i := 0; i < 1+int(reqRaw)%30; i++ {
+			net.ScheduleGreedy([]Request{{
+				ID:  i,
+				Src: Node{r.IntN(8), r.IntN(8)},
+				Dst: Node{r.IntN(8), r.IntN(8)},
+			}})
+			u := net.Utilization()
+			if u < prev || u < 0 || u > 1 {
+				return false
+			}
+			prev = u
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package noise implements the stochastic error models of the QLA study:
+// depolarizing errors after every physical operation with the per-class
+// probabilities of Table 1 (or sweep parameters), movement errors per cell,
+// measurement readout flips and idle (memory) errors.
+//
+// Errors are injected into a pauliframe.Frame; the same model also drives
+// the full tableau backend through sampled Pauli strings.
+package noise
+
+import (
+	"math/rand/v2"
+
+	"qla/internal/circuit"
+	"qla/internal/iontrap"
+	"qla/internal/pauliframe"
+)
+
+// Model samples errors according to a technology parameter set.
+type Model struct {
+	P   iontrap.Params
+	Rng *rand.Rand
+
+	// Injected counts by op class, for diagnostics and tests.
+	Injected [iontrap.NumOpClasses]int64
+
+	// Deterministic fault injection for fault-tolerance verification:
+	// when ForceEnabled, every site samples no error except the site
+	// whose sequence number equals ForceSite, which injects the
+	// class-specific error variant indexed by ForceChoice. Sites are
+	// numbered in execution order from zero (see Sites()).
+	ForceEnabled bool
+	ForceSite    int64
+	ForceChoice  int
+
+	siteCounter int64
+}
+
+// NewModel returns a model over params p with a deterministic seed.
+func NewModel(p iontrap.Params, seed uint64) *Model {
+	return &Model{P: p, Rng: rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5deadbeef))}
+}
+
+// Sites returns the number of potential error sites visited so far.
+func (m *Model) Sites() int64 { return m.siteCounter }
+
+// site implements one potential error site with nChoices distinct error
+// variants: it reports whether to inject and which variant.
+func (m *Model) site(p float64, nChoices int) (bool, int) {
+	idx := m.siteCounter
+	m.siteCounter++
+	if m.ForceEnabled {
+		if idx == m.ForceSite {
+			return true, m.ForceChoice % nChoices
+		}
+		return false, 0
+	}
+	if !m.Flip(p) {
+		return false, 0
+	}
+	if nChoices <= 1 {
+		return true, 0
+	}
+	return true, m.Rng.IntN(nChoices)
+}
+
+// Flip returns true with probability p.
+func (m *Model) Flip(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return m.Rng.Float64() < p
+}
+
+// Depolarize1 injects a uniformly random non-identity Pauli on q with
+// probability p.
+func (m *Model) Depolarize1(f *pauliframe.Frame, q int, p float64) bool {
+	hit, k := m.site(p, 3)
+	if !hit {
+		return false
+	}
+	f.Inject(q, k)
+	return true
+}
+
+// Depolarize2 injects a uniformly random non-identity two-qubit Pauli on
+// (a,b) with probability p (one of the 15 non-II pairs).
+func (m *Model) Depolarize2(f *pauliframe.Frame, a, b int, p float64) bool {
+	hit, k := m.site(p, 15)
+	if !hit {
+		return false
+	}
+	k++ // 1..15, base-4 digits (pa, pb), not both I
+	pa, pb := k/4, k%4
+	if pa > 0 {
+		f.Inject(a, pa-1)
+	}
+	if pb > 0 {
+		f.Inject(b, pb-1)
+	}
+	return true
+}
+
+// GateError injects the post-gate error for a 1-qubit gate on q.
+func (m *Model) GateError1(f *pauliframe.Frame, q int) {
+	if m.Depolarize1(f, q, m.P.Fail[iontrap.OpSingle]) {
+		m.Injected[iontrap.OpSingle]++
+	}
+}
+
+// GateError2 injects the post-gate error for a 2-qubit gate on (a,b).
+func (m *Model) GateError2(f *pauliframe.Frame, a, b int) {
+	if m.Depolarize2(f, a, b, m.P.Fail[iontrap.OpDouble]) {
+		m.Injected[iontrap.OpDouble]++
+	}
+}
+
+// PrepError injects a preparation error: the fresh qubit comes up flipped.
+func (m *Model) PrepError(f *pauliframe.Frame, q int) {
+	if hit, _ := m.site(m.P.Fail[iontrap.OpPrep], 1); hit {
+		f.InjectX(q)
+		m.Injected[iontrap.OpPrep]++
+	}
+}
+
+// MeasureFlip samples a readout error: the classical outcome is flipped
+// with the measurement failure probability.
+func (m *Model) MeasureFlip() int {
+	if hit, _ := m.site(m.P.Fail[iontrap.OpMeasure], 1); hit {
+		m.Injected[iontrap.OpMeasure]++
+		return 1
+	}
+	return 0
+}
+
+// MoveError injects the error of shuttling q across cells and corners,
+// composing the per-cell (and per-corner) failure probabilities.
+func (m *Model) MoveError(f *pauliframe.Frame, q, cells, corners int) {
+	p := m.P.MoveFailure(cells, corners)
+	hit, k := m.site(p, 3)
+	if hit {
+		f.Inject(q, k)
+		m.Injected[iontrap.OpMoveCell]++
+	}
+}
+
+// IdleError injects a memory error for one idle slot on q.
+func (m *Model) IdleError(f *pauliframe.Frame, q int) {
+	hit, k := m.site(m.P.Fail[iontrap.OpMemory], 3)
+	if hit {
+		f.Inject(q, k)
+		m.Injected[iontrap.OpMemory]++
+	}
+}
+
+// TotalInjected returns the total number of errors injected so far.
+func (m *Model) TotalInjected() int64 {
+	var t int64
+	for _, v := range m.Injected {
+		t += v
+	}
+	return t
+}
+
+// RunNoisy executes a circuit on a Pauli frame with errors injected after
+// every operation, returning the measurement outcome flips in program
+// order. Gates act on the frame by conjugation; see the pauliframe package
+// for the reference-frame measurement semantics.
+func (m *Model) RunNoisy(c *circuit.Circuit, f *pauliframe.Frame) []int {
+	if f.N() < c.N {
+		panic("noise: frame too small for circuit")
+	}
+	var out []int
+	for _, op := range c.Ops {
+		switch op.Type {
+		case circuit.Prep0, circuit.PrepPlus:
+			f.Reset(op.Q[0])
+			m.PrepError(f, op.Q[0])
+		case circuit.H:
+			f.H(op.Q[0])
+			m.GateError1(f, op.Q[0])
+		case circuit.S:
+			f.S(op.Q[0])
+			m.GateError1(f, op.Q[0])
+		case circuit.Sdg:
+			f.Sdg(op.Q[0])
+			m.GateError1(f, op.Q[0])
+		case circuit.X, circuit.Y, circuit.Z:
+			// Pauli gates commute with the frame up to sign; they only
+			// contribute their error.
+			m.GateError1(f, op.Q[0])
+		case circuit.CNOT:
+			f.CNOT(op.Q[0], op.Q[1])
+			m.GateError2(f, op.Q[0], op.Q[1])
+		case circuit.CZ:
+			f.CZ(op.Q[0], op.Q[1])
+			m.GateError2(f, op.Q[0], op.Q[1])
+		case circuit.SWAP:
+			f.SWAP(op.Q[0], op.Q[1])
+			m.GateError2(f, op.Q[0], op.Q[1])
+		case circuit.MeasureZ:
+			out = append(out, f.MeasureZ(op.Q[0])^m.MeasureFlip())
+		case circuit.MeasureX:
+			out = append(out, f.MeasureX(op.Q[0])^m.MeasureFlip())
+		case circuit.Move:
+			m.MoveError(f, op.Q[0], op.Cells, op.Corners)
+		case circuit.Cool:
+			// Cooling is error-free in Table 1.
+		case circuit.Idle:
+			m.IdleError(f, op.Q[0])
+		}
+	}
+	return out
+}

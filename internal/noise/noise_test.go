@@ -1,0 +1,185 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"qla/internal/circuit"
+	"qla/internal/iontrap"
+	"qla/internal/pauliframe"
+)
+
+func TestFlipProbabilities(t *testing.T) {
+	m := NewModel(iontrap.Expected(), 1)
+	if m.Flip(0) {
+		t.Error("Flip(0) must be false")
+	}
+	if !m.Flip(1) {
+		t.Error("Flip(1) must be true")
+	}
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if m.Flip(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("Flip(0.25) rate = %g", got)
+	}
+}
+
+func TestDepolarize1Distribution(t *testing.T) {
+	m := NewModel(iontrap.Expected(), 2)
+	counts := map[string]int{}
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		f := pauliframe.New(1)
+		m.Depolarize1(f, 0, 1) // always inject
+		counts[f.Pauli().String()]++
+	}
+	for _, k := range []string{"+X", "+Y", "+Z"} {
+		frac := float64(counts[k]) / trials
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("Depolarize1 %s fraction = %g, want 1/3", k, frac)
+		}
+	}
+	if counts["+I"] != 0 {
+		t.Error("Depolarize1 with p=1 should never inject identity")
+	}
+}
+
+func TestDepolarize2Distribution(t *testing.T) {
+	m := NewModel(iontrap.Expected(), 3)
+	counts := map[string]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		f := pauliframe.New(2)
+		m.Depolarize2(f, 0, 1, 1)
+		counts[f.Pauli().String()]++
+	}
+	if counts["+II"] != 0 {
+		t.Fatal("Depolarize2 with p=1 injected identity")
+	}
+	if len(counts) != 15 {
+		t.Fatalf("Depolarize2 produced %d distinct Paulis, want 15", len(counts))
+	}
+	for k, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-1.0/15) > 0.01 {
+			t.Errorf("Depolarize2 %s fraction = %g, want 1/15", k, frac)
+		}
+	}
+}
+
+func TestMoveErrorScalesWithDistance(t *testing.T) {
+	p := iontrap.Expected()
+	p.Fail[iontrap.OpMoveCell] = 1e-3
+	m := NewModel(p, 4)
+	inject := func(cells int) float64 {
+		hits := 0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			f := pauliframe.New(1)
+			m.MoveError(f, 0, cells, 0)
+			if !f.IsClean() {
+				hits++
+			}
+		}
+		return float64(hits) / trials
+	}
+	p10, p100 := inject(10), inject(100)
+	want10 := 1 - math.Pow(1-1e-3, 10)
+	want100 := 1 - math.Pow(1-1e-3, 100)
+	if math.Abs(p10-want10) > 0.01 {
+		t.Errorf("move error over 10 cells = %g, want %g", p10, want10)
+	}
+	if math.Abs(p100-want100) > 0.01 {
+		t.Errorf("move error over 100 cells = %g, want %g", p100, want100)
+	}
+}
+
+func TestRunNoisyCleanParams(t *testing.T) {
+	// With zero error rates the noisy runner must return all-zero flips.
+	p := iontrap.Uniform(0, 0)
+	m := NewModel(p, 5)
+	c := circuit.New(3)
+	c.PrepPlus(0).CNOT(0, 1).H(2).MeasureZ(0).MeasureZ(1).MeasureX(2)
+	f := pauliframe.New(3)
+	out := m.RunNoisy(c, f)
+	for i, b := range out {
+		if b != 0 {
+			t.Errorf("noiseless flip[%d] = %d", i, b)
+		}
+	}
+	if m.TotalInjected() != 0 {
+		t.Errorf("injected %d errors at zero rates", m.TotalInjected())
+	}
+}
+
+func TestRunNoisyDetectsInjection(t *testing.T) {
+	// Drive the 2-qubit gate error to 1: a CNOT then measurement of both
+	// qubits must almost always show a flip somewhere over many trials.
+	p := iontrap.Uniform(0, 0)
+	p.Fail[iontrap.OpDouble] = 1
+	m := NewModel(p, 6)
+	flips := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		c := circuit.New(2)
+		c.CNOT(0, 1).MeasureZ(0).MeasureZ(1)
+		f := pauliframe.New(2)
+		out := m.RunNoisy(c, f)
+		if out[0] != 0 || out[1] != 0 {
+			flips++
+		}
+	}
+	// 8 of the 15 two-qubit Paulis have an X component on at least one
+	// qubit... exactly: pairs (pa,pb) with pa in {X,Y} or pb in {X,Y}.
+	// Count: total 15; those with both in {I,Z}: 3 (IZ, ZI, ZZ). So 12/15.
+	want := 12.0 / 15
+	got := float64(flips) / trials
+	if math.Abs(got-want) > 0.04 {
+		t.Errorf("flip fraction = %g, want %g", got, want)
+	}
+}
+
+func TestMeasurementReadoutError(t *testing.T) {
+	p := iontrap.Uniform(0, 0)
+	p.Fail[iontrap.OpMeasure] = 1
+	m := NewModel(p, 7)
+	c := circuit.New(1)
+	c.MeasureZ(0)
+	f := pauliframe.New(1)
+	out := m.RunNoisy(c, f)
+	if out[0] != 1 {
+		t.Error("readout error at p=1 must flip the outcome")
+	}
+}
+
+func TestIdleError(t *testing.T) {
+	p := iontrap.Uniform(0, 0)
+	p.Fail[iontrap.OpMemory] = 1
+	m := NewModel(p, 8)
+	c := circuit.New(1)
+	c.Idle(0)
+	f := pauliframe.New(1)
+	m.RunNoisy(c, f)
+	if f.IsClean() {
+		t.Error("idle error at p=1 must dirty the frame")
+	}
+}
+
+func TestPrepClearsOldErrors(t *testing.T) {
+	p := iontrap.Uniform(0, 0)
+	m := NewModel(p, 9)
+	c := circuit.New(1)
+	c.Prep0(0).MeasureZ(0)
+	f := pauliframe.New(1)
+	f.InjectX(0) // stale error from previous use
+	out := m.RunNoisy(c, f)
+	if out[0] != 0 {
+		t.Error("Prep0 should discard stale errors")
+	}
+}

@@ -1,0 +1,145 @@
+package qccd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"qla/internal/iontrap"
+)
+
+// Property: on an empty grid the minimum route cost is symmetric —
+// reversing a path preserves cells and corners, so optimal costs match.
+func TestQuickRouteCostSymmetric(t *testing.T) {
+	p := iontrap.Expected()
+	g := TwoBlockGrid(5, 30)
+	s := NewSim(g, p)
+	pass := g.TrapPositions()
+	cost := func(path []Pos, corners int) float64 {
+		return float64(len(path)-1)*p.Time[iontrap.OpMoveCell] +
+			float64(corners)*p.Time[iontrap.OpCorner]
+	}
+	f := func(aRaw, bRaw uint8) bool {
+		a := pass[int(aRaw)%len(pass)]
+		b := pass[int(bRaw)%len(pass)]
+		p1, c1, err1 := s.Route(a, b, -1)
+		p2, c2, err2 := s.Route(b, a, -1)
+		if err1 != nil || err2 != nil {
+			return err1 == err2
+		}
+		return math.Abs(cost(p1, c1)-cost(p2, c2)) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary shuttle sequences preserve the occupancy
+// invariant — no two ions ever share a cell — and the statistics
+// totals equal the sum of per-shuttle results.
+func TestQuickOccupancyInvariant(t *testing.T) {
+	p := iontrap.Expected()
+	f := func(seed uint64, movesRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0xabcd))
+		g := TrapRowGrid(5)
+		s := NewSim(g, p)
+		// Place ions on alternating traps.
+		traps := g.TrapPositions()
+		ids := make([]int, 0, 3)
+		for i := 0; i < len(traps); i += 2 {
+			id, err := s.AddIon(Data, traps[i])
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		var passable []Pos
+		for y := 0; y < g.H(); y++ {
+			for x := 0; x < g.W(); x++ {
+				if g.Passable(x, y) {
+					passable = append(passable, Pos{x, y})
+				}
+			}
+		}
+		moves := 1 + int(movesRaw)%25
+		cells, corners := 0, 0
+		for m := 0; m < moves; m++ {
+			id := ids[r.IntN(len(ids))]
+			dst := passable[r.IntN(len(passable))]
+			res, err := s.Shuttle(id, dst)
+			if err != nil {
+				continue // blocked or occupied: legitimate refusals
+			}
+			cells += res.Cells
+			corners += res.Corners
+		}
+		// Occupancy: every ion on a distinct passable cell.
+		seen := map[Pos]bool{}
+		for _, id := range ids {
+			pos := s.Ion(id).Pos
+			if seen[pos] || !g.Passable(pos.X, pos.Y) {
+				return false
+			}
+			seen[pos] = true
+		}
+		st := s.Stats()
+		return st.Cells == cells && st.Corners == corners
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-ion clocks never decrease, and the makespan equals the
+// maximum clock after any operation sequence.
+func TestQuickClocksMonotone(t *testing.T) {
+	p := iontrap.Expected()
+	f := func(seed uint64, opsRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0x7777))
+		g := TrapRowGrid(4)
+		s := NewSim(g, p)
+		a, err := s.AddIon(Data, Pos{2, 2})
+		if err != nil {
+			return false
+		}
+		c, err := s.AddIon(Cooling, Pos{2, 1})
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		ops := 1 + int(opsRaw)%30
+		for i := 0; i < ops; i++ {
+			switch r.IntN(4) {
+			case 0:
+				x := 2 + 2*r.IntN(3)
+				if _, err := s.Shuttle(a, Pos{x, 2}); err != nil {
+					continue
+				}
+			case 1:
+				if _, err := s.Gate1(a); err != nil {
+					continue
+				}
+			case 2:
+				if _, err := s.Measure(a); err != nil {
+					continue
+				}
+			case 3:
+				if _, err := s.Cool(a, c); err != nil {
+					continue
+				}
+			}
+			now := s.Clock(a)
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		m := s.Makespan()
+		return m >= s.Clock(a) && m >= s.Clock(c) &&
+			(m == s.Clock(a) || m == s.Clock(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package qft builds the quantum Fourier transform circuits that close
+// Shor's algorithm (Section 5: "A second part is the quantum Fourier
+// transform (QFT), which finds the period of f(x) from the results
+// previously computed").
+//
+// The QFT's controlled-phase rotations are outside the Clifford group,
+// so ARQ's stabilizer backend cannot execute them — that is exactly why
+// the paper (and internal/shor) charge the QFT analytically as a banded
+// (approximate) transform of depth 2N·(log2(2N)+2) EC steps. This
+// package makes that charge inspectable: it generates the exact and
+// banded QFT gate lists, measures their size and ASAP depth, bounds the
+// banding error, and verifies the constructions against the DFT matrix
+// on a small dense statevector backend (exponential, used only at
+// verification widths).
+package qft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Kind enumerates QFT circuit gates.
+type Kind int
+
+const (
+	// Hadamard on Q0.
+	Hadamard Kind = iota
+	// CPhase applies diag(1,1,1,e^{2πi/2^K}) to (Q0=control, Q1=target).
+	CPhase
+	// Swap exchanges Q0 and Q1 (the final bit-reversal).
+	Swap
+)
+
+// Gate is one QFT circuit element.
+type Gate struct {
+	Kind   Kind
+	Q0, Q1 int
+	// K is the rotation order for CPhase: phase 2π/2^K.
+	K int
+}
+
+// Circuit is a QFT gate list over n qubits. Wire 0 holds the most
+// significant input bit.
+type Circuit struct {
+	N     int
+	Gates []Gate
+	// Band is the rotation cutoff (0 = exact): rotations of order
+	// beyond Band are omitted.
+	Band int
+}
+
+// Exact builds the textbook QFT: for each wire a Hadamard followed by
+// controlled rotations from every lower-significance wire, then the
+// bit-reversal swaps.
+func Exact(n int) *Circuit { return Banded(n, 0) }
+
+// Banded builds the approximate QFT that drops rotations of order
+// greater than band (band 0 means exact). Coppersmith's bound puts the
+// operator error at O(n·2^{-band}), which is why logarithmic bands
+// suffice — the assumption behind the paper's QFT cost model.
+func Banded(n, band int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("qft: non-positive width %d", n))
+	}
+	if band < 0 {
+		panic(fmt.Sprintf("qft: negative band %d", band))
+	}
+	c := &Circuit{N: n, Band: band}
+	for i := 0; i < n; i++ {
+		c.Gates = append(c.Gates, Gate{Kind: Hadamard, Q0: i})
+		for j := i + 1; j < n; j++ {
+			k := j - i + 1
+			if band > 0 && k > band {
+				break
+			}
+			c.Gates = append(c.Gates, Gate{Kind: CPhase, Q0: j, Q1: i, K: k})
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		c.Gates = append(c.Gates, Gate{Kind: Swap, Q0: i, Q1: n - 1 - i})
+	}
+	return c
+}
+
+// Counts tallies the circuit by gate kind.
+type Counts struct {
+	Hadamard, CPhase, Swap int
+}
+
+// Total returns the total gate count.
+func (k Counts) Total() int { return k.Hadamard + k.CPhase + k.Swap }
+
+// Counts tallies the gate list.
+func (c *Circuit) Counts() Counts {
+	var k Counts
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case Hadamard:
+			k.Hadamard++
+		case CPhase:
+			k.CPhase++
+		default:
+			k.Swap++
+		}
+	}
+	return k
+}
+
+// Depth returns the ASAP depth counting every gate as one time step —
+// the unit the paper's EC-step QFT charge uses (each logical gate costs
+// one error-correction step).
+func (c *Circuit) Depth() int {
+	avail := make([]int, c.N)
+	max := 0
+	for _, g := range c.Gates {
+		start := avail[g.Q0]
+		two := g.Kind != Hadamard
+		if two && avail[g.Q1] > start {
+			start = avail[g.Q1]
+		}
+		end := start + 1
+		avail[g.Q0] = end
+		if two {
+			avail[g.Q1] = end
+		}
+		if end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// --- dense verification backend ------------------------------------------
+
+// maxVerifyWidth bounds the exponential statevector verifier.
+const maxVerifyWidth = 12
+
+// Run applies the circuit to basis state |x⟩ and returns the output
+// amplitudes (wire 0 = most significant bit). Verification widths only.
+func (c *Circuit) Run(x uint64) []complex128 {
+	if c.N > maxVerifyWidth {
+		panic(fmt.Sprintf("qft: width %d beyond the dense verifier's limit %d", c.N, maxVerifyWidth))
+	}
+	dim := 1 << uint(c.N)
+	state := make([]complex128, dim)
+	state[x] = 1
+	bit := func(idx uint64, q int) uint64 {
+		// Wire 0 is the most significant bit of the index.
+		return idx >> uint(c.N-1-q) & 1
+	}
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case Hadamard:
+			inv := complex(1/math.Sqrt2, 0)
+			next := make([]complex128, dim)
+			for idx := uint64(0); idx < uint64(dim); idx++ {
+				if state[idx] == 0 {
+					continue
+				}
+				flip := idx ^ (1 << uint(c.N-1-g.Q0))
+				if bit(idx, g.Q0) == 0 {
+					next[idx] += inv * state[idx]
+					next[flip] += inv * state[idx]
+				} else {
+					next[flip] += inv * state[idx]
+					next[idx] -= inv * state[idx]
+				}
+			}
+			state = next
+		case CPhase:
+			phase := cmplx.Exp(complex(0, 2*math.Pi/math.Pow(2, float64(g.K))))
+			for idx := uint64(0); idx < uint64(dim); idx++ {
+				if bit(idx, g.Q0) == 1 && bit(idx, g.Q1) == 1 {
+					state[idx] *= phase
+				}
+			}
+		case Swap:
+			next := make([]complex128, dim)
+			for idx := uint64(0); idx < uint64(dim); idx++ {
+				b0, b1 := bit(idx, g.Q0), bit(idx, g.Q1)
+				to := idx
+				if b0 != b1 {
+					to = idx ^ (1 << uint(c.N-1-g.Q0)) ^ (1 << uint(c.N-1-g.Q1))
+				}
+				next[to] = state[idx]
+			}
+			state = next
+		}
+	}
+	return state
+}
+
+// Reference returns the exact DFT amplitudes for basis input |x⟩:
+// amplitude(y) = e^{2πi·x·y/2^n} / √(2^n).
+func Reference(n int, x uint64) []complex128 {
+	dim := 1 << uint(n)
+	out := make([]complex128, dim)
+	norm := complex(1/math.Sqrt(float64(dim)), 0)
+	for y := uint64(0); y < uint64(dim); y++ {
+		angle := 2 * math.Pi * float64(x) * float64(y) / float64(dim)
+		out[y] = norm * cmplx.Exp(complex(0, angle))
+	}
+	return out
+}
+
+// MaxBasisError returns the largest L2 distance between the circuit's
+// output and the exact DFT over every basis input — zero (to numerical
+// precision) for the exact circuit, O(n·2^{-band}) for banded ones.
+func (c *Circuit) MaxBasisError() float64 {
+	worst := 0.0
+	for x := uint64(0); x < 1<<uint(c.N); x++ {
+		got := c.Run(x)
+		want := Reference(c.N, x)
+		sum := 0.0
+		for i := range got {
+			d := got[i] - want[i]
+			sum += real(d)*real(d) + imag(d)*imag(d)
+		}
+		if e := math.Sqrt(sum); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// PaperBand is the banding the paper's EC-step model assumes for the
+// final QFT on a 2n-bit register: log2(2n)+2.
+func PaperBand(nModulus int) int {
+	b := 2
+	for 1<<uint(b-2) < 2*nModulus {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package qft
+
+import (
+	"math"
+	"testing"
+
+	"qla/internal/shor"
+)
+
+// TestExactMatchesDFT verifies the exact QFT circuit against the DFT
+// matrix on every basis state for widths 1..6.
+func TestExactMatchesDFT(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		c := Exact(n)
+		if err := c.MaxBasisError(); err > 1e-12 {
+			t.Fatalf("n=%d: exact QFT error %g", n, err)
+		}
+	}
+}
+
+// TestBandedErrorShrinksWithBand: Coppersmith's bound — widening the
+// band reduces the approximation error toward zero.
+func TestBandedErrorShrinksWithBand(t *testing.T) {
+	n := 6
+	prev := math.Inf(1)
+	for band := 2; band <= n+1; band++ {
+		e := Banded(n, band).MaxBasisError()
+		if e > prev+1e-12 {
+			t.Fatalf("band %d: error %g grew from %g", band, e, prev)
+		}
+		prev = e
+	}
+	// Full band equals exact.
+	if e := Banded(n, n+1).MaxBasisError(); e > 1e-12 {
+		t.Fatalf("full band not exact: %g", e)
+	}
+	// A log-width band is already accurate to a few percent.
+	if e := Banded(n, 5).MaxBasisError(); e > 0.2 {
+		t.Fatalf("log band too lossy: %g", e)
+	}
+}
+
+func TestCountsClosedForm(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 16} {
+		c := Exact(n)
+		k := c.Counts()
+		if k.Hadamard != n {
+			t.Fatalf("n=%d: H count %d", n, k.Hadamard)
+		}
+		if k.CPhase != n*(n-1)/2 {
+			t.Fatalf("n=%d: CPhase count %d, want %d", n, k.CPhase, n*(n-1)/2)
+		}
+		if k.Swap != n/2 {
+			t.Fatalf("n=%d: swap count %d", n, k.Swap)
+		}
+	}
+}
+
+// TestBandedCountsLinear: banding makes the gate count linear in n at
+// fixed band.
+func TestBandedCountsLinear(t *testing.T) {
+	band := 6
+	c32 := Banded(32, band).Counts().Total()
+	c64 := Banded(64, band).Counts().Total()
+	ratio := float64(c64) / float64(c32)
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Fatalf("banded growth ratio %.2f, want ~2 (linear)", ratio)
+	}
+	// Exact growth is quadratic by contrast.
+	e32 := Exact(32).Counts().Total()
+	e64 := Exact(64).Counts().Total()
+	if r := float64(e64) / float64(e32); r < 3.2 {
+		t.Fatalf("exact growth ratio %.2f, want ~4 (quadratic)", r)
+	}
+}
+
+// TestPaperQFTChargeMatchesCircuit ties the gate-level banded QFT to
+// the paper's EC-step charge 2N·(log2(2N)+2): the model prices every
+// gate of the banded transform on a 2N-qubit register at one EC step,
+// so the circuit's gate count must land within a small factor of it.
+func TestPaperQFTChargeMatchesCircuit(t *testing.T) {
+	for _, n := range []int{32, 128, 512} {
+		band := PaperBand(n)
+		c := Banded(2*n, band)
+		total := int64(c.Counts().Total())
+		model := shor.QFTSteps(n)
+		ratio := float64(total) / float64(model)
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Fatalf("n=%d: circuit gates %d vs model %d (ratio %.2f)", n, total, model, ratio)
+		}
+		// ASAP depth is below the serial charge (the model is an
+		// upper bound per the SIMD laser constraint).
+		if d := c.Depth(); int64(d) > model {
+			t.Fatalf("n=%d: depth %d exceeds the model's serial charge %d", n, d, model)
+		}
+	}
+}
+
+func TestPaperBand(t *testing.T) {
+	if b := PaperBand(128); b != 10 {
+		t.Fatalf("PaperBand(128) = %d, want 10 (log2(256)+2)", b)
+	}
+	if b := PaperBand(512); b != 12 {
+		t.Fatalf("PaperBand(512) = %d, want 12", b)
+	}
+}
+
+func TestDepthBounds(t *testing.T) {
+	// Exact QFT depth is Θ(n) at least (serial chain on wire 0) and at
+	// most the gate count.
+	for _, n := range []int{4, 8, 16} {
+		c := Exact(n)
+		d := c.Depth()
+		if d < n || d > c.Counts().Total() {
+			t.Fatalf("n=%d: depth %d outside [n, gates]", n, d)
+		}
+	}
+}
+
+func TestRunPanicsOnWideCircuit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic beyond the verifier width")
+		}
+	}()
+	Exact(20).Run(0)
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Exact(0) },
+		func() { Banded(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkExactQFTVerify6(b *testing.B) {
+	c := Exact(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.MaxBasisError()
+	}
+}
+
+func BenchmarkBuildBanded512(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Banded(1024, 12)
+	}
+}

@@ -1,0 +1,72 @@
+package revcirc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestAppendMappedSemantics: a sub-circuit embedded on a wire subset
+// must act exactly like the original acting on those wires.
+func TestAppendMappedSemantics(t *testing.T) {
+	sub := New(3)
+	sub.X(0).CNOT(0, 1).Toffoli(0, 1, 2)
+
+	big := New(6)
+	mapping := []int{4, 1, 5} // sub wire 0->4, 1->1, 2->5
+	big.AppendMapped(sub, mapping)
+
+	r := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 100; trial++ {
+		in := r.Uint64() & 0x3f
+		// Compute expected by extracting the mapped wires, running the
+		// sub-circuit, and re-inserting.
+		var subIn uint64
+		for si, bw := range mapping {
+			subIn |= (in >> uint(bw) & 1) << uint(si)
+		}
+		subOut := sub.RunUint(subIn)
+		want := in
+		for si, bw := range mapping {
+			want &^= 1 << uint(bw)
+			want |= (subOut >> uint(si) & 1) << uint(bw)
+		}
+		if got := big.RunUint(in); got != want {
+			t.Fatalf("trial %d: got %06b, want %06b", trial, got, want)
+		}
+	}
+}
+
+// TestAppendMappedIdentityMapping: the identity mapping reproduces
+// Append.
+func TestAppendMappedIdentityMapping(t *testing.T) {
+	sub := New(4)
+	sub.Toffoli(0, 1, 2).CNOT(2, 3).X(0)
+	a := New(4).Append(sub)
+	b := New(4).AppendMapped(sub, []int{0, 1, 2, 3})
+	for in := uint64(0); in < 16; in++ {
+		if a.RunUint(in) != b.RunUint(in) {
+			t.Fatalf("identity mapping diverges at %04b", in)
+		}
+	}
+}
+
+func TestAppendMappedPanics(t *testing.T) {
+	sub := New(2)
+	sub.CNOT(0, 1)
+	cases := []func(){
+		func() { New(4).AppendMapped(sub, []int{0}) },       // short mapping
+		func() { New(4).AppendMapped(sub, []int{0, 0}) },    // duplicate
+		func() { New(4).AppendMapped(sub, []int{0, 7}) },    // out of range
+		func() { New(4).AppendMapped(sub, []int{0, 1, 2}) }, // long mapping
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

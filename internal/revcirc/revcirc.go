@@ -1,0 +1,316 @@
+// Package revcirc implements a reversible classical circuit model over
+// bits: NOT, CNOT and Toffoli (CCNOT) gates acting on a register of n
+// wires.
+//
+// The QLA paper's arithmetic workload (Section 5) is built from exactly
+// this gate set: the quantum carry-lookahead adder of Draper, Kutin,
+// Rains and Svore and the modular-exponentiation circuits of Van Meter
+// and Itoh are permutation circuits — on computational-basis inputs they
+// compute classical reversible arithmetic. Package revcirc provides the
+// circuit IR, a bit-vector executor used to verify the adders in package
+// adder exhaustively, and the depth metrics (total depth and Toffoli
+// depth) that the paper's latency model consumes.
+//
+// Toffoli gates are not Clifford gates, so they cannot run on the
+// stabilizer backend in internal/stabilizer; on basis states they are
+// classical, which is why this package exists. The QLA cost model charges
+// each Toffoli its fault-tolerant construction cost (internal/ft); this
+// package supplies the counts and critical-path depths that the cost
+// model multiplies.
+package revcirc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the reversible gate alphabet.
+type Kind int
+
+const (
+	// Not inverts the target wire.
+	Not Kind = iota
+	// CNot inverts the target wire if the control is 1.
+	CNot
+	// Toffoli inverts the target wire if both controls are 1.
+	Toffoli
+)
+
+// String returns the conventional gate name.
+func (k Kind) String() string {
+	switch k {
+	case Not:
+		return "NOT"
+	case CNot:
+		return "CNOT"
+	case Toffoli:
+		return "TOFFOLI"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Gate is one reversible gate. A and B are control wires (B unused for
+// NOT and CNOT; A unused for NOT); T is the target wire.
+type Gate struct {
+	Kind Kind
+	A, B int
+	T    int
+}
+
+// Wires returns the wires the gate touches, controls first.
+func (g Gate) Wires() []int {
+	switch g.Kind {
+	case Not:
+		return []int{g.T}
+	case CNot:
+		return []int{g.A, g.T}
+	default:
+		return []int{g.A, g.B, g.T}
+	}
+}
+
+// String renders the gate in the textual form used by Circuit.String.
+func (g Gate) String() string {
+	switch g.Kind {
+	case Not:
+		return fmt.Sprintf("x %d", g.T)
+	case CNot:
+		return fmt.Sprintf("cx %d %d", g.A, g.T)
+	default:
+		return fmt.Sprintf("ccx %d %d %d", g.A, g.B, g.T)
+	}
+}
+
+// Circuit is an ordered list of reversible gates over n wires.
+type Circuit struct {
+	n     int
+	gates []Gate
+}
+
+// New returns an empty circuit over n wires. n must be positive.
+func New(n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("revcirc: non-positive width %d", n))
+	}
+	return &Circuit{n: n}
+}
+
+// N returns the number of wires.
+func (c *Circuit) N() int { return c.n }
+
+// Len returns the number of gates.
+func (c *Circuit) Len() int { return len(c.gates) }
+
+// Gates returns the gate list. The slice is shared; callers must not
+// modify it.
+func (c *Circuit) Gates() []Gate { return c.gates }
+
+func (c *Circuit) check(w int) {
+	if w < 0 || w >= c.n {
+		panic(fmt.Sprintf("revcirc: wire %d out of range [0,%d)", w, c.n))
+	}
+}
+
+// X appends a NOT gate on wire t.
+func (c *Circuit) X(t int) *Circuit {
+	c.check(t)
+	c.gates = append(c.gates, Gate{Kind: Not, T: t})
+	return c
+}
+
+// CNOT appends a controlled-NOT with control a and target t.
+func (c *Circuit) CNOT(a, t int) *Circuit {
+	c.check(a)
+	c.check(t)
+	if a == t {
+		panic("revcirc: CNOT control equals target")
+	}
+	c.gates = append(c.gates, Gate{Kind: CNot, A: a, T: t})
+	return c
+}
+
+// Toffoli appends a CCNOT with controls a, b and target t.
+func (c *Circuit) Toffoli(a, b, t int) *Circuit {
+	c.check(a)
+	c.check(b)
+	c.check(t)
+	if a == b || a == t || b == t {
+		panic("revcirc: Toffoli wires must be distinct")
+	}
+	c.gates = append(c.gates, Gate{Kind: Toffoli, A: a, B: b, T: t})
+	return c
+}
+
+// Append appends every gate of d (which must have the same width).
+func (c *Circuit) Append(d *Circuit) *Circuit {
+	if d.n != c.n {
+		panic(fmt.Sprintf("revcirc: width mismatch %d != %d", d.n, c.n))
+	}
+	c.gates = append(c.gates, d.gates...)
+	return c
+}
+
+// Inverse returns a new circuit that undoes c. Every gate in the
+// alphabet is self-inverse, so the inverse is the gate list reversed.
+func (c *Circuit) Inverse() *Circuit {
+	inv := &Circuit{n: c.n, gates: make([]Gate, len(c.gates))}
+	for i, g := range c.gates {
+		inv.gates[len(c.gates)-1-i] = g
+	}
+	return inv
+}
+
+// AppendMapped appends every gate of d with its wires renamed through
+// the mapping: wire i of d becomes wire mapping[i] of c. The mapping
+// must cover d's width with distinct, in-range wires. This is the
+// embedding primitive composite circuits (modular arithmetic) use to
+// place sub-circuits onto register slices.
+func (c *Circuit) AppendMapped(d *Circuit, mapping []int) *Circuit {
+	if len(mapping) != d.n {
+		panic(fmt.Sprintf("revcirc: mapping covers %d wires, want %d", len(mapping), d.n))
+	}
+	seen := make(map[int]bool, len(mapping))
+	for _, w := range mapping {
+		c.check(w)
+		if seen[w] {
+			panic(fmt.Sprintf("revcirc: duplicate wire %d in mapping", w))
+		}
+		seen[w] = true
+	}
+	for _, g := range d.gates {
+		ng := Gate{Kind: g.Kind, T: mapping[g.T]}
+		switch g.Kind {
+		case CNot:
+			ng.A = mapping[g.A]
+		case Toffoli:
+			ng.A = mapping[g.A]
+			ng.B = mapping[g.B]
+		}
+		c.gates = append(c.gates, ng)
+	}
+	return c
+}
+
+// Run executes the circuit on the given input bits and returns the
+// output. The input length must equal the circuit width. The input
+// slice is not modified.
+func (c *Circuit) Run(in []bool) []bool {
+	if len(in) != c.n {
+		panic(fmt.Sprintf("revcirc: input width %d != circuit width %d", len(in), c.n))
+	}
+	state := make([]bool, c.n)
+	copy(state, in)
+	for _, g := range c.gates {
+		switch g.Kind {
+		case Not:
+			state[g.T] = !state[g.T]
+		case CNot:
+			if state[g.A] {
+				state[g.T] = !state[g.T]
+			}
+		case Toffoli:
+			if state[g.A] && state[g.B] {
+				state[g.T] = !state[g.T]
+			}
+		}
+	}
+	return state
+}
+
+// RunUint executes the circuit on a bit-packed input (wire i is bit i).
+// It panics if the circuit is wider than 64 wires.
+func (c *Circuit) RunUint(x uint64) uint64 {
+	if c.n > 64 {
+		panic(fmt.Sprintf("revcirc: width %d exceeds 64-bit executor", c.n))
+	}
+	for _, g := range c.gates {
+		switch g.Kind {
+		case Not:
+			x ^= 1 << uint(g.T)
+		case CNot:
+			x ^= (x >> uint(g.A) & 1) << uint(g.T)
+		case Toffoli:
+			x ^= (x >> uint(g.A) & 1) & (x >> uint(g.B) & 1) << uint(g.T)
+		}
+	}
+	return x
+}
+
+// Counts reports how many gates of each kind the circuit contains.
+type Counts struct {
+	Not, CNot, Toffoli int
+}
+
+// Total returns the total gate count.
+func (c Counts) Total() int { return c.Not + c.CNot + c.Toffoli }
+
+// Counts tallies the circuit's gates by kind.
+func (c *Circuit) Counts() Counts {
+	var k Counts
+	for _, g := range c.gates {
+		switch g.Kind {
+		case Not:
+			k.Not++
+		case CNot:
+			k.CNot++
+		default:
+			k.Toffoli++
+		}
+	}
+	return k
+}
+
+// Depth returns the ASAP depth of the circuit: the length of the longest
+// chain of gates that share a wire, counting every gate as one time step.
+func (c *Circuit) Depth() int {
+	return c.weightedDepth(func(Kind) int { return 1 })
+}
+
+// ToffoliDepth returns the Toffoli-weighted critical-path length: the
+// ASAP schedule where Toffoli gates take one time step and NOT/CNOT
+// gates are free. This is the depth measure used by the QLA latency
+// model, where each Toffoli costs a fault-tolerant construction
+// (internal/ft.ToffoliECSteps) and Clifford gates are transversal
+// single-EC-step operations hidden under it.
+func (c *Circuit) ToffoliDepth() int {
+	return c.weightedDepth(func(k Kind) int {
+		if k == Toffoli {
+			return 1
+		}
+		return 0
+	})
+}
+
+func (c *Circuit) weightedDepth(weight func(Kind) int) int {
+	avail := make([]int, c.n)
+	max := 0
+	for _, g := range c.gates {
+		start := 0
+		for _, w := range g.Wires() {
+			if avail[w] > start {
+				start = avail[w]
+			}
+		}
+		end := start + weight(g.Kind)
+		for _, w := range g.Wires() {
+			avail[w] = end
+		}
+		if end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// String renders the circuit as one gate per line in a .rc text form:
+// "x t", "cx a t", "ccx a b t".
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wires %d\n", c.n)
+	for _, g := range c.gates {
+		b.WriteString(g.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,255 @@
+package revcirc
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGateSemantics(t *testing.T) {
+	c := New(3)
+	c.X(0)
+	if got := c.RunUint(0); got != 1 {
+		t.Fatalf("X: got %b, want 1", got)
+	}
+
+	c = New(3)
+	c.CNOT(0, 1)
+	if got := c.RunUint(0b001); got != 0b011 {
+		t.Fatalf("CNOT fires: got %03b, want 011", got)
+	}
+	if got := c.RunUint(0b000); got != 0b000 {
+		t.Fatalf("CNOT idle: got %03b, want 000", got)
+	}
+
+	c = New(3)
+	c.Toffoli(0, 1, 2)
+	if got := c.RunUint(0b011); got != 0b111 {
+		t.Fatalf("Toffoli fires: got %03b, want 111", got)
+	}
+	for _, in := range []uint64{0b000, 0b001, 0b010} {
+		if got := c.RunUint(in); got != in {
+			t.Fatalf("Toffoli idle on %03b: got %03b", in, got)
+		}
+	}
+}
+
+func TestRunMatchesRunUint(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.IntN(12)
+		c := randomCircuit(r, n, 1+r.IntN(60))
+		in := r.Uint64() & (1<<uint(n) - 1)
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = in>>uint(i)&1 == 1
+		}
+		out := c.Run(bits)
+		var packed uint64
+		for i, b := range out {
+			if b {
+				packed |= 1 << uint(i)
+			}
+		}
+		if got := c.RunUint(in); got != packed {
+			t.Fatalf("n=%d trial=%d: RunUint=%b Run=%b", n, trial, got, packed)
+		}
+	}
+}
+
+func randomCircuit(r *rand.Rand, n, gates int) *Circuit {
+	c := New(n)
+	for i := 0; i < gates; i++ {
+		switch k := r.IntN(3); {
+		case k == 0 || n < 2:
+			c.X(r.IntN(n))
+		case k == 1 || n < 3:
+			a, t := distinct2(r, n)
+			c.CNOT(a, t)
+		default:
+			a, b, tt := distinct3(r, n)
+			c.Toffoli(a, b, tt)
+		}
+	}
+	return c
+}
+
+func distinct2(r *rand.Rand, n int) (int, int) {
+	a := r.IntN(n)
+	b := r.IntN(n)
+	for b == a {
+		b = r.IntN(n)
+	}
+	return a, b
+}
+
+func distinct3(r *rand.Rand, n int) (int, int, int) {
+	a, b := distinct2(r, n)
+	c := r.IntN(n)
+	for c == a || c == b {
+		c = r.IntN(n)
+	}
+	return a, b, c
+}
+
+// Property: a circuit followed by its inverse is the identity.
+func TestQuickInverseRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw, gRaw uint8, in uint64) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0x51))
+		n := 3 + int(nRaw%14)
+		c := randomCircuit(r, n, 1+int(gRaw)%80)
+		c.Append(c.Inverse())
+		x := in & (1<<uint(n) - 1)
+		return c.RunUint(x) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every circuit in this alphabet is a permutation — distinct
+// inputs map to distinct outputs (checked on small widths exhaustively).
+func TestQuickPermutation(t *testing.T) {
+	f := func(seed uint64, gRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0x99))
+		n := 2 + int(seed%4)
+		c := randomCircuit(r, n, 1+int(gRaw)%40)
+		seen := make(map[uint64]bool, 1<<uint(n))
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			y := c.RunUint(x)
+			if seen[y] {
+				return false
+			}
+			seen[y] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := New(4)
+	c.X(0).CNOT(0, 1).Toffoli(0, 1, 2).Toffoli(1, 2, 3).CNOT(2, 3)
+	got := c.Counts()
+	want := Counts{Not: 1, CNot: 2, Toffoli: 2}
+	if got != want {
+		t.Fatalf("Counts = %+v, want %+v", got, want)
+	}
+	if got.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", got.Total())
+	}
+}
+
+func TestDepth(t *testing.T) {
+	// Parallel gates on disjoint wires count once.
+	c := New(4)
+	c.CNOT(0, 1)
+	c.CNOT(2, 3)
+	if d := c.Depth(); d != 1 {
+		t.Fatalf("disjoint depth = %d, want 1", d)
+	}
+	// A serial chain counts each gate.
+	c = New(3)
+	c.CNOT(0, 1).CNOT(1, 2).CNOT(0, 1)
+	if d := c.Depth(); d != 3 {
+		t.Fatalf("chain depth = %d, want 3", d)
+	}
+}
+
+func TestToffoliDepthIgnoresClifford(t *testing.T) {
+	c := New(4)
+	c.CNOT(0, 1).CNOT(1, 2).CNOT(2, 3) // free
+	c.Toffoli(0, 1, 2)
+	c.CNOT(2, 3)
+	c.Toffoli(1, 2, 3) // depends on previous Toffoli through wire 2
+	if d := c.ToffoliDepth(); d != 2 {
+		t.Fatalf("ToffoliDepth = %d, want 2", d)
+	}
+	// Disjoint Toffolis are one layer.
+	c = New(6)
+	c.Toffoli(0, 1, 2)
+	c.Toffoli(3, 4, 5)
+	if d := c.ToffoliDepth(); d != 1 {
+		t.Fatalf("parallel ToffoliDepth = %d, want 1", d)
+	}
+}
+
+func TestToffoliDepthSharedControlSerializes(t *testing.T) {
+	// Two Toffolis sharing only a control wire still occupy the wire.
+	c := New(5)
+	c.Toffoli(0, 1, 2)
+	c.Toffoli(0, 3, 4)
+	if d := c.ToffoliDepth(); d != 2 {
+		t.Fatalf("shared-control ToffoliDepth = %d, want 2", d)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New(3)
+	c.X(2).CNOT(0, 1).Toffoli(0, 1, 2)
+	s := c.String()
+	for _, want := range []string{"wires 3", "x 2", "cx 0 1", "ccx 0 1 2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero width", func() { New(0) }},
+		{"X out of range", func() { New(2).X(2) }},
+		{"CNOT same wire", func() { New(2).CNOT(1, 1) }},
+		{"Toffoli duplicate", func() { New(3).Toffoli(0, 0, 1) }},
+		{"Toffoli target is control", func() { New(3).Toffoli(0, 1, 1) }},
+		{"append width mismatch", func() { New(2).Append(New(3)) }},
+		{"run width mismatch", func() { New(2).Run(make([]bool, 3)) }},
+		{"runuint too wide", func() { New(65).RunUint(0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestInverseDoesNotAliasOriginal(t *testing.T) {
+	c := New(2)
+	c.CNOT(0, 1)
+	inv := c.Inverse()
+	c.X(0)
+	if inv.Len() != 1 {
+		t.Fatalf("inverse mutated by original: len=%d", inv.Len())
+	}
+}
+
+func BenchmarkRunUint64Wires(b *testing.B) {
+	r := rand.New(rand.NewPCG(3, 5))
+	c := randomCircuit(r, 64, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RunUint(uint64(i))
+	}
+}
+
+func BenchmarkToffoliDepth(b *testing.B) {
+	r := rand.New(rand.NewPCG(3, 5))
+	c := randomCircuit(r, 64, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ToffoliDepth()
+	}
+}

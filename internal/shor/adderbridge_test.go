@@ -1,0 +1,46 @@
+package shor
+
+import (
+	"testing"
+
+	"qla/internal/adder"
+)
+
+// TestQCLAModelVsMeasuredCircuit ties the closed-form Toffoli-depth
+// model the paper uses (4*log2 n per QCLA call) to the explicit DKRS
+// circuit in internal/adder. The model and the measured critical path
+// must agree up to a small constant factor — the paper's model counts
+// DKRS's maximally interleaved schedule, while our construction runs the
+// tree phases sequentially — and both must grow logarithmically.
+func TestQCLAModelVsMeasuredCircuit(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		model := QCLAToffoliDepth(n)
+		measured := adder.MeasureCLA(n).ToffoliDepth
+		ratio := float64(measured) / float64(model)
+		if ratio < 1.0 || ratio > 3.0 {
+			t.Fatalf("n=%d: measured depth %d vs model %d (ratio %.2f) outside [1,3]",
+				n, measured, model, ratio)
+		}
+	}
+	// Logarithmic growth: doubling n adds a bounded number of layers to
+	// the measured circuit, mirroring the model's +4.
+	d64 := adder.MeasureCLA(64).ToffoliDepth
+	d32 := adder.MeasureCLA(32).ToffoliDepth
+	if growth := d64 - d32; growth < 1 || growth > 16 {
+		t.Fatalf("measured depth growth from n=32 to n=64 is %d; want small constant", growth)
+	}
+}
+
+// TestRippleWouldDominateTable2 quantifies why the paper rejects the
+// ripple adder: at Shor operand widths the ripple critical path is an
+// order of magnitude longer than the lookahead's.
+func TestRippleWouldDominateTable2(t *testing.T) {
+	cmp := adder.Compare(64)
+	if cmp.DepthRatio < 3 {
+		t.Fatalf("at n=64 ripple/CLA depth ratio = %.1f; expected the lookahead to win by >3x",
+			cmp.DepthRatio)
+	}
+	if cmp.WidthRatio < 1 {
+		t.Fatalf("CLA should pay a qubit price; width ratio %.2f < 1", cmp.WidthRatio)
+	}
+}

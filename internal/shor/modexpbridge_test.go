@@ -1,0 +1,50 @@
+package shor
+
+import (
+	"testing"
+
+	"qla/internal/modarith"
+)
+
+// TestModexpDepthFromCircuits rebuilds the paper's modular-
+// exponentiation Toffoli count from the measured modular-adder
+// circuits instead of the closed form, and checks the two agree on
+// order of magnitude. The Van Meter–Itoh accounting is
+//
+//	depth ≈ IM(n) × MAC(n) × (adder depth)
+//
+// where the closed form prices an adder call at QCLAToffoliDepth(n) =
+// 4·lg n and the circuit-level price is one VBE modular adder at the
+// same width, which measures ≈4.8 plain-adder passes (each ≈4·lg n
+// with the phase-sequential tree's constant offset).
+func TestModexpDepthFromCircuits(t *testing.T) {
+	for _, n := range []int{16, 32} {
+		modulus := uint64(1)<<uint(n) - 3
+		measured := modarith.Measure(n, modulus, modarith.CLA)
+		circuitDepth := int64(MultiplierCalls(n)) * int64(AdderCallsPerMultiply(n)) *
+			int64(measured.ToffoliDepth)
+
+		model := ToffoliDepth(n)
+		ratio := float64(circuitDepth) / float64(model)
+		// The circuit-level figure charges the full modular adder
+		// (≈4.8 adder passes) where the model charges one QCLA call
+		// plus overheads absorbed into ArgSet/retries; the two must
+		// agree within an order of magnitude with the circuit figure
+		// higher.
+		if ratio < 1 || ratio > 12 {
+			t.Fatalf("n=%d: circuit-composed depth %d vs model %d (ratio %.1f) outside [1,12]",
+				n, circuitDepth, model, ratio)
+		}
+	}
+}
+
+// TestModAddDepthIndependentOfModulus: the modular adder's critical
+// path must not depend on the modulus value (only its width), since the
+// constant is loaded with X gates that cost no Toffoli depth.
+func TestModAddDepthIndependentOfModulus(t *testing.T) {
+	a := modarith.Measure(12, 2049, modarith.CLA)
+	b := modarith.Measure(12, 4095, modarith.CLA)
+	if a.ToffoliDepth != b.ToffoliDepth {
+		t.Fatalf("depth depends on modulus: %d vs %d", a.ToffoliDepth, b.ToffoliDepth)
+	}
+}

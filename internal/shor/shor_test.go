@@ -1,0 +1,173 @@
+package shor
+
+import (
+	"math"
+	"testing"
+
+	"qla/internal/iontrap"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestLogicalQubitsExact(t *testing.T) {
+	// Q(N) reproduces the Table-2 column exactly.
+	for n, p := range PaperTable2 {
+		if got := LogicalQubits(n); got != p.LogicalQubits {
+			t.Errorf("Q(%d) = %d, Table 2 says %d", n, got, p.LogicalQubits)
+		}
+	}
+}
+
+func TestToffoliDepthWithinTwoPercent(t *testing.T) {
+	for n, p := range PaperTable2 {
+		got := ToffoliDepth(n)
+		if re := relErr(float64(got), float64(p.Toffoli)); re > 0.03 {
+			t.Errorf("T(%d) = %d vs paper %d (%.1f%% off)", n, got, p.Toffoli, re*100)
+		}
+	}
+}
+
+func TestTotalGatesWithinTwoPercent(t *testing.T) {
+	for n, p := range PaperTable2 {
+		got := TotalGates(n)
+		if re := relErr(float64(got), float64(p.TotalGates)); re > 0.02 {
+			t.Errorf("G(%d) = %d vs paper %d (%.1f%% off)", n, got, p.TotalGates, re*100)
+		}
+	}
+}
+
+func TestAreaMatchesTable2(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		want := PaperTable2[r.N].AreaM2
+		if re := relErr(r.AreaM2, want); re > 0.05 {
+			t.Errorf("area(%d) = %.3f m² vs paper %.2f (%.1f%% off)", r.N, r.AreaM2, want, re*100)
+		}
+	}
+}
+
+func TestTimeDaysMatchesTable2(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		want := PaperTable2[r.N].TimeDays
+		if re := relErr(r.TimeDays, want); re > 0.20 {
+			t.Errorf("time(%d) = %.2f days vs paper %.1f (%.0f%% off)", r.N, r.TimeDays, want, re*100)
+		}
+	}
+}
+
+func TestSection5Shor128Narrative(t *testing.T) {
+	// "For a 128 bit number, modular exponentiation requires 63730
+	// Toffoli gates with 21 error correction steps per Toffoli. The error
+	// correction steps of the entire algorithm amount to ... 1.34×10⁶.
+	// ... approximately 16 hours ... the total time to factor a 128 bit
+	// number would be around 21 hours."
+	r, err := Estimate(128, iontrap.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(float64(r.ECSteps), 1.34e6) > 0.05 {
+		t.Errorf("EC steps = %.3g, paper says 1.34e6", float64(r.ECSteps))
+	}
+	hoursOneRun := r.TimeSeconds / 3600
+	if hoursOneRun < 13 || hoursOneRun > 20 {
+		t.Errorf("single-run time = %.1f h, paper says ≈16 h", hoursOneRun)
+	}
+	if r.TimeHours < 17 || r.TimeHours > 26 {
+		t.Errorf("with retries = %.1f h, paper says ≈21 h", r.TimeHours)
+	}
+}
+
+func TestSystemSizeMagnitude(t *testing.T) {
+	// Section 4.1.2: Shor-1024 needs S ≈ 4.4×10¹² elementary steps.
+	r, err := Estimate(1024, iontrap.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SystemSize < 1e12 || r.SystemSize > 2e13 {
+		t.Errorf("S(1024) = %.3g, paper says ≈4.4e12", r.SystemSize)
+	}
+}
+
+func TestQCLAStructure(t *testing.T) {
+	if QCLAToffoliDepth(128) != 28 {
+		t.Errorf("QCLA depth(128) = %d, want 4·7 = 28", QCLAToffoliDepth(128))
+	}
+	if QCLAToffoliDepth(1024) != 40 {
+		t.Errorf("QCLA depth(1024) = %d, want 40", QCLAToffoliDepth(1024))
+	}
+	if MultiplierCalls(128) != 256 {
+		t.Errorf("IM(128) = %d, want 2N", MultiplierCalls(128))
+	}
+	if AdderCallsPerMultiply(1024) != 12 {
+		t.Errorf("MAC(1024) = %d, want log2(1024)+2 = 12", AdderCallsPerMultiply(1024))
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 128: 7, 129: 8, 1024: 10}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestScalingMonotonic(t *testing.T) {
+	prev, err := Estimate(128, iontrap.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{256, 512, 1024, 2048} {
+		cur, err := Estimate(n, iontrap.Expected())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.LogicalQubits <= prev.LogicalQubits || cur.ToffoliDepth <= prev.ToffoliDepth ||
+			cur.AreaM2 <= prev.AreaM2 || cur.TimeDays <= prev.TimeDays {
+			t.Errorf("resources must grow from N=%d to N=%d", prev.N, n)
+		}
+		prev = cur
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(4, iontrap.Expected()); err == nil {
+		t.Error("tiny modulus should be rejected")
+	}
+}
+
+func TestClassicalNFSAnchor(t *testing.T) {
+	// The anchor point itself.
+	if relErr(ClassicalNFSMIPSYears(512), 8400) > 1e-9 {
+		t.Errorf("NFS(512) = %g, want the 8400 MIPS-year anchor", ClassicalNFSMIPSYears(512))
+	}
+	// Factoring gets super-polynomially harder.
+	r1024 := ClassicalNFSMIPSYears(1024) / ClassicalNFSMIPSYears(512)
+	if r1024 < 1e3 {
+		t.Errorf("NFS(1024)/NFS(512) = %.3g; expected thousands×", r1024)
+	}
+	// And the quantum machine beats it at scale: compare 1024-bit quantum
+	// days vs classical MIPS-years (a year of a 1-MIPS machine).
+	q, _ := Estimate(1024, iontrap.Expected())
+	if q.TimeDays > 60 {
+		t.Errorf("quantum 1024-bit estimate %.1f days; should be weeks, not years", q.TimeDays)
+	}
+}
+
+func TestQFTStepsSmall(t *testing.T) {
+	// The QFT term must stay a small correction next to the Toffoli term.
+	for _, n := range Table2Sizes {
+		if f := float64(QFTSteps(n)) / float64(ECSteps(n)); f > 0.01 {
+			t.Errorf("QFT fraction at N=%d is %.3f; should be ≪ 1", n, f)
+		}
+	}
+}

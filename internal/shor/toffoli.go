@@ -1,0 +1,71 @@
+package shor
+
+import (
+	"fmt"
+
+	"qla/internal/ft"
+)
+
+// This file models the fault-tolerant Toffoli pipeline of Section 5: "The
+// preparation of the ancilla qubits is an involved process of 15 timesteps
+// repeated three times. However each Toffoli gate is performed on an
+// independent set of logical qubits; thus the ancilla preparation of each
+// successive Toffoli can be overlapped in most cases with the execution of
+// the previous Toffoli gates. ... however, in many Toffoli's one of the
+// three qubits involved shares its ancilla with a previous Toffoli.
+// Therefore each Toffoli will contribute approximately 15 error correction
+// steps for the ancilla preparation and 6 error correction cycles to
+// finish the gate."
+
+// ToffoliSchedule is the EC-step accounting of a serial Toffoli chain.
+type ToffoliSchedule struct {
+	Gates      int64
+	ShareFrac  float64 // fraction of gates whose ancilla prep serializes
+	Steps      int64   // total EC steps on the critical path
+	PerGate    float64 // Steps / Gates
+	NoOverlap  int64   // baseline: 21 steps per gate, no pipelining
+	FullHiding int64   // ideal: prep always hidden, 6 steps per gate
+}
+
+// ToffoliPipeline computes the EC-step cost of `gates` serial
+// fault-tolerant Toffolis when a fraction shareFrac of them must serialize
+// their 15-step ancilla preparation (shared ancilla with the previous
+// gate), while the rest hide the preparation behind the previous gate's
+// execution.
+//
+// shareFrac = 1 recovers the paper's conservative 21 steps per Toffoli;
+// shareFrac = 0 is the ideal 6-step pipeline (plus one exposed prep).
+func ToffoliPipeline(gates int64, shareFrac float64) (ToffoliSchedule, error) {
+	if gates <= 0 {
+		return ToffoliSchedule{}, fmt.Errorf("shor: need a positive gate count")
+	}
+	if shareFrac < 0 || shareFrac > 1 {
+		return ToffoliSchedule{}, fmt.Errorf("shor: share fraction %g outside [0,1]", shareFrac)
+	}
+	prep := int64(ft.ToffoliPrepECSteps)
+	finish := int64(ft.ToffoliFinishECSteps)
+	// First gate always pays its preparation; subsequent gates pay it
+	// only when sharing forces serialization.
+	exposedPreps := 1 + float64(gates-1)*shareFrac
+	steps := int64(exposedPreps*float64(prep)) + gates*finish
+	return ToffoliSchedule{
+		Gates:      gates,
+		ShareFrac:  shareFrac,
+		Steps:      steps,
+		PerGate:    float64(steps) / float64(gates),
+		NoOverlap:  gates * (prep + finish),
+		FullHiding: prep + gates*finish,
+	}, nil
+}
+
+// PaperShareFraction is the sharing rate under which the pipeline model
+// reproduces the paper's 21-steps-per-Toffoli charge exactly.
+const PaperShareFraction = 1.0
+
+// ModexpWithPipeline re-evaluates the modular-exponentiation EC-step count
+// under a given ancilla-sharing fraction — the ablation showing how much
+// headroom better ancilla placement would buy (a future-work knob the
+// paper's Section 6 alludes to under classical-resource management).
+func ModexpWithPipeline(n int, shareFrac float64) (ToffoliSchedule, error) {
+	return ToffoliPipeline(ToffoliDepth(n), shareFrac)
+}

@@ -1,0 +1,170 @@
+package stabilizer
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"qla/internal/pauli"
+)
+
+// applyProgram runs a deterministic pseudo-random Clifford program derived
+// from seed on the state and returns the gate list for replay/inversion.
+type cliffordGate struct {
+	kind int // 0 H, 1 S, 2 CNOT, 3 CZ, 4 SWAP
+	a, b int
+}
+
+func randomProgram(seed uint64, n, gates int) []cliffordGate {
+	r := rand.New(rand.NewPCG(seed, seed^0xfeed))
+	prog := make([]cliffordGate, gates)
+	for i := range prog {
+		g := cliffordGate{kind: r.IntN(5), a: r.IntN(n)}
+		if n < 2 {
+			// Only single-qubit gates exist on a 1-qubit register.
+			g.kind = r.IntN(2)
+		} else {
+			g.b = r.IntN(n)
+			for g.b == g.a {
+				g.b = r.IntN(n)
+			}
+		}
+		prog[i] = g
+	}
+	return prog
+}
+
+func (g cliffordGate) apply(s *State) {
+	switch g.kind {
+	case 0:
+		s.H(g.a)
+	case 1:
+		s.S(g.a)
+	case 2:
+		s.CNOT(g.a, g.b)
+	case 3:
+		s.CZ(g.a, g.b)
+	case 4:
+		s.SWAP(g.a, g.b)
+	}
+}
+
+func (g cliffordGate) invert(s *State) {
+	switch g.kind {
+	case 0:
+		s.H(g.a)
+	case 1:
+		s.Sdg(g.a)
+	case 2:
+		s.CNOT(g.a, g.b)
+	case 3:
+		s.CZ(g.a, g.b)
+	case 4:
+		s.SWAP(g.a, g.b)
+	}
+}
+
+// Property: every Clifford program preserves the tableau invariants.
+func TestQuickInvariantsPreserved(t *testing.T) {
+	f := func(seed uint64, nRaw, gRaw uint8) bool {
+		n := 2 + int(nRaw%10)
+		gates := 1 + int(gRaw)%120
+		s := NewSeeded(n, seed)
+		for _, g := range randomProgram(seed, n, gates) {
+			g.apply(s)
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: running a program and then its inverse restores |0…0⟩.
+func TestQuickProgramInversion(t *testing.T) {
+	f := func(seed uint64, nRaw, gRaw uint8) bool {
+		n := 2 + int(nRaw%10)
+		gates := 1 + int(gRaw)%100
+		s := NewSeeded(n, seed)
+		prog := randomProgram(seed, n, gates)
+		for _, g := range prog {
+			g.apply(s)
+		}
+		for i := len(prog) - 1; i >= 0; i-- {
+			prog[i].invert(s)
+		}
+		return s.SameState(New(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: conjugation preserves commutation — for random Paulis P, Q and
+// a random Clifford C, [P,Q] = 0 iff [CPC†, CQC†] = 0. We test it through
+// expectation values: applying the program to two states differing by P
+// keeps their difference a Pauli (frame equivalence at the tableau level).
+func TestQuickMeasurementIdempotent(t *testing.T) {
+	f := func(seed uint64, nRaw, qRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		q := int(qRaw) % n
+		s := NewSeeded(n, seed)
+		for _, g := range randomProgram(seed^0xabc, n, 60) {
+			g.apply(s)
+		}
+		first := s.Measure(q)
+		return s.Measure(q) == first && s.Measure(q) == first
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a state's own stabilizer generators always have expectation +1
+// and pairwise commute, after any program.
+func TestQuickOwnStabilizersHold(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%8)
+		s := NewSeeded(n, seed)
+		for _, g := range randomProgram(seed^0x777, n, 80) {
+			g.apply(s)
+		}
+		for i := 0; i < n; i++ {
+			gi := s.Stabilizer(i)
+			if s.Expectation(gi) != 1 {
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				if !gi.Commutes(s.Stabilizer(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ApplyPauli twice is the identity.
+func TestQuickPauliInvolution(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, letters []byte) bool {
+		n := 1 + int(nRaw%10)
+		p := pauli.NewIdentity(n)
+		for q := 0; q < n && q < len(letters); q++ {
+			p.Set(q, "IXYZ"[int(letters[q])%4])
+		}
+		s := NewSeeded(n, seed)
+		for _, g := range randomProgram(seed^0x31, n, 40) {
+			g.apply(s)
+		}
+		ref := s.Clone()
+		s.ApplyPauli(p)
+		s.ApplyPauli(p)
+		return s.SameState(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

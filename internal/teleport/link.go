@@ -1,0 +1,288 @@
+package teleport
+
+import (
+	"fmt"
+	"math"
+
+	"qla/internal/iontrap"
+)
+
+// LinkParams describes the repeater-channel model behind Figure 9,
+// following the nested entanglement-purification scheme of Dür, Briegel,
+// Cirac and Zoller (the paper: "borrowing and adapting the recursive
+// fidelity equations (9,19) given in [28] for the Bennett purification
+// protocol"): EPR pairs are created mid-channel, ballistically distributed
+// to the two island endpoints, purified with k0 initial rounds, then
+// stretched over the full distance by dyadic entanglement swapping with M
+// re-purification rounds per doubling level. Ancilla pairs at level j are
+// regenerated sequentially through the same channel, giving Dür's
+// polynomial (not logarithmic) time growth with distance — the effect that
+// makes the island separation a real optimization knob.
+//
+// The infidelity constants sit between the paper's Pcurrent and Pexpected
+// columns (the paper does not publish its adapted constants); they are
+// calibrated so that the model reproduces Figure 9's qualitative result:
+// d = 100 cells optimal below ≈6000 cells, d = 350 above, connection times
+// of tens of milliseconds. See DESIGN.md §6.
+type LinkParams struct {
+	P iontrap.Params
+
+	// EpsPair is the infidelity of a freshly created EPR pair.
+	EpsPair float64
+	// EpsMoveCell is the per-cell depolarization during distribution.
+	EpsMoveCell float64
+	// EpsSwap is the depolarization of one repeater Bell measurement.
+	EpsSwap float64
+	// FTarget is the required end-to-end pair fidelity before the final
+	// data teleport.
+	FTarget float64
+	// PairInterval is the steady-state interval between raw-pair
+	// deliveries at a link endpoint (pipelined factory), seconds.
+	PairInterval float64
+	// ClassicalLatency is the per-round classical control latency.
+	ClassicalLatency float64
+	// MaxInitialRounds bounds the link-level purification ladder.
+	MaxInitialRounds int
+	// MaxNestedRounds bounds the per-level re-purification count.
+	MaxNestedRounds int
+}
+
+// DefaultLinkParams returns the calibrated Figure-9 model.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{
+		P:                iontrap.Expected(),
+		EpsPair:          0.03, // current-generation two-qubit gate (Table 1)
+		EpsMoveCell:      5e-4, // near-term transport infidelity per cell
+		EpsSwap:          5e-6, // repeater Bell measurement depolarization
+		FTarget:          0.99,
+		PairInterval:     0.1e-6, // pipelined channel delivery (~100 Mqbps)
+		ClassicalLatency: 1e-6,
+		MaxInitialRounds: 25,
+		MaxNestedRounds:  4,
+	}
+}
+
+// RawFidelity returns the fidelity of one raw link pair after creation and
+// distribution over a link of d cells (each half travels d/2; both halves
+// decohere, charging d cell steps in total).
+func (lp LinkParams) RawFidelity(d int) float64 {
+	if d <= 0 {
+		panic("teleport: link length must be positive")
+	}
+	return TransportFidelity(1-lp.EpsPair, d, lp.EpsMoveCell)
+}
+
+// ConnectionPlan describes a planned end-to-end entanglement connection.
+type ConnectionPlan struct {
+	TotalCells int
+	IslandSep  int
+	Links      int
+	SwapStages int
+
+	InitialRounds int     // k0: link-level BBPSSW rounds
+	NestedRounds  int     // M: re-purification rounds per swap level
+	RawPairs      float64 // expected raw pairs behind the link ladder
+	LinkFid       float64 // link fidelity after the initial ladder
+	EndFid        float64 // end-to-end fidelity delivered
+
+	Time     float64 // total connection latency, seconds
+	TimeLink float64 // level-0 component (setup + supply + ladder)
+}
+
+func (lp LinkParams) roundTime() float64 {
+	return lp.P.Time[iontrap.OpDouble] + lp.P.Time[iontrap.OpMeasure] + lp.ClassicalLatency
+}
+
+func (lp LinkParams) swapTime() float64 {
+	return lp.P.Time[iontrap.OpDouble] + lp.P.Time[iontrap.OpSingle] +
+		lp.P.Time[iontrap.OpMeasure] + lp.ClassicalLatency
+}
+
+// evaluate computes the fidelity and latency of the (k0, M) strategy over
+// the given number of dyadic stages; feasible reports whether purification
+// made progress at every step.
+func (lp LinkParams) evaluate(sep, stages, k0, m int) (plan ConnectionPlan, feasible bool) {
+	f := lp.RawFidelity(sep)
+	if f <= MinPurifiableFidelity {
+		return plan, false
+	}
+	pairs := 1.0
+	for r := 0; r < k0; r++ {
+		fNew, ps := PurifyStep(f)
+		if fNew <= f {
+			return plan, false
+		}
+		pairs = 2 * pairs / ps
+		f = fNew
+	}
+	linkFid := f
+
+	// Level-0 build time: first-pair distribution, pipelined raw-pair
+	// supply for the ladder, serial ladder rounds.
+	t := lp.P.Time
+	setup := t[iontrap.OpSplit] + float64(sep/2)*t[iontrap.OpMoveCell] + t[iontrap.OpDouble]
+	tLink := setup + pairs*lp.PairInterval + float64(k0)*lp.roundTime()
+
+	// Nested swapping with sequential ancilla regeneration (Dür et al.):
+	// each of the M purification rounds at level j consumes a second
+	// level-j pair that takes another T(j-1) to produce.
+	tj := tLink
+	for j := 0; j < stages; j++ {
+		f = Depolarize(SwapStep(f, f), lp.EpsSwap)
+		for r := 0; r < m; r++ {
+			fNew, _ := PurifyStep(f)
+			if fNew <= f {
+				return plan, false
+			}
+			f = fNew
+		}
+		tj = float64(m+1)*tj + float64(m)*lp.roundTime() + lp.swapTime()
+	}
+	plan = ConnectionPlan{
+		IslandSep:     sep,
+		SwapStages:    stages,
+		InitialRounds: k0,
+		NestedRounds:  m,
+		RawPairs:      pairs,
+		LinkFid:       linkFid,
+		EndFid:        f,
+		Time:          tj,
+		TimeLink:      tLink,
+	}
+	return plan, f >= lp.FTarget
+}
+
+// Plan finds the fastest feasible (k0, M) strategy for connecting
+// totalCells with island separation sep.
+func (lp LinkParams) Plan(totalCells, sep int) (ConnectionPlan, error) {
+	if totalCells <= 0 || sep <= 0 {
+		return ConnectionPlan{}, fmt.Errorf("teleport: bad geometry %d/%d", totalCells, sep)
+	}
+	links := (totalCells + sep - 1) / sep
+	stages := SwapStages(links)
+	best := ConnectionPlan{}
+	found := false
+	for m := 0; m <= lp.MaxNestedRounds; m++ {
+		for k0 := 0; k0 <= lp.MaxInitialRounds; k0++ {
+			plan, ok := lp.evaluate(sep, stages, k0, m)
+			if !ok {
+				continue
+			}
+			if !found || plan.Time < best.Time {
+				best = plan
+				found = true
+			}
+			// Further k0 at this m only adds time once feasible.
+			break
+		}
+	}
+	if !found {
+		return ConnectionPlan{}, fmt.Errorf("teleport: cannot reach fidelity %.4f over %d cells with separation %d",
+			lp.FTarget, totalCells, sep)
+	}
+	best.TotalCells = totalCells
+	best.Links = links
+	return best, nil
+}
+
+// ConnectionTime returns just the latency of Plan.
+func (lp LinkParams) ConnectionTime(totalCells, sep int) (float64, error) {
+	plan, err := lp.Plan(totalCells, sep)
+	if err != nil {
+		return 0, err
+	}
+	return plan.Time, nil
+}
+
+// Figure9Separations are the island separations swept in Figure 9.
+var Figure9Separations = []int{35, 70, 100, 350, 500, 750, 1000}
+
+// Figure9Point is one sample of the Figure 9 series.
+type Figure9Point struct {
+	Distance int
+	Sep      int
+	Time     float64
+	Feasible bool
+}
+
+// Figure9Series sweeps connection time over total distance for each island
+// separation, reproducing the Figure 9 plot data.
+func (lp LinkParams) Figure9Series(distances []int) []Figure9Point {
+	var out []Figure9Point
+	for _, sep := range Figure9Separations {
+		for _, d := range distances {
+			tm, err := lp.ConnectionTime(d, sep)
+			out = append(out, Figure9Point{Distance: d, Sep: sep, Time: tm, Feasible: err == nil})
+		}
+	}
+	return out
+}
+
+// SmoothedTime evaluates the connection time averaged (geometrically) over
+// a ±30% distance window. The dyadic stage count makes the raw curves step
+// functions whose steps interleave between separations; smoothing recovers
+// the trend a reader takes from the Figure-9 plot. It returns an error when
+// no point in the window is feasible.
+func (lp LinkParams) SmoothedTime(totalCells, sep int) (float64, error) {
+	factors := []float64{0.7, 0.85, 1.0, 1.15, 1.3}
+	logSum, n := 0.0, 0
+	for _, f := range factors {
+		d := int(float64(totalCells) * f)
+		if d < sep {
+			d = sep
+		}
+		t, err := lp.ConnectionTime(d, sep)
+		if err != nil {
+			continue
+		}
+		logSum += math.Log(t)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("teleport: no feasible point near %d cells at separation %d", totalCells, sep)
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
+
+// CrossoverDistance finds the swept distance from which sepFar stays at
+// least as fast as sepNear (in the smoothed sense) for the rest of the
+// sweep (the paper: d = 350 overtakes d = 100 at ≈6000 cells). It returns
+// 0 when no crossover occurs in range.
+func (lp LinkParams) CrossoverDistance(sepNear, sepFar int, distances []int) int {
+	const tolerance = 1.05 // ignore sub-5% wobbles from residual steps
+	cross := 0
+	for i := len(distances) - 1; i >= 0; i-- {
+		d := distances[i]
+		tNear, errNear := lp.SmoothedTime(d, sepNear)
+		tFar, errFar := lp.SmoothedTime(d, sepFar)
+		farWins := (errNear != nil && errFar == nil) ||
+			(errNear == nil && errFar == nil && tFar <= tNear*tolerance)
+		if !farWins {
+			return cross
+		}
+		cross = d
+	}
+	return cross
+}
+
+// BestSeparation returns the island separation from Figure9Separations
+// with the lowest smoothed connection time at the given distance — the
+// choice the paper's communication scheduler makes ("the teleportation
+// islands are equipped with the capability of being used or not being
+// used", letting the scheduler pick the separation).
+func (lp LinkParams) BestSeparation(totalCells int) (sep int, time float64, err error) {
+	bestSep, bestTime := 0, 0.0
+	for _, s := range Figure9Separations {
+		t, e := lp.SmoothedTime(totalCells, s)
+		if e != nil {
+			continue
+		}
+		if bestSep == 0 || t < bestTime {
+			bestSep, bestTime = s, t
+		}
+	}
+	if bestSep == 0 {
+		return 0, 0, fmt.Errorf("teleport: no feasible separation for %d cells", totalCells)
+	}
+	return bestSep, bestTime, nil
+}

@@ -1,0 +1,196 @@
+package teleport
+
+import "testing"
+
+var fig9Grid = []int{1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000, 12000, 16000, 20000, 24000, 30000}
+
+func TestRawFidelityDecreasesWithSeparation(t *testing.T) {
+	lp := DefaultLinkParams()
+	prev := 1.0
+	for _, d := range Figure9Separations {
+		f := lp.RawFidelity(d)
+		if f >= prev {
+			t.Errorf("raw fidelity at d=%d is %g, not below %g", d, f, prev)
+		}
+		prev = f
+	}
+	// All separations in the Figure-9 sweep must stay purifiable.
+	if f := lp.RawFidelity(1000); f <= MinPurifiableFidelity {
+		t.Errorf("d=1000 raw fidelity %g below purification boundary; Figure 9 needs it feasible", f)
+	}
+}
+
+func TestPlanFeasibleAcrossFigure9Range(t *testing.T) {
+	lp := DefaultLinkParams()
+	for _, sep := range []int{70, 100, 350, 500} {
+		for _, d := range fig9Grid {
+			plan, err := lp.Plan(d, sep)
+			if err != nil {
+				t.Errorf("Plan(%d, %d): %v", d, sep, err)
+				continue
+			}
+			if plan.EndFid < lp.FTarget {
+				t.Errorf("Plan(%d, %d) delivers %g < target %g", d, sep, plan.EndFid, lp.FTarget)
+			}
+			if plan.Time <= 0 || plan.Time > 2 {
+				t.Errorf("Plan(%d, %d) time %g s out of the plausible band", d, sep, plan.Time)
+			}
+		}
+	}
+}
+
+func TestConnectionTimeMonotoneInDistance(t *testing.T) {
+	lp := DefaultLinkParams()
+	for _, sep := range []int{70, 100, 350, 500} {
+		prev := 0.0
+		for _, d := range fig9Grid {
+			tm, err := lp.ConnectionTime(d, sep)
+			if err != nil {
+				t.Fatalf("ConnectionTime(%d,%d): %v", d, sep, err)
+			}
+			if tm < prev {
+				t.Errorf("sep %d: time decreased from %g to %g at distance %d", sep, prev, tm, d)
+			}
+			prev = tm
+		}
+	}
+}
+
+func TestFigure9Crossover(t *testing.T) {
+	// The paper: "island separation of 100 cells is more efficient at
+	// distances smaller than 6000 cells ... at larger distances
+	// separation of 350 cells is preferable." Comparisons use the
+	// smoothed times (the raw curves are interleaved step functions).
+	lp := DefaultLinkParams()
+	t100, err := lp.SmoothedTime(2000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t350, err := lp.SmoothedTime(2000, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t100 > t350 {
+		t.Errorf("at 2000 cells: d=100 (%.4f s) should beat d=350 (%.4f s)", t100, t350)
+	}
+	t100, _ = lp.SmoothedTime(24000, 100)
+	t350, _ = lp.SmoothedTime(24000, 350)
+	if t350 > t100 {
+		t.Errorf("at 24000 cells: d=350 (%.4f s) should beat d=100 (%.4f s)", t350, t100)
+	}
+	cross := lp.CrossoverDistance(100, 350, fig9Grid)
+	if cross < 2000 || cross > 12000 {
+		t.Errorf("d=100/d=350 crossover at %d cells; paper says ≈6000", cross)
+	}
+}
+
+func TestFigure9MagnitudeBand(t *testing.T) {
+	// Figure 9 reports connection times of roughly 0.06-0.16 s over the
+	// plotted range; our calibration should stay within an order of
+	// magnitude: a few ms to a few hundred ms in the mid range.
+	lp := DefaultLinkParams()
+	for _, sep := range []int{100, 350} {
+		for _, d := range []int{5000, 10000, 20000} {
+			tm, err := lp.ConnectionTime(d, sep)
+			if err != nil {
+				t.Fatalf("ConnectionTime(%d,%d): %v", d, sep, err)
+			}
+			if tm < 0.002 || tm > 0.6 {
+				t.Errorf("time(%d,%d) = %.4f s outside the Figure-9 magnitude band", d, sep, tm)
+			}
+		}
+	}
+}
+
+func TestFigure9Series(t *testing.T) {
+	lp := DefaultLinkParams()
+	pts := lp.Figure9Series([]int{4000, 8000})
+	if len(pts) != 2*len(Figure9Separations) {
+		t.Fatalf("series has %d points", len(pts))
+	}
+	feasible := 0
+	for _, p := range pts {
+		if p.Feasible {
+			feasible++
+			if p.Time <= 0 {
+				t.Errorf("feasible point with non-positive time: %+v", p)
+			}
+		}
+	}
+	if feasible < len(pts)-2 {
+		t.Errorf("only %d/%d points feasible", feasible, len(pts))
+	}
+}
+
+func TestBestSeparation(t *testing.T) {
+	lp := DefaultLinkParams()
+	sepShort, tShort, err := lp.BestSeparation(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepLong, tLong, err := lp.BestSeparation(24000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sepShort >= sepLong {
+		t.Errorf("best separation should grow with distance: %d then %d", sepShort, sepLong)
+	}
+	if sepShort < 35 || sepShort > 100 {
+		t.Errorf("short-range best separation = %d, expected a small one (paper: 100)", sepShort)
+	}
+	if sepLong != 350 {
+		t.Errorf("long-range best separation = %d, paper says 350", sepLong)
+	}
+	if tLong <= tShort {
+		t.Error("longer connections should take longer even at the best separation")
+	}
+}
+
+func TestPlanStructure(t *testing.T) {
+	lp := DefaultLinkParams()
+	plan, err := lp.Plan(6000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Links != 60 {
+		t.Errorf("links = %d, want 60", plan.Links)
+	}
+	if plan.SwapStages != 6 {
+		t.Errorf("stages = %d, want ceil(log2(60)) = 6", plan.SwapStages)
+	}
+	if plan.LinkFid <= lp.RawFidelity(100) && plan.InitialRounds > 0 {
+		t.Error("purification should raise link fidelity above raw")
+	}
+	if plan.TimeLink > plan.Time {
+		t.Error("link time exceeds total time")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	lp := DefaultLinkParams()
+	if _, err := lp.Plan(0, 100); err == nil {
+		t.Error("zero distance should fail")
+	}
+	if _, err := lp.Plan(1000, 0); err == nil {
+		t.Error("zero separation should fail")
+	}
+	// Absurd target: infeasible.
+	lp.FTarget = 0.999999999
+	if _, err := lp.Plan(30000, 35); err == nil {
+		t.Error("unreachable fidelity target should fail")
+	}
+}
+
+func TestConnectionBeatsEmbeddedECWindow(t *testing.T) {
+	// Section 5's overlap argument needs typical connections to complete
+	// within the 0.043 s level-2 EC step for on-chip distances of a few
+	// thousand cells at the best separation.
+	lp := DefaultLinkParams()
+	_, tm, err := lp.BestSeparation(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm > 0.043 {
+		t.Errorf("best 4000-cell connection takes %.4f s, exceeding the 0.043 s EC window", tm)
+	}
+}

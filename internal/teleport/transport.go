@@ -1,0 +1,115 @@
+package teleport
+
+import (
+	"fmt"
+	"math"
+
+	"qla/internal/iontrap"
+)
+
+// This file implements the paper's second contribution: "While
+// teleportation has been proposed as a means of communication, we show the
+// limitations of a simplistic approach using teleportation. We then show
+// how the QLA micro-architecture can be effectively used to overcome these
+// limitations." Three transport strategies are compared over distance:
+//
+//  1. direct ballistic shuttling — latency grows linearly and, more
+//     importantly, failure probability grows exponentially toward 1;
+//  2. simplistic teleportation — one EPR pair stretched over the full
+//     distance without repeaters: the halves still shuttle the whole
+//     distance, so the pair fidelity collapses the same way (and
+//     purification stops converging below F = 1/2);
+//  3. the QLA repeater interconnect — islands + nested purification keep
+//     the delivered fidelity pinned at FTarget for any distance, at the
+//     Figure-9 time cost.
+
+// TransportComparison is one row of the strategy comparison.
+type TransportComparison struct {
+	Cells int
+
+	BallisticTime    float64
+	BallisticFailure float64
+
+	// Simplistic teleportation: a single un-repeated EPR pair.
+	SimplisticFidelity float64
+	SimplisticFeasible bool // above the purification boundary
+
+	// QLA repeater interconnect (best island separation).
+	RepeaterTime     float64
+	RepeaterFidelity float64
+	RepeaterFeasible bool
+	RepeaterSep      int
+}
+
+// CompareTransport evaluates the three strategies over the given distance.
+func (lp LinkParams) CompareTransport(cells int) (TransportComparison, error) {
+	if cells <= 0 {
+		return TransportComparison{}, fmt.Errorf("teleport: distance must be positive")
+	}
+	c := TransportComparison{Cells: cells}
+
+	// Direct ballistic shuttling: tau + T·D and per-cell failure.
+	c.BallisticTime = lp.P.MoveTime(cells, 0)
+	c.BallisticFailure = lp.P.MoveFailure(cells, 0)
+
+	// Simplistic teleportation: EPR halves created mid-channel and moved
+	// cells/2 each, so the pair decoheres over the full distance with the
+	// link model's per-cell rate — identical to RawFidelity at separation
+	// = cells, with no repeaters to rescue it.
+	c.SimplisticFidelity = lp.RawFidelity(cells)
+	c.SimplisticFeasible = c.SimplisticFidelity > MinPurifiableFidelity
+
+	// The QLA interconnect.
+	sep, t, err := lp.BestSeparation(cells)
+	if err == nil {
+		plan, perr := lp.Plan(cells, sep)
+		if perr == nil {
+			c.RepeaterTime = t
+			c.RepeaterFidelity = plan.EndFid
+			c.RepeaterFeasible = true
+			c.RepeaterSep = sep
+		}
+	}
+	return c, nil
+}
+
+// BallisticBreakevenCells returns the distance at which direct ballistic
+// transport's failure probability exceeds the given budget — the point
+// past which the paper's design switches to teleportation ("ballistic
+// transport must be used for moving ions within a logical qubit, and
+// teleportation will be preferred when moving across larger distances in
+// order to keep the failure rate due to movement below the threshold").
+func BallisticBreakevenCells(p iontrap.Params, budget float64) int {
+	if budget <= 0 || budget >= 1 {
+		panic("teleport: budget must be in (0,1)")
+	}
+	perCell := p.Fail[iontrap.OpMoveCell]
+	if perCell <= 0 {
+		return math.MaxInt32
+	}
+	// 1-(1-p)^d > budget  =>  d > ln(1-budget)/ln(1-p)
+	d := math.Log(1-budget) / math.Log(1-perCell)
+	return int(math.Ceil(d))
+}
+
+// SimplisticCollapseCells returns the distance at which the un-repeated
+// EPR pair falls below the purification boundary and simplistic
+// teleportation stops working entirely.
+func (lp LinkParams) SimplisticCollapseCells() int {
+	lo, hi := 1, 1<<22
+	if lp.RawFidelity(lo) <= MinPurifiableFidelity {
+		return lo
+	}
+	if lp.RawFidelity(hi) > MinPurifiableFidelity {
+		return hi
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if lp.RawFidelity(mid) > MinPurifiableFidelity {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,101 @@
+package teleport
+
+import (
+	"testing"
+
+	"qla/internal/iontrap"
+)
+
+func TestCompareTransportShape(t *testing.T) {
+	lp := DefaultLinkParams()
+	short, err := lp.CompareTransport(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := lp.CompareTransport(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ballistic latency grows linearly; failure grows with distance.
+	if long.BallisticTime <= short.BallisticTime {
+		t.Error("ballistic time should grow with distance")
+	}
+	if long.BallisticFailure <= short.BallisticFailure {
+		t.Error("ballistic failure should grow with distance")
+	}
+	// At short range, simplistic teleportation still works.
+	if !short.SimplisticFeasible {
+		t.Error("simplistic teleportation should be feasible at 100 cells")
+	}
+	// The repeater interconnect delivers target fidelity at both ranges.
+	for _, c := range []TransportComparison{short, long} {
+		if !c.RepeaterFeasible {
+			t.Fatalf("repeater interconnect infeasible at %d cells", c.Cells)
+		}
+		if c.RepeaterFidelity < lp.FTarget {
+			t.Errorf("repeater fidelity %.4f below target at %d cells", c.RepeaterFidelity, c.Cells)
+		}
+	}
+	// The headline: repeater fidelity is distance-independent (pinned at
+	// target), while the simplistic pair collapses.
+	if long.SimplisticFidelity >= short.SimplisticFidelity {
+		t.Error("un-repeated pair fidelity should decay with distance")
+	}
+}
+
+func TestSimplisticCollapse(t *testing.T) {
+	lp := DefaultLinkParams()
+	collapse := lp.SimplisticCollapseCells()
+	// With eps=0.03 + 5e-4/cell the boundary falls in the low thousands.
+	if collapse < 500 || collapse > 10000 {
+		t.Errorf("simplistic teleportation collapse at %d cells; expected low thousands", collapse)
+	}
+	if lp.RawFidelity(collapse) > MinPurifiableFidelity {
+		t.Error("collapse distance should be at or below the boundary")
+	}
+	if lp.RawFidelity(collapse-1) <= MinPurifiableFidelity {
+		t.Error("one cell before collapse should still be purifiable")
+	}
+	// The repeater interconnect keeps working far past the collapse.
+	cmp, err := lp.CompareTransport(collapse * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SimplisticFeasible {
+		t.Error("simplistic teleportation should be dead at 4× collapse distance")
+	}
+	if !cmp.RepeaterFeasible {
+		t.Error("repeater interconnect should survive at 4× collapse distance")
+	}
+}
+
+func TestBallisticBreakeven(t *testing.T) {
+	p := iontrap.Expected()
+	// At a 7.5e-5 threshold budget with 1e-6/cell movement, the breakeven
+	// is ~75 cells — a few block widths, matching the design rule that
+	// ballistic transport stays within the logical qubit (tile ≈ 36-147
+	// cells) and teleportation handles everything longer.
+	d := BallisticBreakevenCells(p, 7.5e-5)
+	if d < 40 || d > 150 {
+		t.Errorf("ballistic breakeven = %d cells, expected ≈75", d)
+	}
+	// A generous budget extends the range; a tight one shrinks it.
+	if BallisticBreakevenCells(p, 1e-3) <= d {
+		t.Error("looser budget should allow longer ballistic runs")
+	}
+	if BallisticBreakevenCells(p, 1e-6) >= d {
+		t.Error("tighter budget should shorten ballistic runs")
+	}
+	// Perfect movement never breaks even.
+	perfect := iontrap.Uniform(0, 0)
+	if BallisticBreakevenCells(perfect, 1e-4) < 1<<30 {
+		t.Error("zero movement error should never break even")
+	}
+}
+
+func TestCompareTransportErrors(t *testing.T) {
+	lp := DefaultLinkParams()
+	if _, err := lp.CompareTransport(0); err == nil {
+		t.Error("zero distance should fail")
+	}
+}

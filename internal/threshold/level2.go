@@ -1,0 +1,246 @@
+package threshold
+
+import "qla/internal/steane"
+
+// l2sim lays out a full level-2 logical qubit per Figure 5: seven level-1
+// data groups in the middle, and two ancilla conglomerations of seven
+// level-1 groups each (one per syndrome kind, enabling parallel X/Z
+// extraction), each with a 49-ion level-2 verification bank.
+type l2sim struct {
+	sim
+	data   [7]Group
+	xSide  [7]Group
+	zSide  [7]Group
+	xVerif [49]int
+	zVerif [49]int
+}
+
+// l2FrameSize is the number of physical qubits simulated for one level-2
+// logical qubit: 21 groups of 21 ions plus two 49-ion verification banks.
+const l2FrameSize = 21*groupSize + 2*49
+
+func newL2Layout() ([7]Group, [7]Group, [7]Group, [49]int, [49]int) {
+	var data, xs, zs [7]Group
+	base := 0
+	for b := 0; b < 7; b++ {
+		data[b] = makeGroup(base)
+		base += groupSize
+	}
+	for b := 0; b < 7; b++ {
+		xs[b] = makeGroup(base)
+		base += groupSize
+	}
+	for b := 0; b < 7; b++ {
+		zs[b] = makeGroup(base)
+		base += groupSize
+	}
+	var xv, zv [49]int
+	for i := 0; i < 49; i++ {
+		xv[i] = base + i
+		zv[i] = base + 49 + i
+	}
+	return data, xs, zs, xv, zv
+}
+
+// logicalCNOTL1 applies a level-1 logical CNOT between two groups
+// (transversal physical CNOTs; the target block's ions travel), followed
+// by level-1 EC of both blocks — the fault-tolerance rule the QLA design
+// obeys after every logical gate.
+func (s *l2sim) logicalCNOTL1(from, to Group, withEC bool) {
+	for i := 0; i < 7; i++ {
+		s.cnotInter(from.Data[i], to.Data[i], to.Data[i])
+	}
+	if withEC {
+		s.l1EC(from)
+		s.l1EC(to)
+	}
+}
+
+// prepL2Zero prepares a verified level-2 |0>_L on the given conglomeration:
+// seven verified level-1 blocks, the transversal encoder at the logical
+// level with level-1 EC after each logical CNOT, then a level-2
+// verification copy onto the 49-ion bank, hierarchically decoded; a
+// residual logical error in any sub-block restarts the preparation.
+func (s *l2sim) prepL2Zero(side *[7]Group, verif *[49]int) {
+	for attempt := 0; attempt < maxPrepAttempts; attempt++ {
+		for b := 0; b < 7; b++ {
+			// Each level-1 block of the conglomeration is prepared with
+			// the full two-screen verified preparation.
+			s.prepVerifiedZero(side[b].Data, side[b].Verif)
+		}
+		// Logical-level encoder: H on pivot blocks 3, 1, 0. Level-1 EC
+		// between encoder stages is unnecessary here — the level-2
+		// verification bank screens the finished ancilla, and skipping it
+		// keeps the ancilla preparation lean (the paper's design goal:
+		// "reduce ... the ancillary qubits required by the error
+		// correction algorithm" at the cost of EC time elsewhere).
+		for _, b := range [3]int{3, 1, 0} {
+			for _, q := range side[b].Data {
+				s.h(q)
+			}
+		}
+		for _, p := range encoderCNOTs {
+			s.logicalCNOTL1(side[p[0]], side[p[1]], false)
+		}
+		// Level-2 verification.
+		for i := 0; i < 49; i++ {
+			s.prep0(verif[i])
+		}
+		for b := 0; b < 7; b++ {
+			for i := 0; i < 7; i++ {
+				s.cnotInter(side[b].Data[i], verif[b*7+i], verif[b*7+i])
+			}
+		}
+		var ell [7]int
+		for b := 0; b < 7; b++ {
+			var w [7]int
+			for i := 0; i < 7; i++ {
+				w[i] = s.measureZ(verif[b*7+i])
+			}
+			ell[b] = steane.DecodeBlock(w)
+		}
+		ok := true
+		for b := 0; b < 7; b++ {
+			if ell[b] != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		s.prepRetries++
+	}
+}
+
+// prepL2Plus prepares a verified level-2 |+>_L: |0>_L then transversal H.
+func (s *l2sim) prepL2Plus(side *[7]Group, verif *[49]int) {
+	s.prepL2Zero(side, verif)
+	for b := 0; b < 7; b++ {
+		for _, q := range side[b].Data {
+			s.h(q)
+		}
+	}
+}
+
+// l2ExtractX extracts the level-2 bit-flip syndrome: verified |0>_L2
+// ancilla conglomeration, transversal logical CNOT data->ancilla,
+// hierarchical readout decode. blockSyn reports whether any sub-block
+// word carried a non-trivial level-1 syndrome (counted in the paper's
+// non-trivial-syndrome statistics).
+func (s *l2sim) l2ExtractX() (syn int, blockSyn bool) {
+	s.prepL2Zero(&s.xSide, &s.xVerif)
+	for b := 0; b < 7; b++ {
+		for i := 0; i < 7; i++ {
+			s.cnotInter(s.data[b].Data[i], s.xSide[b].Data[i], s.xSide[b].Data[i])
+		}
+	}
+	var ell [7]int
+	for b := 0; b < 7; b++ {
+		var w [7]int
+		for i := 0; i < 7; i++ {
+			w[i] = s.measureZ(s.xSide[b].Data[i])
+		}
+		if steane.Syndrome(w) != 0 {
+			blockSyn = true
+		}
+		ell[b] = steane.DecodeBlock(w)
+	}
+	return steane.Syndrome(ell), blockSyn
+}
+
+// l2ExtractZ extracts the level-2 phase-flip syndrome with a |+>_L2
+// ancilla and reversed CNOT direction, reading out in the X basis.
+func (s *l2sim) l2ExtractZ() (syn int, blockSyn bool) {
+	s.prepL2Plus(&s.zSide, &s.zVerif)
+	for b := 0; b < 7; b++ {
+		for i := 0; i < 7; i++ {
+			s.cnotInter(s.zSide[b].Data[i], s.data[b].Data[i], s.zSide[b].Data[i])
+		}
+	}
+	var ell [7]int
+	for b := 0; b < 7; b++ {
+		var w [7]int
+		for i := 0; i < 7; i++ {
+			w[i] = s.measureX(s.zSide[b].Data[i])
+		}
+		if steane.Syndrome(w) != 0 {
+			blockSyn = true
+		}
+		ell[b] = steane.DecodeBlock(w)
+	}
+	return steane.Syndrome(ell), blockSyn
+}
+
+// l2ECKind runs one error-kind correction at level 2 with the
+// agreeing-syndromes rule; corrections are transversal logical Paulis on
+// the identified level-1 block.
+func (s *l2sim) l2ECKind(zKind bool) {
+	extract := func() int {
+		s.extractions[2]++
+		var syn int
+		var blockSyn bool
+		if zKind {
+			syn, blockSyn = s.l2ExtractZ()
+		} else {
+			syn, blockSyn = s.l2ExtractX()
+		}
+		if syn != 0 || blockSyn {
+			s.nontrivial[2]++
+		}
+		return syn
+	}
+	syn := extract()
+	if syn == 0 {
+		return
+	}
+	use := syn
+	prev := syn
+	for round := 1; round < maxSyndromeRounds; round++ {
+		next := extract()
+		if next == prev {
+			use = next
+			break
+		}
+		use = next
+		prev = next
+	}
+	if pos := steane.DecodePosition(use); pos >= 0 {
+		for _, q := range s.data[pos].Data {
+			if zKind {
+				s.f.InjectZ(q)
+			} else {
+				s.f.InjectX(q)
+			}
+			s.gate1Noise(q)
+		}
+		// Equation 1's non-trivial branch: "correct the error with the
+		// appropriate gate followed by a lower level error correction
+		// cycle" — level-1 EC of the corrected block.
+		s.l1EC(s.data[pos])
+	}
+}
+
+// l2EC is one full level-2 error-correction step.
+func (s *l2sim) l2EC() {
+	s.l2ECKind(false)
+	s.l2ECKind(true)
+}
+
+// residualFail scores the trial by ideal hierarchical decoding of the
+// residual frame over the 49 data ions.
+func (s *l2sim) residualFail() bool {
+	xs := make([]int, 49)
+	zs := make([]int, 49)
+	for b := 0; b < 7; b++ {
+		for i := 0; i < 7; i++ {
+			q := s.data[b].Data[i]
+			if s.f.XBit(q) {
+				xs[b*7+i] = 1
+			}
+			if s.f.ZBit(q) {
+				zs[b*7+i] = 1
+			}
+		}
+	}
+	return steane.DecodeRecursive(xs, 2) != 0 || steane.DecodeRecursive(zs, 2) != 0
+}

@@ -1,0 +1,276 @@
+// Package threshold implements the paper's Figure-7 experiment: gate-level
+// Monte Carlo simulation of a single logical one-qubit gate followed by
+// recursive Steane [[7,1,3]] error correction at levels 1 and 2, mapped to
+// the Figure-5 layout distances, with the movement failure rate pinned to
+// the expected value while all other component failure rates sweep.
+//
+// The simulation follows the paper's procedure exactly:
+//   - ancilla blocks are prepared with encoder + verification ions and
+//     re-prepared on verification failure ("Start Over" in Figure 6);
+//   - syndromes are re-extracted until two successive extractions agree;
+//   - at level 2 every logical gate is followed by level-1 error
+//     correction of the touched blocks, and ancilla conglomerations are
+//     built from seven level-1 blocks via the transversal encoder;
+//   - trials are scored by ideal hierarchical decoding of the residual
+//     Pauli frame: a residual logical operator is a gate failure.
+package threshold
+
+import (
+	"qla/internal/layout"
+	"qla/internal/noise"
+	"qla/internal/pauliframe"
+	"qla/internal/steane"
+)
+
+// Group indexes one level-1 block: 7 data ions, 7 ancilla ions and 7
+// verification ions (Section 4.1: "uses 7 ions as data and 7 ions as
+// ancilla, the other 7 are used as verification bits").
+type Group struct {
+	Data  [7]int
+	Anc   [7]int
+	Verif [7]int
+}
+
+const groupSize = 21
+
+func makeGroup(base int) Group {
+	var g Group
+	for i := 0; i < 7; i++ {
+		g.Data[i] = base + i
+		g.Anc[i] = base + 7 + i
+		g.Verif[i] = base + 14 + i
+	}
+	return g
+}
+
+// maxPrepAttempts bounds ancilla re-preparation; beyond it the last
+// preparation is used as-is (only reachable at absurd error rates).
+const maxPrepAttempts = 5
+
+// maxSyndromeRounds bounds the two-successive-agreeing-syndromes rule (the
+// paper observed at most two extractions before agreement).
+const maxSyndromeRounds = 3
+
+// encoderCNOTs is the [[7,1,3]] |0>_L encoder CNOT schedule (pivot
+// fan-outs along the stabilizer row supports; see steane.EncodeZero).
+var encoderCNOTs = [9][2]int{
+	{3, 4}, {3, 5}, {3, 6},
+	{1, 2}, {1, 5}, {1, 6},
+	{0, 2}, {0, 4}, {0, 6},
+}
+
+// sim carries the shared Monte Carlo machinery.
+type sim struct {
+	f *pauliframe.Frame
+	m *noise.Model
+
+	// Syndrome statistics per recursion level (1-indexed).
+	extractions [3]int64
+	nontrivial  [3]int64
+	prepRetries int64
+}
+
+func (s *sim) prep0(q int) {
+	s.f.Reset(q)
+	s.m.PrepError(s.f, q)
+}
+
+func (s *sim) h(q int) {
+	s.f.H(q)
+	s.m.GateError1(s.f, q)
+}
+
+// gate1Noise charges a one-qubit gate that is a Pauli (frame-transparent).
+func (s *sim) gate1Noise(q int) {
+	s.m.GateError1(s.f, q)
+}
+
+// cnotIntra performs a CNOT between ions of the same block: the target ion
+// shuttles a couple of cells.
+func (s *sim) cnotIntra(c, t int) {
+	mv := layout.IntraBlockGateMove()
+	s.m.MoveError(s.f, t, mv.Cells, mv.Corners)
+	s.f.CNOT(c, t)
+	s.m.GateError2(s.f, c, t)
+}
+
+// cnotInter performs a CNOT between ions of different blocks; travel names
+// the ion that shuttles the inter-block distance (QLA never moves data:
+// the ancilla-side ion travels r = 12 cells with up to two turns).
+func (s *sim) cnotInter(c, t, travel int) {
+	mv := layout.InterBlockGateMove()
+	s.m.MoveError(s.f, travel, mv.Cells, mv.Corners)
+	s.f.CNOT(c, t)
+	s.m.GateError2(s.f, c, t)
+}
+
+func (s *sim) measureZ(q int) int {
+	return s.f.MeasureZ(q) ^ s.m.MeasureFlip()
+}
+
+func (s *sim) measureX(q int) int {
+	// Physical X-basis readout: H then fluorescence readout.
+	s.h(q)
+	return s.f.MeasureZ(q) ^ s.m.MeasureFlip()
+}
+
+// encodeZero runs the noisy [[7,1,3]] encoder over the given qubits.
+func (s *sim) encodeZero(q [7]int) {
+	s.h(q[3])
+	s.h(q[1])
+	s.h(q[0])
+	for _, p := range encoderCNOTs {
+		s.cnotIntra(q[p[0]], q[p[1]])
+	}
+}
+
+// prepVerifiedZero prepares anc in |0>_L with two verification screens
+// using the block's 7 verification ions, restarting on any detection
+// ("Start Over" in Figure 6):
+//
+//  1. Z screen: the verification ions are themselves encoded to |0>_L and
+//     used as the control of a transversal CNOT onto the ancilla (a
+//     logical identity), then read out in the X basis. Correlated Z
+//     errors from the ancilla encoder — which would feed back into the
+//     data during syndrome extraction — copy onto the verifier and are
+//     caught here.
+//  2. X screen: the codeword is copied transversally onto fresh
+//     verification ions and read out in Z. It runs last so that it also
+//     catches correlated X errors injected by the Z screen's own encoder.
+func (s *sim) prepVerifiedZero(anc, verif [7]int) {
+	for attempt := 0; attempt < maxPrepAttempts; attempt++ {
+		for _, q := range anc {
+			s.prep0(q)
+		}
+		s.encodeZero(anc)
+		ok := true
+		// Z screen.
+		for _, q := range verif {
+			s.prep0(q)
+		}
+		s.encodeZero(verif)
+		for i := 0; i < 7; i++ {
+			s.cnotIntra(verif[i], anc[i])
+		}
+		for i := 0; i < 7; i++ {
+			if s.measureX(verif[i]) != 0 {
+				ok = false
+			}
+		}
+		// X screen.
+		for _, q := range verif {
+			s.prep0(q)
+		}
+		for i := 0; i < 7; i++ {
+			s.cnotIntra(anc[i], verif[i])
+		}
+		for i := 0; i < 7; i++ {
+			if s.measureZ(verif[i]) != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		s.prepRetries++
+	}
+}
+
+// prepVerifiedPlus prepares |+>_L: verified |0>_L then transversal H.
+func (s *sim) prepVerifiedPlus(anc, verif [7]int) {
+	s.prepVerifiedZero(anc, verif)
+	for _, q := range anc {
+		s.h(q)
+	}
+}
+
+// l1ExtractX extracts the bit-flip syndrome of a block's data: verified
+// |0>_L ancilla, transversal CNOT data->ancilla, Z readout, Hamming decode.
+func (s *sim) l1ExtractX(g Group) int {
+	s.prepVerifiedZero(g.Anc, g.Verif)
+	for i := 0; i < 7; i++ {
+		s.cnotInter(g.Data[i], g.Anc[i], g.Anc[i])
+	}
+	var w [7]int
+	for i := 0; i < 7; i++ {
+		w[i] = s.measureZ(g.Anc[i])
+	}
+	return steane.Syndrome(w)
+}
+
+// l1ExtractZ extracts the phase-flip syndrome: verified |+>_L ancilla,
+// transversal CNOT ancilla->data, X readout.
+func (s *sim) l1ExtractZ(g Group) int {
+	s.prepVerifiedPlus(g.Anc, g.Verif)
+	for i := 0; i < 7; i++ {
+		s.cnotInter(g.Anc[i], g.Data[i], g.Anc[i])
+	}
+	var w [7]int
+	for i := 0; i < 7; i++ {
+		w[i] = s.measureX(g.Anc[i])
+	}
+	return steane.Syndrome(w)
+}
+
+// l1ECKind runs one error-kind correction with the agreeing-syndromes rule.
+func (s *sim) l1ECKind(g Group, zKind bool) {
+	extract := func() int {
+		s.extractions[1]++
+		var syn int
+		if zKind {
+			syn = s.l1ExtractZ(g)
+		} else {
+			syn = s.l1ExtractX(g)
+		}
+		if syn != 0 {
+			s.nontrivial[1]++
+		}
+		return syn
+	}
+	syn := extract()
+	if syn == 0 {
+		return
+	}
+	use := syn
+	prev := syn
+	for round := 1; round < maxSyndromeRounds; round++ {
+		next := extract()
+		if next == prev {
+			use = next
+			break
+		}
+		use = next
+		prev = next
+	}
+	if pos := steane.DecodePosition(use); pos >= 0 {
+		q := g.Data[pos]
+		if zKind {
+			s.f.InjectZ(q)
+		} else {
+			s.f.InjectX(q)
+		}
+		s.gate1Noise(q)
+	}
+}
+
+// l1EC is one full level-1 error-correction step (X then Z serially; the
+// level-1 qubit has a single ancilla block).
+func (s *sim) l1EC(g Group) {
+	s.l1ECKind(g, false)
+	s.l1ECKind(g, true)
+}
+
+// dataResidualFail scores a level-1 block by ideal decoding of its
+// residual frame.
+func (s *sim) dataResidualFail(g Group) bool {
+	var xs, zs [7]int
+	for i, q := range g.Data {
+		if s.f.XBit(q) {
+			xs[i] = 1
+		}
+		if s.f.ZBit(q) {
+			zs[i] = 1
+		}
+	}
+	return steane.DecodeBlock(xs) != 0 || steane.DecodeBlock(zs) != 0
+}

@@ -1,0 +1,298 @@
+// Package qla is a from-scratch Go implementation of the Quantum Logic
+// Array (QLA) microarchitecture of Metodi, Thaker, Cross, Chong and Chuang
+// (MICRO-38, 2005): a tiled ion-trap quantum computer built from level-2
+// Steane [[7,1,3]] logical qubits connected by a teleportation-island
+// interconnect, together with ARQ, the stabilizer-formalism architecture
+// simulator the paper introduces.
+//
+// The package is the public facade over the implementation packages:
+//
+//   - NewMachine configures a QLA instance (floorplan, technology
+//     parameters, recursion level, channel bandwidth) and answers
+//     architecture questions: EC-step clock tick, logical failure rate,
+//     communication overlap, circuit execution estimates.
+//   - NewJob / ParseJob run circuits through the ARQ pipeline: exact
+//     stabilizer execution, noisy Pauli-frame Monte Carlo, pulse-schedule
+//     lowering.
+//   - The experiment functions (Table2, Figure7, Figure9, ECLatency,
+//     Equation2, SchedulerSweep, SyndromeRates) regenerate every table and
+//     figure of the paper's evaluation; see EXPERIMENTS.md.
+package qla
+
+import (
+	"io"
+
+	"qla/internal/adder"
+	"qla/internal/arq"
+	"qla/internal/circuit"
+	"qla/internal/codes"
+	"qla/internal/commsim"
+	"qla/internal/control"
+	"qla/internal/core"
+	"qla/internal/ft"
+	"qla/internal/iontrap"
+	"qla/internal/modarith"
+	"qla/internal/multichip"
+	"qla/internal/netsim"
+	"qla/internal/qccd"
+	"qla/internal/shor"
+	"qla/internal/stabilizer"
+	"qla/internal/teleport"
+	"qla/internal/threshold"
+)
+
+// Re-exported model types. The aliases keep the full method sets of the
+// implementation packages while presenting a single import path.
+type (
+	// Machine is a configured QLA instance.
+	Machine = core.Machine
+	// MachineOption configures NewMachine.
+	MachineOption = core.Option
+	// Report is an architecture-level circuit execution estimate.
+	Report = core.Report
+	// Circuit is the ARQ circuit IR.
+	Circuit = circuit.Circuit
+	// Job is a circuit mapped onto a machine.
+	Job = arq.Job
+	// TechParams is one technology parameter set (Table 1).
+	TechParams = iontrap.Params
+	// ShorResources is one row of Table 2.
+	ShorResources = shor.Resources
+	// ThresholdPoint is one Figure-7 Monte Carlo sample.
+	ThresholdPoint = threshold.Point
+	// LinkModel is the Figure-9 repeater-channel model.
+	LinkModel = teleport.LinkParams
+	// Fig9Point is one Figure-9 series sample.
+	Fig9Point = teleport.Figure9Point
+	// BandwidthResult is one Section-5 scheduler experiment row.
+	BandwidthResult = netsim.BandwidthResult
+	// State is an n-qubit stabilizer state (the ARQ backend).
+	State = stabilizer.State
+	// ECLatencySummary reports the Equation-1 headline latencies.
+	ECLatencySummary = ft.Summary
+)
+
+// Machine construction.
+
+// NewMachine builds a QLA machine with the given logical-qubit capacity.
+func NewMachine(logicalQubits int, opts ...MachineOption) (*Machine, error) {
+	return core.New(logicalQubits, opts...)
+}
+
+// WithParams selects the technology parameter set (default ExpectedParams).
+func WithParams(p TechParams) MachineOption { return core.WithParams(p) }
+
+// WithLevel selects the recursion level (default 2).
+func WithLevel(level int) MachineOption { return core.WithLevel(level) }
+
+// WithBandwidth selects the channel bandwidth (default 2).
+func WithBandwidth(b int) MachineOption { return core.WithBandwidth(b) }
+
+// Technology parameters (Table 1).
+
+// CurrentParams returns the experimentally achieved failure rates.
+func CurrentParams() TechParams { return iontrap.Current() }
+
+// ExpectedParams returns the projected failure rates used throughout the
+// paper's evaluation.
+func ExpectedParams() TechParams { return iontrap.Expected() }
+
+// Circuits and ARQ.
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// ParseCircuit reads the .qc text format.
+func ParseCircuit(r io.Reader) (*Circuit, error) { return circuit.Parse(r) }
+
+// NewState returns the |0…0⟩ stabilizer state on n qubits.
+func NewState(n int) *State { return stabilizer.New(n) }
+
+// NewJob maps a circuit onto a fresh machine sized to fit it.
+func NewJob(c *Circuit, opts ...MachineOption) (*Job, error) {
+	return arq.NewJob(c, opts...)
+}
+
+// ParseJob parses a .qc circuit and maps it onto a machine.
+func ParseJob(r io.Reader, opts ...MachineOption) (*Job, error) {
+	return arq.Parse(r, opts...)
+}
+
+// Experiments (see EXPERIMENTS.md for the paper-vs-measured record).
+
+// Table2 regenerates the paper's Table 2 (Shor's algorithm sizing for
+// N = 128, 512, 1024, 2048) under the expected parameters.
+func Table2() ([]ShorResources, error) { return shor.Table2() }
+
+// EstimateShor sizes Shor's algorithm for an arbitrary modulus width.
+func EstimateShor(nBits int, p TechParams) (ShorResources, error) {
+	return shor.Estimate(nBits, p)
+}
+
+// Figure7 runs the threshold Monte Carlo at both recursion levels over
+// the given physical error rates and returns the two curves and the
+// interpolated pseudo-threshold crossing.
+func Figure7(physErrors []float64, trialsL1, trialsL2 int, seed uint64) (l1, l2 []ThresholdPoint, crossing float64, err error) {
+	l1, err = threshold.Sweep(1, physErrors, trialsL1, seed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	l2, err = threshold.Sweep(2, physErrors, trialsL2, seed+1)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return l1, l2, threshold.Crossing(l1, l2), nil
+}
+
+// Figure7Errors is the paper's Figure-7 sweep range.
+var Figure7Errors = threshold.Figure7Errors
+
+// SyndromeRates measures the non-trivial syndrome rates at levels 1 and 2
+// under the expected parameters (Section 4.1.1).
+func SyndromeRates(trials int, seed uint64) (l1, l2 float64, err error) {
+	return threshold.SyndromeRates(trials, seed)
+}
+
+// DefaultLink returns the calibrated Figure-9 repeater-channel model.
+func DefaultLink() LinkModel { return teleport.DefaultLinkParams() }
+
+// Figure9 sweeps connection time over total distance for each island
+// separation of Figure 9.
+func Figure9(distances []int) []Fig9Point {
+	return DefaultLink().Figure9Series(distances)
+}
+
+// ECLatency evaluates Equation 1 under the given parameters, returning
+// the level-1 and level-2 EC-step times and the ancilla preparation time.
+func ECLatency(p TechParams) ECLatencySummary {
+	return ft.NewLatencyModel(p).Summarize()
+}
+
+// Equation2 evaluates Gottesman's local-architecture failure estimate.
+func Equation2(p0, pth float64, level int) float64 {
+	return ft.GottesmanFailure(p0, pth, 12, level)
+}
+
+// SchedulerSweep runs the Section-5 bandwidth experiment at the given
+// channel bandwidths (the paper's canonical workload).
+func SchedulerSweep(bandwidths []int) ([]BandwidthResult, error) {
+	return netsim.DefaultExperiment(bandwidths)
+}
+
+// Arithmetic circuits (Section 5 workload components).
+
+type (
+	// AdderMetrics measures one explicit adder circuit.
+	AdderMetrics = adder.Metrics
+	// AdderComparison pairs ripple vs lookahead at one width.
+	AdderComparison = adder.Comparison
+)
+
+// CompareAdders builds, verifies and measures the Cuccaro ripple-carry
+// baseline against the DKRS carry-lookahead adder (the paper's QCLA
+// choice) at the given operand width.
+func CompareAdders(nBits int) AdderComparison { return adder.Compare(nBits) }
+
+// ModAddMetrics measures one modular-adder circuit (the VBE
+// construction from four adder passes — the building block the paper's
+// modular-exponentiation count is made of).
+type ModAddMetrics = modarith.Metrics
+
+// MeasureModAdd builds and measures a verified modular adder for the
+// given width and modulus. useCLA selects the carry-lookahead
+// subroutine; false selects the ripple baseline.
+func MeasureModAdd(nBits int, modulus uint64, useCLA bool) ModAddMetrics {
+	kind := modarith.Ripple
+	if useCLA {
+		kind = modarith.CLA
+	}
+	return modarith.Measure(nBits, modulus, kind)
+}
+
+// Error-correcting code catalog (Section 3/4.1.3 extensibility).
+
+type (
+	// Code is an [[n,k,d]] stabilizer code definition.
+	Code = codes.Code
+	// CodeCost is the syndrome-extraction bill of a code.
+	CodeCost = codes.ECCost
+)
+
+// CodeCatalog returns the implemented codes: both 3-qubit repetition
+// codes, the perfect [[5,1,3]], Steane's [[7,1,3]] and Shor's [[9,1,3]].
+func CodeCatalog() []*Code { return codes.All() }
+
+// CodeAblation compares syndrome-extraction costs across the catalog
+// under the given technology parameters.
+func CodeAblation(p TechParams) []CodeCost { return codes.Ablation(p) }
+
+// QCCD physical simulation (Figures 2-4 substrate).
+
+type (
+	// ShuttleSim is the discrete-event QCCD substrate simulator.
+	ShuttleSim = qccd.Sim
+	// ShuttleGrid is a QCCD cell map.
+	ShuttleGrid = qccd.Grid
+	// TransversalReport is an executed inter-block transversal gate.
+	TransversalReport = qccd.TransversalReport
+)
+
+// NewShuttleSim builds a QCCD simulator over a cell grid.
+func NewShuttleSim(g *ShuttleGrid, p TechParams) *ShuttleSim { return qccd.NewSim(g, p) }
+
+// TwoBlockGrid builds the canonical two-block shuttle geometry.
+func TwoBlockGrid(ionsPerBlock, channelCells int) *ShuttleGrid {
+	return qccd.TwoBlockGrid(ionsPerBlock, channelCells)
+}
+
+// RunTransversalGate executes a full inter-block transversal gate on
+// the QCCD simulator and reports measured vs analytic cost.
+func RunTransversalGate(ionsPerBlock, channelCells int, p TechParams) (TransversalReport, error) {
+	return qccd.InterBlockTransversalGate(ionsPerBlock, channelCells, p)
+}
+
+// Gate-level interconnect Monte Carlo (Section 4.2 validation).
+
+type (
+	// ChainConfig parameterizes the repeater-chain Monte Carlo.
+	ChainConfig = commsim.ChainConfig
+	// ChainResult is a repeater-chain Monte Carlo outcome.
+	ChainResult = commsim.ChainResult
+)
+
+// RunChain executes the repeater protocol gate by gate on the
+// stabilizer backend and compares against the Werner-model prediction.
+func RunChain(cfg ChainConfig) (ChainResult, error) { return commsim.RunChain(cfg) }
+
+// CompareCommStrategies contrasts naive end-to-end teleportation with
+// the repeater chain at equal total channel noise, on the full backend.
+func CompareCommStrategies(perLinkEps float64, links, purifyRounds, trials int, seed uint64) (commsim.NaiveVsRepeater, error) {
+	return commsim.CompareStrategies(perLinkEps, links, purifyRounds, trials, seed)
+}
+
+// Classical control (Section 6 resource management).
+
+// ControlBudget is the classical-resource bill of a pulse schedule.
+type ControlBudget = control.Budget
+
+// AnalyzeControl computes laser, detector and event-rate requirements
+// for a job's pulse schedule, with SIMD laser grouping.
+func AnalyzeControl(j *Job) ControlBudget { return control.Analyze(j.Lower(), 0) }
+
+// Multi-chip scaling (Section 6 future work).
+
+type (
+	// ChipPartition is a multi-chip plan for one problem size.
+	ChipPartition = multichip.Partition
+	// PhotonicLink characterizes one inter-chip entanglement link.
+	PhotonicLink = multichip.LinkParams
+)
+
+// DefaultPhotonicLink returns mid-2000s heralded-link parameters.
+func DefaultPhotonicLink() PhotonicLink { return multichip.DefaultLinkParams() }
+
+// PlanMultichip partitions an N-bit factorization machine across chips
+// bounded by maxEdgeCM and sizes the photonic links per boundary.
+func PlanMultichip(nBits int, maxEdgeCM float64, maxLinks int, link PhotonicLink, p TechParams) (ChipPartition, error) {
+	return multichip.Plan(nBits, maxEdgeCM, maxLinks, link, p)
+}

@@ -1,0 +1,127 @@
+package qla_test
+
+import (
+	"strings"
+	"testing"
+
+	"qla"
+)
+
+// The facade tests double as end-to-end integration tests of the public
+// API: machine construction, the ARQ pipeline, and every experiment entry
+// point.
+
+func TestFacadeMachine(t *testing.T) {
+	m, err := qla.NewMachine(64, qla.WithLevel(2), qla.WithBandwidth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LogicalQubits() != 64 {
+		t.Errorf("capacity = %d", m.LogicalQubits())
+	}
+	if ec := m.ECStepTime(); ec < 0.03 || ec > 0.06 {
+		t.Errorf("EC step %.4f s out of range", ec)
+	}
+	ok, err := m.Overlapped(0, 1)
+	if err != nil || !ok {
+		t.Errorf("adjacent communication should overlap: %v %v", ok, err)
+	}
+}
+
+func TestFacadeARQPipeline(t *testing.T) {
+	src := `qubits 4
+h 0
+cnot 0 1
+cnot 1 2
+cnot 2 3
+measure 0
+measure 3
+`
+	job, err := qla.ParseJob(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: GHZ ends correlated.
+	for seed := uint64(1); seed < 8; seed++ {
+		out := job.RunExact(seed)
+		if out[0] != out[1] {
+			t.Fatalf("GHZ outer qubits uncorrelated: %v", out)
+		}
+	}
+	// Estimate: everything overlaps on a small machine.
+	rep, err := job.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommExposed != 0 {
+		t.Errorf("%d exposed communications on a 4-qubit machine", rep.CommExposed)
+	}
+	// Noisy: current-generation parameters flip some outcomes.
+	res, err := job.RunNoisy(qla.CurrentParams(), 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnyFlipTrials == 0 {
+		t.Error("current-generation noise should flip some outcomes")
+	}
+	// Pulses lower cleanly.
+	var sb strings.Builder
+	if err := job.WritePulses(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\n") != len(job.Circuit.Ops) {
+		t.Error("pulse schedule should have one line per op")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	// Table 2.
+	rows, err := qla.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].LogicalQubits != 37971 {
+		t.Errorf("Table 2 head row wrong: %+v", rows[0])
+	}
+	// Equation 2.
+	p0 := qla.ExpectedParams().AverageComponentFailure()
+	if pf := qla.Equation2(p0, 7.5e-5, 2); pf < 0.8e-16 || pf > 1.2e-16 {
+		t.Errorf("Equation2 = %.3g", pf)
+	}
+	// EC latency.
+	sum := qla.ECLatency(qla.ExpectedParams())
+	if sum.ECLevel2 < sum.ECLevel1 {
+		t.Error("level-2 EC should cost more than level-1")
+	}
+	// Figure 9.
+	pts := qla.Figure9([]int{4000})
+	if len(pts) != 7 {
+		t.Errorf("Figure9 returned %d points", len(pts))
+	}
+	// Scheduler.
+	sched, err := qla.SchedulerSweep([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched[0].Overlapped {
+		t.Error("bandwidth 2 should overlap")
+	}
+	// Figure 7 at smoke scale.
+	l1, l2, _, err := qla.Figure7([]float64{4e-3}, 3000, 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2[0].FailRate <= l1[0].FailRate {
+		t.Error("above threshold, level 2 should fail more")
+	}
+}
+
+func TestFacadeCircuitBuilder(t *testing.T) {
+	c := qla.NewCircuit(2)
+	c.PrepPlus(0).CNOT(0, 1).MeasureZ(0).MeasureZ(1)
+	s := qla.NewState(2)
+	out := c.RunOn(s)
+	if out[0] != out[1] {
+		t.Errorf("Bell outcomes %v", out)
+	}
+}
