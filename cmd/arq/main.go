@@ -1,7 +1,9 @@
 // Command arq is the ARQ simulator front end: it reads a circuit in the
 // .qc text format, maps it onto a QLA machine, and either estimates its
 // architecture-level execution, runs it exactly on the stabilizer backend,
-// runs a noisy Monte Carlo, or emits the lowered pulse schedule.
+// runs a noisy Monte Carlo, or emits the lowered pulse schedule. Each
+// mode is an experiment-registry entry ("arq-<mode>") driven through the
+// engine front door.
 //
 // Usage:
 //
@@ -10,11 +12,13 @@
 //	arq -mode noisy -trials 2000 -params current circuit.qc
 //	arq -mode pulses circuit.qc
 //	arq -mode control circuit.qc
+//	arq -spec run.json
 //
 // With no file argument the circuit is read from standard input.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,15 +33,50 @@ func main() {
 	trials := flag.Int("trials", 1000, "Monte Carlo trials for -mode noisy")
 	seed := flag.Uint64("seed", 1, "random seed")
 	level := flag.Int("level", 2, "recursion level of the logical qubits")
+	specFile := flag.String("spec", "", "run one JSON Spec file instead of the mode flags")
 	flag.Parse()
 
-	if err := run(*mode, *params, *trials, *seed, *level, flag.Args()); err != nil {
+	if err := run(*mode, *params, *trials, *seed, *level, *specFile, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "arq: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, params string, trials int, seed uint64, level int, args []string) error {
+func run(mode, params string, trials int, seed uint64, level int, specFile string, args []string) error {
+	eng := qla.NewEngine()
+	ctx := context.Background()
+
+	if specFile != "" {
+		if len(args) > 0 {
+			return fmt.Errorf("cannot combine -spec with a circuit file argument (put the circuit in the spec's %q parameter)", "circuit")
+		}
+		spec, err := qla.ReadSpecFile(specFile)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Run(ctx, spec)
+		if err != nil {
+			return err
+		}
+		return qla.ReportResult(os.Stdout, res)
+	}
+
+	// Validate the flags before touching input: reading the circuit may
+	// block on standard input, and a flag typo should fail immediately.
+	exp, ok := qla.Lookup("arq-" + mode)
+	if !ok {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if level < 1 {
+		// The -level flag names a concrete level; only a JSON spec may
+		// omit it to get the default.
+		return fmt.Errorf("recursion level %d out of range (want >= 1)", level)
+	}
+	machine := qla.MachineSpec{ParamSet: params, Level: level}
+	if _, err := machine.TechParams(); err != nil {
+		return err
+	}
+
 	var in io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -47,64 +86,24 @@ func run(mode, params string, trials int, seed uint64, level int, args []string)
 		defer f.Close()
 		in = f
 	}
-
-	var tech qla.TechParams
-	switch params {
-	case "expected":
-		tech = qla.ExpectedParams()
-	case "current":
-		tech = qla.CurrentParams()
-	default:
-		return fmt.Errorf("unknown parameter set %q", params)
-	}
-
-	job, err := qla.ParseJob(in, qla.WithParams(tech), qla.WithLevel(level))
+	src, err := io.ReadAll(in)
 	if err != nil {
 		return err
 	}
-
-	switch mode {
-	case "estimate":
-		rep, err := job.Estimate()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("logical qubits:        %d\n", rep.LogicalQubits)
-		fmt.Printf("EC steps (depth):      %d\n", rep.ECSteps)
-		fmt.Printf("EC step time:          %.4f s\n", job.Machine.ECStepTime())
-		fmt.Printf("estimated wall clock:  %.3f s\n", rep.Seconds)
-		fmt.Printf("2q comm overlapped:    %d\n", rep.CommOverlapped)
-		fmt.Printf("2q comm exposed:       %d (extra %.3f s)\n", rep.CommExposed, rep.ExtraCommTime)
-		fmt.Printf("failure budget used:   %.3g\n", rep.FailureBudget)
-		fmt.Printf("chip area:             %.4f m²\n", job.Machine.AreaM2())
-	case "run":
-		out := job.RunExact(seed)
-		fmt.Printf("measurements: %v\n", out)
-	case "noisy":
-		res, err := job.RunNoisy(tech, trials, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("trials:          %d\n", res.Trials)
-		fmt.Printf("errors injected: %d\n", res.ErrorsInjected)
-		fmt.Printf("trials w/ flips: %d (%.3f%%)\n", res.AnyFlipTrials,
-			100*float64(res.AnyFlipTrials)/float64(res.Trials))
-		for i, f := range res.FlipHistogram {
-			fmt.Printf("  measurement %d flipped in %d trials\n", i, f)
-		}
-	case "pulses":
-		return job.WritePulses(os.Stdout)
-	case "control":
-		b := qla.AnalyzeControl(job)
-		fmt.Printf("pulses:                %d\n", b.Ops)
-		fmt.Printf("makespan:              %.6f s\n", b.Makespan)
-		fmt.Printf("peak lasers:           %d dedicated, %d SIMD groups (MEMS fanout)\n",
-			b.PeakLasers, b.PeakLasersSIMD)
-		fmt.Printf("peak photodetectors:   %d\n", b.PeakDetectors)
-		fmt.Printf("control event rate:    %.3g/s mean, %.3g/s peak (%.0f µs window)\n",
-			b.MeanEventRate, b.PeakEventRate, b.EventWindow*1e6)
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
+	p := qla.ExperimentParams{"circuit": string(src)}
+	if exp.HasParam("trials") {
+		p["trials"] = trials
 	}
-	return nil
+	if exp.HasParam("seed") {
+		p["seed"] = seed
+	}
+	res, err := eng.Run(ctx, qla.Spec{
+		Experiment: exp.Name,
+		Machine:    machine,
+		Params:     p,
+	})
+	if err != nil {
+		return err
+	}
+	return qla.ReportResult(os.Stdout, res)
 }

@@ -1,243 +1,155 @@
 // Command qlabench regenerates every table and figure of the QLA paper's
 // evaluation (Metodi et al., MICRO 2005) and prints them side by side with
-// the paper's reported values.
+// the paper's reported values. It is a thin shell over the experiment
+// engine: every experiment is a registry entry (see EXPERIMENTS.md), and
+// qlabench only builds Specs and renders Results.
 //
 // Usage:
 //
 //	qlabench -exp all
 //	qlabench -exp fig7 -trials 200000
 //	qlabench -exp table2
+//	qlabench -list
+//	qlabench -spec run.json
+//	qlabench -exp fig7 -json > fig7.json
 //
-// Experiments: table1, table2, fig7, fig9, ecc, eq2, sched, syndrome,
-// shor128, all.
+// Run qlabench -list for the experiment catalog.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"strings"
 
 	"qla"
-	"qla/internal/ft"
-	"qla/internal/iontrap"
-	"qla/internal/shor"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1|table2|fig7|fig9|ecc|eq2|sched|syndrome|shor128|all")
-	trials := flag.Int("trials", 120000, "Monte Carlo trials for the level-1 Figure-7 sweep (level 2 uses trials/4)")
-	seed := flag.Uint64("seed", 11, "Monte Carlo seed")
+	exp := flag.String("exp", "all", "experiment to run (-list shows the catalog; \"all\" runs the benchmark set)")
+	trials := flag.Int("trials", 0, "override the experiment's Monte Carlo trial count (0 keeps its default)")
+	seed := flag.Uint64("seed", 0, "override the experiment's Monte Carlo seed (0 keeps its default)")
+	parallelism := flag.Int("parallelism", 0, "Monte Carlo worker-pool width (0 = GOMAXPROCS; results are seed-deterministic at any width)")
+	specFile := flag.String("spec", "", "run one JSON Spec file instead of -exp (\"-\" reads standard input)")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of the human report")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
 
-	runners := map[string]func(int, uint64) error{
-		"table1":    func(int, uint64) error { return table1() },
-		"table2":    func(int, uint64) error { return table2() },
-		"fig7":      fig7,
-		"fig9":      func(int, uint64) error { return fig9() },
-		"ecc":       func(int, uint64) error { return ecc() },
-		"eq2":       func(int, uint64) error { return eq2() },
-		"sched":     func(int, uint64) error { return sched() },
-		"syndrome":  syndrome,
-		"shor128":   func(int, uint64) error { return shor128() },
-		"adders":    func(int, uint64) error { return adders() },
-		"codes":     func(int, uint64) error { return codeAblation() },
-		"chainmc":   chainMC,
-		"shuttle":   func(int, uint64) error { return shuttle() },
-		"multichip": func(int, uint64) error { return multichipPlan() },
-		"qft":       func(int, uint64) error { return qftCheck() },
+	if *list {
+		listExperiments()
+		return
 	}
-	order := []string{
-		"table1", "ecc", "eq2", "fig7", "syndrome", "fig9", "sched",
-		"table2", "shor128", "adders", "codes", "chainmc", "shuttle",
-		"qft", "multichip",
+
+	eng := qla.NewEngine(qla.WithParallelism(*parallelism))
+	ctx := context.Background()
+
+	if *specFile != "" {
+		spec, err := qla.ReadSpecFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runOne(ctx, eng, spec, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *exp == "all" {
-		for _, name := range order {
-			fmt.Printf("\n================ %s ================\n", name)
-			if err := runners[name](*trials, *seed); err != nil {
-				fmt.Fprintf(os.Stderr, "qlabench: %s: %v\n", name, err)
-				os.Exit(1)
+		for _, e := range qla.Experiments() {
+			if !e.Bench {
+				continue
+			}
+			if !*asJSON {
+				// Banners would corrupt a JSON stream; -json consumers
+				// get one JSON document per experiment instead.
+				fmt.Printf("\n================ %s ================\n", e.Name)
+			}
+			spec := qla.Spec{Experiment: e.Name, Params: overrides(e, *trials, *seed)}
+			if err := runOne(ctx, eng, spec, *asJSON); err != nil {
+				fatal(err)
 			}
 		}
 		return
 	}
-	run, ok := runners[*exp]
+
+	e, ok := qla.Lookup(*exp)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "qlabench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "qlabench: unknown experiment %q (run qlabench -list)\n", *exp)
 		os.Exit(2)
 	}
-	if err := run(*trials, *seed); err != nil {
-		fmt.Fprintf(os.Stderr, "qlabench: %v\n", err)
-		os.Exit(1)
+	spec := qla.Spec{Experiment: e.Name, Params: overrides(e, *trials, *seed)}
+	if err := runOne(ctx, eng, spec, *asJSON); err != nil {
+		fatal(err)
 	}
 }
 
-func table1() error {
-	fmt.Println("Table 1: physical operation times and failure rates")
-	fmt.Printf("%-12s %12s %14s %14s\n", "operation", "time", "Pcurrent", "Pexpected")
-	cur, exp := qla.CurrentParams(), qla.ExpectedParams()
-	rows := []iontrap.OpClass{
-		iontrap.OpSingle, iontrap.OpDouble, iontrap.OpMeasure,
-		iontrap.OpMoveCell, iontrap.OpSplit, iontrap.OpCool,
+// overrides maps the convenience flags onto whichever of the standard
+// parameter names the experiment declares; experiments without a
+// matching parameter keep their documented defaults.
+func overrides(e *qla.Experiment, trials int, seed uint64) qla.ExperimentParams {
+	p := qla.ExperimentParams{}
+	if trials > 0 && e.HasParam("trials") {
+		p["trials"] = trials
 	}
-	for _, c := range rows {
-		fmt.Printf("%-12s %12v %14.3g %14.3g\n", c, cur.Duration(c), cur.Fail[c], exp.Fail[c])
+	if seed > 0 && e.HasParam("seed") {
+		p["seed"] = seed
 	}
-	fmt.Printf("%-12s %12s %14s %14s\n", "memory", fmt.Sprintf("%g-%g s", cur.MemoryLifetime, exp.MemoryLifetime), "-", "-")
-	fmt.Printf("\nchannel bandwidth: %.0f Mqbps (paper: ~100)\n", exp.ChannelBandwidthQBPS()/1e6)
-	return nil
+	if len(p) == 0 {
+		return nil
+	}
+	return p
 }
 
-func table2() error {
-	rows, err := qla.Table2()
+func runOne(ctx context.Context, eng *qla.Engine, spec qla.Spec, asJSON bool) error {
+	res, err := eng.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Table 2: Shor's algorithm on the QLA (measured vs paper)")
-	fmt.Printf("%-22s %12s %12s %12s %12s\n", "", "N=128", "N=512", "N=1024", "N=2048")
-	line := func(name string, f func(r qla.ShorResources) string) {
-		fmt.Printf("%-22s", name)
-		for _, r := range rows {
-			fmt.Printf(" %12s", f(r))
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	return qla.ReportResult(os.Stdout, res)
+}
+
+func listExperiments() {
+	fmt.Println("Registered experiments (benchmark-set entries marked *):")
+	for _, e := range qla.Experiments() {
+		mark := " "
+		if e.Bench {
+			mark = "*"
 		}
-		fmt.Println()
-	}
-	line("logical qubits", func(r qla.ShorResources) string { return fmt.Sprintf("%d", r.LogicalQubits) })
-	line("  paper", func(r qla.ShorResources) string { return fmt.Sprintf("%d", shor.PaperTable2[r.N].LogicalQubits) })
-	line("Toffoli depth", func(r qla.ShorResources) string { return fmt.Sprintf("%d", r.ToffoliDepth) })
-	line("  paper", func(r qla.ShorResources) string { return fmt.Sprintf("%d", shor.PaperTable2[r.N].Toffoli) })
-	line("total gates", func(r qla.ShorResources) string { return fmt.Sprintf("%d", r.TotalGates) })
-	line("  paper", func(r qla.ShorResources) string { return fmt.Sprintf("%d", shor.PaperTable2[r.N].TotalGates) })
-	line("area (m^2)", func(r qla.ShorResources) string { return fmt.Sprintf("%.2f", r.AreaM2) })
-	line("  paper", func(r qla.ShorResources) string { return fmt.Sprintf("%.2f", shor.PaperTable2[r.N].AreaM2) })
-	line("time (days)", func(r qla.ShorResources) string { return fmt.Sprintf("%.1f", r.TimeDays) })
-	line("  paper", func(r qla.ShorResources) string { return fmt.Sprintf("%.1f", shor.PaperTable2[r.N].TimeDays) })
-	return nil
-}
-
-func fig7(trials int, seed uint64) error {
-	fmt.Println("Figure 7: logical one-qubit gate failure vs component failure rate")
-	fmt.Printf("(level-1 trials %d, level-2 trials %d)\n\n", trials, trials/4)
-	l1, l2, crossing, err := qla.Figure7(qla.Figure7Errors, trials, trials/4, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%10s %14s %14s\n", "p_phys", "level-1 fail", "level-2 fail")
-	for i := range l1 {
-		fmt.Printf("%10.2g %9.6f±%.6f %8.6f±%.6f\n",
-			l1[i].PhysError, l1[i].FailRate, l1[i].StdErr, l2[i].FailRate, l2[i].StdErr)
-	}
-	fmt.Printf("\npseudo-threshold crossing: %.2g  (paper: (2.1±1.8)e-3)\n", crossing)
-	return nil
-}
-
-func syndrome(trials int, seed uint64) error {
-	l1, l2, err := qla.SyndromeRates(trials, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Non-trivial syndrome rates at expected parameters (Section 4.1.1)")
-	fmt.Printf("level 1: %.3g   (paper: 3.35e-4 ± 0.41e-4)\n", l1)
-	fmt.Printf("level 2: %.3g   (paper: 7.92e-4 ± 0.81e-4)\n", l2)
-	return nil
-}
-
-func fig9() error {
-	fmt.Println("Figure 9: connection time vs total distance by island separation")
-	lp := qla.DefaultLink()
-	dists := []int{2000, 4000, 6000, 8000, 12000, 16000, 24000, 30000}
-	fmt.Printf("%8s", "d \\ D")
-	for _, d := range dists {
-		fmt.Printf(" %8d", d)
-	}
-	fmt.Println()
-	pts := qla.Figure9(dists)
-	bySep := map[int][]qla.Fig9Point{}
-	for _, p := range pts {
-		bySep[p.Sep] = append(bySep[p.Sep], p)
-	}
-	var seps []int
-	for s := range bySep {
-		seps = append(seps, s)
-	}
-	sort.Ints(seps)
-	for _, s := range seps {
-		fmt.Printf("%8d", s)
-		for _, p := range bySep[s] {
-			if p.Feasible {
-				fmt.Printf(" %8.4f", p.Time)
+		fmt.Printf("%s %-18s %s\n", mark, e.Name, e.Title)
+		if len(e.Aliases) > 0 {
+			fmt.Printf("  %-18s aliases: %s\n", "", strings.Join(e.Aliases, ", "))
+		}
+		for _, d := range e.Params {
+			if d.Default == nil {
+				fmt.Printf("  %-18s -%s (%s, optional): %s\n", "", d.Name, d.Kind, d.Doc)
 			} else {
-				fmt.Printf(" %8s", "inf")
+				fmt.Printf("  %-18s -%s (%s, default %s): %s\n", "", d.Name, d.Kind, formatDefault(d.Default), d.Doc)
 			}
 		}
-		fmt.Println()
 	}
-	cross := lp.CrossoverDistance(100, 350, dists)
-	fmt.Printf("\nd=100 / d=350 crossover: %d cells  (paper: ≈6000 cells)\n", cross)
-	sepShort, _, _ := lp.BestSeparation(2000)
-	sepLong, _, _ := lp.BestSeparation(24000)
-	fmt.Printf("best separation: %d cells at 2000 cells, %d cells at 24000 cells\n", sepShort, sepLong)
-	return nil
 }
 
-func ecc() error {
-	sum := qla.ECLatency(qla.ExpectedParams())
-	fmt.Println("Equation 1: error-correction latency (Section 4.1.1)")
-	fmt.Printf("T(1,ecc) = %.4f s   (paper: ≈0.003)\n", sum.ECLevel1)
-	fmt.Printf("T(2,ecc) = %.4f s   (paper: ≈0.043)\n", sum.ECLevel2)
-	fmt.Printf("level-2 ancilla preparation = %.4f s   (paper: ≈0.008)\n", sum.AncillaPrep)
-	return nil
+// formatDefault keeps the catalog one entry per line: multi-line string
+// defaults (the arq circuit) are quoted and elided.
+func formatDefault(v any) string {
+	s, ok := v.(string)
+	if !ok {
+		return fmt.Sprintf("%v", v)
+	}
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return fmt.Sprintf("%q…", s[:i])
+	}
+	return fmt.Sprintf("%q", s)
 }
 
-func eq2() error {
-	p0 := qla.ExpectedParams().AverageComponentFailure()
-	fmt.Println("Equation 2: Gottesman local-architecture failure estimate")
-	pf := qla.Equation2(p0, ft.PthLocal, 2)
-	fmt.Printf("p0 = %.3g, pth = %.3g, r = 12, L = 2\n", p0, ft.PthLocal)
-	fmt.Printf("P_f(2) = %.3g   (paper: ≈1.0e-16)\n", pf)
-	fmt.Printf("S = K·Q = %.3g  (paper: ≈9.9e15)\n", ft.MaxSystemSize(pf))
-	pfEmp := qla.Equation2(p0, ft.PthEmpiricalQLA, 2)
-	fmt.Printf("with empirical pth %.2g: P_f(2) = %.3g  (paper: approaching 1e-21)\n",
-		ft.PthEmpiricalQLA, pfEmp)
-	return nil
-}
-
-func sched() error {
-	fmt.Println("Section 5: EPR scheduler bandwidth sweep (20x20 islands, 25 Toffolis)")
-	rows, err := qla.SchedulerSweep([]int{1, 2, 4})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%10s %10s %12s %12s %8s %10s\n", "bandwidth", "requests", "1st-beat %", "utilization", "beats", "overlapped")
-	for _, r := range rows {
-		fmt.Printf("%10d %10d %11.1f%% %11.1f%% %8d %10v\n",
-			r.Bandwidth, r.Requests, 100*r.ScheduledFrac, 100*r.Utilization, r.BeatsUsed, r.Overlapped)
-	}
-	fmt.Println("\npaper: bandwidth 2 suffices for full overlap at ~23% aggregate utilization")
-	return nil
-}
-
-func shor128() error {
-	r, err := qla.EstimateShor(128, qla.ExpectedParams())
-	if err != nil {
-		return err
-	}
-	m, err := qla.NewMachine(r.LogicalQubits)
-	if err != nil {
-		return err
-	}
-	fmt.Println("Factoring a 128-bit number on the QLA (Section 5 narrative)")
-	fmt.Printf("logical qubits:     %d\n", r.LogicalQubits)
-	fmt.Printf("Toffoli depth:      %d   (paper: 63,730)\n", r.ToffoliDepth)
-	fmt.Printf("EC steps:           %.3g (paper: 1.34e6)\n", float64(r.ECSteps))
-	fmt.Printf("EC step time:       %.4f s (paper: 0.043)\n", r.ECStepSeconds)
-	fmt.Printf("single run:         %.1f h (paper: ≈16 h)\n", r.TimeSeconds/3600)
-	fmt.Printf("with 1.3 retries:   %.1f h (paper: ≈21 h)\n", r.TimeHours)
-	fmt.Printf("chip area:          %.2f m² (paper: 0.11), edge %.0f cm\n", r.AreaM2, m.Floorplan.EdgeCM())
-	fmt.Printf("physical ions:      %.2g (paper: ≈7e6)\n", float64(m.PhysicalIons()))
-	fmt.Printf("classical baseline: %.3g MIPS-years by NFS (512-bit anchor: 8400)\n",
-		shor.ClassicalNFSMIPSYears(128))
-	return nil
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qlabench: %v\n", err)
+	os.Exit(1)
 }

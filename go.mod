@@ -1,0 +1,3 @@
+module qla
+
+go 1.24

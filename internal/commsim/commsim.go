@@ -17,8 +17,11 @@
 package commsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
 
 	"qla/internal/stabilizer"
 	"qla/internal/teleport"
@@ -43,6 +46,12 @@ type ChainConfig struct {
 	Trials int
 	// Seed feeds the deterministic RNG.
 	Seed uint64
+	// Parallelism bounds the worker-pool width (0 means GOMAXPROCS).
+	// Every trial derives its RNG streams from its global trial index,
+	// so the result is bit-identical at any parallelism for a fixed
+	// Seed. As a pure execution detail it is excluded from the JSON
+	// form (results at different widths must serialize identically).
+	Parallelism int `json:"-"`
 }
 
 // Validate checks the configuration bounds.
@@ -154,77 +163,140 @@ func (r *chainRun) purifiedPair(x, y, k int) error {
 // RunChain executes the full protocol cfg.Trials times and aggregates
 // delivered-state error rates and raw-pair consumption.
 func RunChain(cfg ChainConfig) (ChainResult, error) {
+	return RunChainCtx(context.Background(), cfg)
+}
+
+// RunChainCtx is RunChain with cooperative cancellation: trials fan out
+// over a worker pool of cfg.Parallelism goroutines (GOMAXPROCS when
+// zero), each trial seeded from its global index so the aggregate is
+// bit-identical to a serial run at the same seed. Workers poll ctx
+// between trials and the call returns ctx.Err() on cancellation.
+func RunChainCtx(ctx context.Context, cfg ChainConfig) (ChainResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return ChainResult{}, err
 	}
-	res := ChainResult{Config: cfg}
-	width := 1 + 2*cfg.Links + 2*cfg.PurifyRounds
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x1e97))
 
-	totalRaw := 0
-	for trial := 0; trial < cfg.Trials; trial++ {
-		run := &chainRun{
-			cfg: cfg,
-			rng: rng,
-			s:   stabilizer.NewWithRand(width, rand.New(rand.NewPCG(uint64(trial), cfg.Seed))),
-		}
-		for k := 0; k < cfg.PurifyRounds; k++ {
-			base := 1 + 2*cfg.Links + 2*k
-			run.scratch = append(run.scratch, [2]int{base, base + 1})
-		}
-
-		// Build one purified pair per link.
-		for i := 0; i < cfg.Links; i++ {
-			a, b := run.linkQubits(i)
-			if err := run.purifiedPair(a, b, cfg.PurifyRounds); err != nil {
-				return ChainResult{}, err
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	type shardResult struct {
+		zErrors, xErrors int
+		zTrials, xTrials int
+		rawPairs         int
+		err              error
+	}
+	shards := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := cfg.Trials * w / workers
+			hi := cfg.Trials * (w + 1) / workers
+			r := &shards[w]
+			for trial := lo; trial < hi; trial++ {
+				if ctx.Err() != nil {
+					return
+				}
+				xBasis := trial%2 == 1
+				bad, raw, err := runChainTrial(cfg, trial, xBasis)
+				if err != nil {
+					r.err = err
+					return
+				}
+				r.rawPairs += raw
+				if xBasis {
+					r.xTrials++
+					if bad {
+						r.xErrors++
+					}
+				} else {
+					r.zTrials++
+					if bad {
+						r.zErrors++
+					}
+				}
 			}
-		}
-		// Swap the chain down to a single end-to-end pair (a_0, far).
-		a0, far := run.linkQubits(0)
-		for i := 1; i < cfg.Links; i++ {
-			ai, bi := run.linkQubits(i)
-			teleport.EntanglementSwap(run.s, far, ai, bi)
-			run.depolarize(bi, cfg.SwapEps)
-			far = bi
-		}
-
-		// Probe: teleport |0⟩ on even trials, |+⟩ on odd ones.
-		data := 0
-		run.s.Reset(data)
-		xBasis := trial%2 == 1
-		if xBasis {
-			run.s.H(data)
-		}
-		run.s.CNOT(data, a0)
-		run.s.H(data)
-		m0 := run.s.Measure(data)
-		m1 := run.s.Measure(a0)
-		if m1 == 1 {
-			run.s.X(far)
-		}
-		if m0 == 1 {
-			run.s.Z(far)
-		}
-		if xBasis {
-			run.s.H(far)
-			res.XTrials++
-			if run.s.Measure(far) != 0 {
-				res.XBasisErrors++
-			}
-		} else {
-			res.ZTrials++
-			if run.s.Measure(far) != 0 {
-				res.ZBasisErrors++
-			}
-		}
-		totalRaw += run.rawPairs
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return ChainResult{}, err
 	}
 
+	res := ChainResult{Config: cfg}
+	totalRaw := 0
+	for _, r := range shards {
+		if r.err != nil {
+			return ChainResult{}, r.err
+		}
+		res.ZBasisErrors += r.zErrors
+		res.XBasisErrors += r.xErrors
+		res.ZTrials += r.zTrials
+		res.XTrials += r.xTrials
+		totalRaw += r.rawPairs
+	}
 	res.ErrorRate = float64(res.ZBasisErrors+res.XBasisErrors) / float64(cfg.Trials)
 	res.RawPairsMean = float64(totalRaw) / float64(cfg.Trials)
 	res.PredictedError = 1 - cfg.predictFidelity()
 	return res, nil
+}
+
+// runChainTrial executes one end-to-end protocol instance. Both RNG
+// streams (noise injection and measurement outcomes) are derived from
+// the trial index alone, so trials are independent of execution order.
+func runChainTrial(cfg ChainConfig, trial int, xBasis bool) (errored bool, rawPairs int, err error) {
+	width := 1 + 2*cfg.Links + 2*cfg.PurifyRounds
+	run := &chainRun{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed^0x1e97, (uint64(trial)+1)*0x9e3779b97f4a7c15)),
+		s:   stabilizer.NewWithRand(width, rand.New(rand.NewPCG(uint64(trial), cfg.Seed))),
+	}
+	for k := 0; k < cfg.PurifyRounds; k++ {
+		base := 1 + 2*cfg.Links + 2*k
+		run.scratch = append(run.scratch, [2]int{base, base + 1})
+	}
+
+	// Build one purified pair per link.
+	for i := 0; i < cfg.Links; i++ {
+		a, b := run.linkQubits(i)
+		if err := run.purifiedPair(a, b, cfg.PurifyRounds); err != nil {
+			return false, 0, err
+		}
+	}
+	// Swap the chain down to a single end-to-end pair (a_0, far).
+	a0, far := run.linkQubits(0)
+	for i := 1; i < cfg.Links; i++ {
+		ai, bi := run.linkQubits(i)
+		teleport.EntanglementSwap(run.s, far, ai, bi)
+		run.depolarize(bi, cfg.SwapEps)
+		far = bi
+	}
+
+	// Probe: teleport |0⟩ on even trials, |+⟩ on odd ones.
+	data := 0
+	run.s.Reset(data)
+	if xBasis {
+		run.s.H(data)
+	}
+	run.s.CNOT(data, a0)
+	run.s.H(data)
+	m0 := run.s.Measure(data)
+	m1 := run.s.Measure(a0)
+	if m1 == 1 {
+		run.s.X(far)
+	}
+	if m0 == 1 {
+		run.s.Z(far)
+	}
+	if xBasis {
+		run.s.H(far)
+	}
+	return run.s.Measure(far) != 0, run.rawPairs, nil
 }
 
 // predictFidelity chains the analytic Werner recurrences: the raw link
@@ -277,6 +349,13 @@ type NaiveVsRepeater struct {
 // links equal segments. The naive strategy sees the accumulated noise
 // 1-(1-perLinkEps)^links on its single stretched pair.
 func CompareStrategies(perLinkEps float64, links, purifyRounds, trials int, seed uint64) (NaiveVsRepeater, error) {
+	return CompareStrategiesCtx(context.Background(), perLinkEps, links, purifyRounds, trials, seed, 0)
+}
+
+// CompareStrategiesCtx is CompareStrategies with cooperative
+// cancellation and an explicit worker-pool width (parallelism 0 means
+// GOMAXPROCS).
+func CompareStrategiesCtx(ctx context.Context, perLinkEps float64, links, purifyRounds, trials int, seed uint64, parallelism int) (NaiveVsRepeater, error) {
 	accum := 1.0
 	for i := 0; i < links; i++ {
 		accum *= 1 - perLinkEps
@@ -285,16 +364,16 @@ func CompareStrategies(perLinkEps float64, links, purifyRounds, trials int, seed
 	if naiveEps >= 0.5 {
 		naiveEps = 0.499999 // the pair is fully depolarized; clamp for the run
 	}
-	naive, err := RunChain(ChainConfig{
+	naive, err := RunChainCtx(ctx, ChainConfig{
 		Links: 1, LinkEps: naiveEps, PurifyRounds: purifyRounds,
-		Trials: trials, Seed: seed,
+		Trials: trials, Seed: seed, Parallelism: parallelism,
 	})
 	if err != nil {
 		return NaiveVsRepeater{}, err
 	}
-	rep, err := RunChain(ChainConfig{
+	rep, err := RunChainCtx(ctx, ChainConfig{
 		Links: links, LinkEps: perLinkEps, PurifyRounds: purifyRounds,
-		Trials: trials, Seed: seed + 1,
+		Trials: trials, Seed: seed + 1, Parallelism: parallelism,
 	})
 	if err != nil {
 		return NaiveVsRepeater{}, err

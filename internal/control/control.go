@@ -53,6 +53,30 @@ type Budget struct {
 	EventWindow float64
 }
 
+// Option configures AnalyzeSchedule.
+type Option func(*config)
+
+type config struct {
+	eventWindow float64
+}
+
+// WithEventWindow sets the sliding window (in seconds) used for the
+// peak control-event rate; non-positive keeps the 10 µs default.
+func WithEventWindow(seconds float64) Option {
+	return func(c *config) { c.eventWindow = seconds }
+}
+
+// AnalyzeSchedule computes the classical-resource budget of a pulse
+// schedule under functional options (the Engine-era entry point;
+// Analyze remains for positional callers).
+func AnalyzeSchedule(pulses []arq.PulseOp, opts ...Option) Budget {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return Analyze(pulses, cfg.eventWindow)
+}
+
 // laserDriven reports whether the op class is implemented by a laser
 // pulse (gates, preparation and measurement are; pure transport is
 // electrode-driven).

@@ -1,0 +1,209 @@
+// Package engine is the front door of the QLA simulator: a
+// concurrency-safe, context-aware executor for the registry of named
+// experiments that reproduce the paper's evaluation (and the ARQ
+// pipeline stages). Callers describe a run as a JSON-serializable Spec
+// — experiment name, machine configuration, parameters — and receive a
+// Result carrying the typed data rows, timing metadata and the seed
+// used. One Engine serves any number of concurrent Run calls; the
+// Monte Carlo hot paths fan trials out over worker pools whose width
+// WithParallelism bounds, with per-trial deterministic sub-seeds so
+// results are bit-identical to serial execution at the same seed.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"qla/internal/core"
+	"qla/internal/iontrap"
+)
+
+// Spec is the JSON-(de)serializable description of one experiment run.
+type Spec struct {
+	// Experiment is the registry name (or alias) to run.
+	Experiment string `json:"experiment"`
+	// Machine configures the QLA instance experiments run against.
+	Machine MachineSpec `json:"machine,omitzero"`
+	// Params overrides the experiment's documented defaults.
+	Params Params `json:"params,omitempty"`
+}
+
+// MachineSpec selects the machine configuration for a Spec. The zero
+// value means the paper's canonical machine: expected technology
+// parameters, recursion level 2, channel bandwidth 2.
+type MachineSpec struct {
+	// ParamSet names the technology parameter set: "expected" (default)
+	// or "current" (Table 1's two columns). Ignored when Tech is set.
+	ParamSet string `json:"param_set,omitempty"`
+	// Tech is an explicit technology parameter override for machine
+	// variants outside the two named sets.
+	Tech *iontrap.Params `json:"tech,omitempty"`
+	// Level is the recursion level (0 means the package default, 2).
+	Level int `json:"level,omitempty"`
+	// Bandwidth is the channel bandwidth (0 means the default, 2).
+	Bandwidth int `json:"bandwidth,omitempty"`
+	// LogicalQubits sizes machines for experiments that build one
+	// explicitly (0 lets the experiment pick).
+	LogicalQubits int `json:"logical_qubits,omitempty"`
+}
+
+// TechParams resolves the technology parameter set.
+func (m MachineSpec) TechParams() (iontrap.Params, error) {
+	if m.Tech != nil {
+		return *m.Tech, nil
+	}
+	switch m.ParamSet {
+	case "", "expected":
+		return iontrap.Expected(), nil
+	case "current":
+		return iontrap.Current(), nil
+	}
+	return iontrap.Params{}, fmt.Errorf("engine: unknown parameter set %q (want expected or current)", m.ParamSet)
+}
+
+// Options lowers the spec to core machine options. Zero fields mean
+// the package defaults; negative values are rejected here rather than
+// silently falling back (out-of-range positives are rejected by core).
+func (m MachineSpec) Options() ([]core.Option, error) {
+	tech, err := m.TechParams()
+	if err != nil {
+		return nil, err
+	}
+	if m.Level < 0 {
+		return nil, fmt.Errorf("engine: negative recursion level %d", m.Level)
+	}
+	if m.Bandwidth < 0 {
+		return nil, fmt.Errorf("engine: negative channel bandwidth %d", m.Bandwidth)
+	}
+	if m.LogicalQubits < 0 {
+		return nil, fmt.Errorf("engine: negative logical-qubit count %d", m.LogicalQubits)
+	}
+	opts := []core.Option{core.WithParams(tech)}
+	if m.Level > 0 {
+		opts = append(opts, core.WithLevel(m.Level))
+	}
+	if m.Bandwidth > 0 {
+		opts = append(opts, core.WithBandwidth(m.Bandwidth))
+	}
+	return opts, nil
+}
+
+// Result is the outcome of one Engine.Run: the typed data payload plus
+// the run metadata needed to reproduce and audit it. It JSON-serializes
+// for transport; Data round-trips as the experiment's documented row
+// type (or generic JSON maps after a decode).
+type Result struct {
+	// Experiment is the canonical name of what ran (aliases resolved).
+	Experiment string `json:"experiment"`
+	// Params are the fully resolved parameters, defaults included.
+	Params Params `json:"params,omitempty"`
+	// Seed is the Monte Carlo seed used (0 for deterministic analyses).
+	Seed uint64 `json:"seed,omitempty"`
+	// Started and Elapsed are the run's timing metadata.
+	Started time.Time     `json:"started"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Data is the experiment's typed payload (rows, curves, bills).
+	Data any `json:"data,omitempty"`
+}
+
+// RunContext is what a registered experiment receives: resolved
+// parameters, the machine selection with its resolved technology
+// parameters, and the engine's parallelism bound for Monte Carlo fanout.
+type RunContext struct {
+	Params      Params
+	Machine     MachineSpec
+	Tech        iontrap.Params
+	Parallelism int
+}
+
+// Engine executes Specs against the experiment registry. The zero
+// configuration (New()) is ready to use; one Engine is safe for any
+// number of concurrent Run calls.
+type Engine struct {
+	parallelism int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelism bounds the worker-pool width of Monte Carlo
+// experiments (0, the default, means GOMAXPROCS). Results are
+// bit-identical at any parallelism for a fixed seed.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// New builds an Engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Run resolves the spec against the registry, validates and defaults
+// its parameters, and executes the experiment under ctx. Cancellation
+// is honored both up front and cooperatively inside the Monte Carlo
+// hot paths. A panic inside an experiment is converted to an error:
+// the engine is a serving front door and one bad spec must not take
+// the process down.
+func (e *Engine) Run(ctx context.Context, spec Spec) (Result, error) {
+	exp, ok := Lookup(spec.Experiment)
+	if !ok {
+		return Result{}, fmt.Errorf("engine: unknown experiment %q (known: %s)", spec.Experiment, knownNames())
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	params, err := resolveParams(exp.Params, spec.Params)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", exp.Name, err)
+	}
+	if !exp.UsesMachine && spec.Machine != (MachineSpec{}) {
+		return Result{}, fmt.Errorf("%s: experiment takes no machine configuration", exp.Name)
+	}
+	tech, err := spec.Machine.TechParams()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", exp.Name, err)
+	}
+	rc := &RunContext{
+		Params:      params,
+		Machine:     spec.Machine,
+		Tech:        tech,
+		Parallelism: e.parallelism,
+	}
+	started := time.Now()
+	data, err := runGuarded(ctx, exp, rc)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", exp.Name, err)
+	}
+	res := Result{
+		Experiment: exp.Name,
+		Params:     params,
+		Started:    started,
+		Elapsed:    time.Since(started),
+		Data:       data,
+	}
+	// Record the Monte Carlo seed whichever standard parameter name the
+	// experiment declares it under.
+	for _, name := range []string{"seed", "mc-seed", "workload-seed"} {
+		if seed, ok := params[name].(uint64); ok {
+			res.Seed = seed
+			break
+		}
+	}
+	return res, nil
+}
+
+// runGuarded executes the experiment, converting a panic (a model-layer
+// domain violation an experiment failed to pre-validate) into an error.
+func runGuarded(ctx context.Context, exp *Experiment, rc *RunContext) (data any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return exp.Run(ctx, rc)
+}

@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qla/internal/iontrap"
+)
+
+func TestLookupNamesAndAliases(t *testing.T) {
+	for _, name := range []string{
+		"table1", "table2", "figure7", "figure9", "ec-latency", "equation2",
+		"scheduler-sweep", "syndrome-rates", "compare-adders", "code-ablation",
+		"run-chain", "shor", "shuttle", "qft", "multichip", "chain-validation",
+		"arq-estimate", "arq-run", "arq-noisy", "arq-pulses", "arq-control",
+	} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	for alias, want := range map[string]string{
+		"fig7": "figure7", "fig9": "figure9", "ecc": "ec-latency",
+		"eq2": "equation2", "sched": "scheduler-sweep", "syndrome": "syndrome-rates",
+		"adders": "compare-adders", "codes": "code-ablation",
+		"chainmc": "chain-validation", "shor128": "shor",
+		"FIGURE7": "figure7", // case-insensitive
+	} {
+		e, ok := Lookup(alias)
+		if !ok {
+			t.Errorf("alias %q not registered", alias)
+			continue
+		}
+		if e.Name != want {
+			t.Errorf("alias %q resolved to %q, want %q", alias, e.Name, want)
+		}
+	}
+}
+
+func TestExperimentsAreDocumented(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 20 {
+		t.Fatalf("registry has %d experiments", len(exps))
+	}
+	for _, e := range exps {
+		if e.Title == "" || e.Doc == "" {
+			t.Errorf("%s: missing Title or Doc", e.Name)
+		}
+		for _, d := range e.Params {
+			if d.Doc == "" {
+				t.Errorf("%s: parameter %q undocumented", e.Name, d.Name)
+			}
+			if d.Default != nil {
+				if _, err := coerce(d.Kind, d.Default); err != nil {
+					t.Errorf("%s: parameter %q default does not coerce: %v", e.Name, d.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	_, err := New().Run(context.Background(), Spec{Experiment: "no-such-thing"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownParameterRejected(t *testing.T) {
+	_, err := New().Run(context.Background(), Spec{
+		Experiment: "figure7",
+		Params:     Params{"bogus": 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown parameter") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParamCoercion(t *testing.T) {
+	defs := []ParamDef{
+		{Name: "n", Kind: Int, Default: 3},
+		{Name: "seed", Kind: Uint, Default: 7},
+		{Name: "eps", Kind: Float, Default: 0.5},
+		{Name: "on", Kind: Bool, Default: false},
+		{Name: "name", Kind: Text, Default: "x"},
+		{Name: "fs", Kind: Floats, Default: []float64{1, 2}},
+		{Name: "is", Kind: Ints, Default: []int{1, 2}},
+	}
+	// JSON-shaped inputs: numbers are float64, lists are []any.
+	got, err := resolveParams(defs, Params{
+		"n":    float64(5),
+		"seed": float64(9),
+		"eps":  7, // int -> float
+		"on":   true,
+		"fs":   []any{float64(3), 4},
+		"is":   []any{float64(8)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Params{
+		"n": 5, "seed": uint64(9), "eps": 7.0, "on": true, "name": "x",
+		"fs": []float64{3, 4}, "is": []int{8},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resolved %#v, want %#v", got, want)
+	}
+
+	if _, err := resolveParams(defs, Params{"n": 1.5}); err == nil {
+		t.Error("fractional int accepted")
+	}
+	if _, err := resolveParams(defs, Params{"seed": -1}); err == nil {
+		t.Error("negative uint accepted")
+	}
+	if _, err := resolveParams(defs, Params{"name": 3}); err == nil {
+		t.Error("numeric string accepted")
+	}
+	// Seeds legitimately span the full uint64 range.
+	big, err := resolveParams(defs, Params{"seed": uint64(math.MaxUint64)})
+	if err != nil {
+		t.Fatalf("max uint64 seed rejected: %v", err)
+	}
+	if big.Uint("seed") != math.MaxUint64 {
+		t.Fatalf("seed = %d", big.Uint("seed"))
+	}
+}
+
+func TestMachineRejectedWhereUnused(t *testing.T) {
+	// table2 is defined at the paper's expected parameters; a machine
+	// selection would be silently ignored, so the engine refuses it.
+	_, err := New().Run(context.Background(), Spec{
+		Experiment: "table2",
+		Machine:    MachineSpec{ParamSet: "current"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no machine configuration") {
+		t.Fatalf("err = %v", err)
+	}
+	// Machine-aware experiments accept it.
+	if _, err := New().Run(context.Background(), Spec{
+		Experiment: "ec-latency",
+		Machine:    MachineSpec{ParamSet: "current"},
+	}); err != nil {
+		t.Fatalf("ec-latency rejected a machine: %v", err)
+	}
+}
+
+func TestBadInputErrorsNotPanics(t *testing.T) {
+	for _, spec := range []Spec{
+		{Experiment: "compare-adders", Params: Params{"widths": []int{-1}, "with-modular": false}},
+		{Experiment: "qft", Params: Params{"charge-widths": []int{0}}},
+		{Experiment: "equation2", Params: Params{"p0": -1.0}},
+		{Experiment: "figure7", Params: Params{"phys-errors": []float64{4e-3}, "trials": 10, "trials-l2": -5}},
+	} {
+		if _, err := New().Run(context.Background(), spec); err == nil {
+			t.Errorf("%s with bad input ran anyway", spec.Experiment)
+		}
+	}
+}
+
+func TestMachineSpecRejectsNegatives(t *testing.T) {
+	for _, m := range []MachineSpec{
+		{Level: -1}, {Bandwidth: -2}, {LogicalQubits: -3},
+	} {
+		if _, err := m.Options(); err == nil {
+			t.Errorf("MachineSpec %+v accepted", m)
+		}
+	}
+	if _, err := (MachineSpec{}).Options(); err != nil {
+		t.Errorf("zero MachineSpec rejected: %v", err)
+	}
+}
+
+func TestMachineSpecTech(t *testing.T) {
+	for _, tc := range []struct {
+		spec MachineSpec
+		want iontrap.Params
+	}{
+		{MachineSpec{}, iontrap.Expected()},
+		{MachineSpec{ParamSet: "expected"}, iontrap.Expected()},
+		{MachineSpec{ParamSet: "current"}, iontrap.Current()},
+	} {
+		got, err := tc.spec.TechParams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("TechParams(%+v) mismatch", tc.spec)
+		}
+	}
+	if _, err := (MachineSpec{ParamSet: "bogus"}).TechParams(); err == nil {
+		t.Error("bogus parameter set accepted")
+	}
+	custom := iontrap.Uniform(1e-3, 1e-6)
+	got, err := (MachineSpec{ParamSet: "bogus", Tech: &custom}).TechParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, custom) {
+		t.Error("Tech override not honored")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	tech := iontrap.Current()
+	spec := Spec{
+		Experiment: "run-chain",
+		Machine:    MachineSpec{ParamSet: "current", Tech: &tech, Level: 1, Bandwidth: 4},
+		Params:     Params{"links": 3, "link-eps": 0.05, "trials": 10, "seed": 2},
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != spec.Experiment || back.Machine.ParamSet != "current" ||
+		back.Machine.Level != 1 || back.Machine.Bandwidth != 4 || back.Machine.Tech == nil {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	// The decoded params are JSON-generic; the engine must accept them.
+	// (run-chain takes no machine, so run the machine-less spec.)
+	back.Machine = MachineSpec{}
+	res, err := New().Run(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 2 {
+		t.Errorf("Result.Seed = %d", res.Seed)
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Errorf("Result not JSON-serializable: %v", err)
+	}
+}
+
+func TestResultMetadata(t *testing.T) {
+	res, err := New().Run(context.Background(), Spec{
+		Experiment: "figure7",
+		Params:     Params{"phys-errors": []float64{4e-3}, "trials": 40, "seed": 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "figure7" {
+		t.Errorf("Experiment = %q", res.Experiment)
+	}
+	if res.Seed != 5 {
+		t.Errorf("Seed = %d", res.Seed)
+	}
+	if res.Started.IsZero() || res.Elapsed <= 0 {
+		t.Errorf("timing metadata missing: %v %v", res.Started, res.Elapsed)
+	}
+	// Defaults are resolved into Params.
+	if res.Params.Int("trials-l2") != 0 || res.Params.Int("trials") != 40 {
+		t.Errorf("resolved params %+v", res.Params)
+	}
+	data, ok := res.Data.(Figure7Data)
+	if !ok {
+		t.Fatalf("Data is %T", res.Data)
+	}
+	if len(data.L1) != 1 || data.L1[0].Trials != 40 || len(data.L2) != 1 || data.L2[0].Trials != 10 {
+		t.Fatalf("curves %+v", data)
+	}
+}
+
+func TestReportFallsBackToJSON(t *testing.T) {
+	// A Result decoded from JSON has a generic Data payload; Report must
+	// still produce output rather than panic.
+	res := Result{Experiment: "figure7", Data: map[string]any{"l1": []any{}}}
+	var sb strings.Builder
+	if err := Report(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "figure7") {
+		t.Errorf("JSON fallback output %q", sb.String())
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(Experiment{
+		Name: "table1",
+		Run:  func(context.Context, *RunContext) (any, error) { return nil, nil },
+	})
+}

@@ -1,0 +1,736 @@
+package engine
+
+// The experiment registry. Every table and figure of the paper's
+// evaluation — plus the extension-system ablations and the ARQ pipeline
+// stages — is registered here as a named, parameterized experiment so
+// that one Engine front door (and one CLI, and any future service)
+// drives them all. Registration happens at package init; the Run
+// functions contain the experiment logic that used to live as bespoke
+// top-level functions and qlabench switch arms.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"qla/internal/adder"
+	"qla/internal/arq"
+	"qla/internal/codes"
+	"qla/internal/commsim"
+	"qla/internal/control"
+	"qla/internal/core"
+	"qla/internal/ft"
+	"qla/internal/iontrap"
+	"qla/internal/modarith"
+	"qla/internal/multichip"
+	"qla/internal/netsim"
+	"qla/internal/qccd"
+	"qla/internal/qft"
+	"qla/internal/shor"
+	"qla/internal/teleport"
+	"qla/internal/threshold"
+)
+
+// Typed data payloads. These are what Result.Data holds for each
+// experiment; EXPERIMENTS.md documents the mapping.
+
+// Table1Data carries both technology parameter sets of Table 1.
+type Table1Data struct {
+	Current  iontrap.Params `json:"current"`
+	Expected iontrap.Params `json:"expected"`
+}
+
+// Figure7Data carries the two threshold curves and their crossing.
+type Figure7Data struct {
+	L1       []threshold.Point `json:"l1"`
+	L2       []threshold.Point `json:"l2"`
+	Crossing float64           `json:"crossing"`
+}
+
+// SyndromeRateData carries the Section-4.1.1 non-trivial syndrome rates.
+type SyndromeRateData struct {
+	Level1 float64 `json:"level1"`
+	Level2 float64 `json:"level2"`
+}
+
+// Figure9Data carries the repeater-network series plus its headline
+// derived numbers (the d=100/d=350 crossover and the best separations
+// at the shortest and longest swept distances).
+type Figure9Data struct {
+	Points       []teleport.Figure9Point `json:"points"`
+	Crossover    int                     `json:"crossover"`
+	BestSepShort int                     `json:"best_sep_short"`
+	BestSepLong  int                     `json:"best_sep_long"`
+}
+
+// Equation2Data carries the Gottesman local-architecture estimate at the
+// requested threshold and, for comparison, at the empirical QLA one.
+type Equation2Data struct {
+	P0               float64 `json:"p0"`
+	Pth              float64 `json:"pth"`
+	Level            int     `json:"level"`
+	Failure          float64 `json:"failure"`
+	MaxSystemSize    float64 `json:"max_system_size"`
+	EmpiricalPth     float64 `json:"empirical_pth"`
+	EmpiricalFailure float64 `json:"empirical_failure"`
+}
+
+// ShorRunData carries one Shor sizing row plus machine-level derived
+// quantities (the Section-5 narrative numbers).
+type ShorRunData struct {
+	Resources          shor.Resources `json:"resources"`
+	EdgeCM             float64        `json:"edge_cm"`
+	PhysicalIons       int            `json:"physical_ions"`
+	ClassicalMIPSYears float64        `json:"classical_mips_years"`
+}
+
+// ModAddComparison pairs the two modular-adder constructions at one
+// width/modulus.
+type ModAddComparison struct {
+	Bits    int              `json:"bits"`
+	Modulus uint64           `json:"modulus"`
+	Ripple  modarith.Metrics `json:"ripple"`
+	CLA     modarith.Metrics `json:"cla"`
+}
+
+// AddersData carries the arithmetic ablation rows.
+type AddersData struct {
+	Comparisons []adder.Comparison `json:"comparisons"`
+	Modular     []ModAddComparison `json:"modular,omitempty"`
+}
+
+// CodeAblationData carries the code-catalog cost bill and, when
+// mc-trials is non-zero, the decoder Monte Carlo sweep.
+type CodeAblationData struct {
+	Costs      []codes.ECCost   `json:"costs"`
+	MCErrors   []float64        `json:"mc_errors,omitempty"`
+	MonteCarlo []codes.MCResult `json:"monte_carlo,omitempty"`
+}
+
+// ChainValidationData carries the gate-level interconnect validation:
+// the repeater-chain rows and the naive-vs-repeater comparison.
+type ChainValidationData struct {
+	Rows    []commsim.ChainResult   `json:"rows"`
+	Compare commsim.NaiveVsRepeater `json:"compare"`
+}
+
+// ShuttleRow is one executed transversal gate at one separation.
+type ShuttleRow struct {
+	Separation int                    `json:"separation"`
+	Report     qccd.TransversalReport `json:"report"`
+}
+
+// QFTExactRow is one exact-circuit verification sample.
+type QFTExactRow struct {
+	N             int     `json:"n"`
+	MaxBasisError float64 `json:"max_basis_error"`
+}
+
+// QFTBandRow is one banding-error sample at fixed width.
+type QFTBandRow struct {
+	Band          int     `json:"band"`
+	MaxBasisError float64 `json:"max_basis_error"`
+}
+
+// QFTChargeRow compares banded gate counts against the model charge.
+type QFTChargeRow struct {
+	N     int     `json:"n"`
+	Band  int     `json:"band"`
+	Gates int64   `json:"gates"`
+	Model int64   `json:"model"`
+	Ratio float64 `json:"ratio"`
+}
+
+// QFTData carries the three QFT validation sections.
+type QFTData struct {
+	Exact   []QFTExactRow  `json:"exact"`
+	Banding []QFTBandRow   `json:"banding"`
+	Charge  []QFTChargeRow `json:"charge"`
+}
+
+// EstimateData carries an architecture-level execution estimate plus
+// the machine quantities its report prints.
+type EstimateData struct {
+	Report     core.Report `json:"report"`
+	ECStepTime float64     `json:"ec_step_time"`
+	AreaM2     float64     `json:"area_m2"`
+}
+
+// defaultCircuit is the GHZ smoke circuit the ARQ experiments run when
+// no circuit parameter is given.
+const defaultCircuit = `qubits 4
+h 0
+cnot 0 1
+cnot 1 2
+cnot 2 3
+measure 0
+measure 3
+`
+
+func parseJob(rc *RunContext) (*arq.Job, error) {
+	opts, err := rc.Machine.Options()
+	if err != nil {
+		return nil, err
+	}
+	return arq.Parse(strings.NewReader(rc.Params.Str("circuit")), opts...)
+}
+
+func init() {
+	Register(Experiment{
+		Name:  "table1",
+		Title: "Table 1: physical operation times and failure rates",
+		Doc:   "Reproduces Table 1's two technology parameter columns (current vs expected ion-trap failure rates).",
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			return Table1Data{Current: iontrap.Current(), Expected: iontrap.Expected()}, nil
+		},
+		Report: reportTable1,
+	})
+
+	Register(Experiment{
+		Name:        "ec-latency",
+		UsesMachine: true,
+		Aliases:     []string{"ecc", "eclatency"},
+		Title:       "Equation 1: error-correction latency (Section 4.1.1)",
+		Doc:         "Evaluates Equation 1 under the machine's technology parameters: level-1/level-2 EC-step times and ancilla preparation (paper: ~0.003 s, ~0.043 s, ~0.008 s).",
+		Bench:       true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			return ft.NewLatencyModel(rc.Tech).Summarize(), nil
+		},
+		Report: reportECLatency,
+	})
+
+	Register(Experiment{
+		Name:        "equation2",
+		UsesMachine: true,
+		Aliases:     []string{"eq2"},
+		Title:       "Equation 2: Gottesman local-architecture failure estimate",
+		Doc:         "Evaluates P_f(L) = (p0/pth)^(2^L) scaled by r=12 error sites, at the requested threshold and at the empirical QLA one (paper: ~1.0e-16 at L=2).",
+		Params: []ParamDef{
+			{Name: "p0", Kind: Float, Doc: "component failure rate (omit to derive the machine average)"},
+			{Name: "pth", Kind: Float, Default: ft.PthLocal, Doc: "threshold failure rate"},
+			{Name: "level", Kind: Int, Default: 2, Doc: "recursion level L"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			p0, given := rc.Params["p0"].(float64)
+			if !given {
+				p0 = rc.Tech.AverageComponentFailure()
+			}
+			pth := rc.Params.Float("pth")
+			level := rc.Params.Int("level")
+			// Guard the model's domain here: the engine is a serving
+			// front door and must reject bad input, not panic on it.
+			if p0 <= 0 || pth <= 0 {
+				return nil, fmt.Errorf("p0 (%g) and pth (%g) must be positive", p0, pth)
+			}
+			if level < 0 {
+				return nil, fmt.Errorf("level %d must be non-negative", level)
+			}
+			pf := ft.GottesmanFailure(p0, pth, 12, level)
+			return Equation2Data{
+				P0:               p0,
+				Pth:              pth,
+				Level:            level,
+				Failure:          pf,
+				MaxSystemSize:    ft.MaxSystemSize(pf),
+				EmpiricalPth:     ft.PthEmpiricalQLA,
+				EmpiricalFailure: ft.GottesmanFailure(p0, ft.PthEmpiricalQLA, 12, level),
+			}, nil
+		},
+		Report: reportEquation2,
+	})
+
+	Register(Experiment{
+		Name:    "figure7",
+		Aliases: []string{"fig7"},
+		Title:   "Figure 7: logical one-qubit gate failure vs component failure rate",
+		Doc:     "Threshold Monte Carlo at recursion levels 1 and 2 over a physical-error sweep, with the interpolated pseudo-threshold crossing (paper: (2.1±1.8)e-3). Honors engine parallelism with bit-identical results at any width.",
+		Params: []ParamDef{
+			{Name: "phys-errors", Kind: Floats, Default: threshold.Figure7Errors, Doc: "physical error rates to sweep"},
+			{Name: "trials", Kind: Int, Default: 120000, Doc: "level-1 Monte Carlo trials per point"},
+			{Name: "trials-l2", Kind: Int, Default: 0, Doc: "level-2 trials per point (0 means trials/4)"},
+			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed (level 2 uses seed+1)"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			physErrors := rc.Params.Floats("phys-errors")
+			trials := rc.Params.Int("trials")
+			trialsL2 := rc.Params.Int("trials-l2")
+			if trialsL2 < 0 {
+				return nil, fmt.Errorf("trials-l2 %d must be non-negative (0 means trials/4)", trialsL2)
+			}
+			if trialsL2 == 0 {
+				trialsL2 = trials / 4
+				if trialsL2 < 1 {
+					trialsL2 = 1
+				}
+			}
+			seed := rc.Params.Uint("seed")
+			l1, err := threshold.SweepCtx(ctx, 1, physErrors, trials, seed, rc.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+			l2, err := threshold.SweepCtx(ctx, 2, physErrors, trialsL2, seed+1, rc.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+			return Figure7Data{L1: l1, L2: l2, Crossing: threshold.Crossing(l1, l2)}, nil
+		},
+		Report: reportFigure7,
+	})
+
+	Register(Experiment{
+		Name:    "syndrome-rates",
+		Aliases: []string{"syndrome"},
+		Title:   "Non-trivial syndrome rates at expected parameters (Section 4.1.1)",
+		Doc:     "Measures the non-trivial syndrome fraction at levels 1 and 2 under the expected parameters (paper: 3.35e-4 ± 0.41e-4 and 7.92e-4 ± 0.81e-4). Level 2 uses trials/10.",
+		Params: []ParamDef{
+			{Name: "trials", Kind: Int, Default: 120000, Doc: "level-1 Monte Carlo trials"},
+			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			l1, l2, err := threshold.SyndromeRatesCtx(ctx, rc.Params.Int("trials"), rc.Params.Uint("seed"), rc.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+			return SyndromeRateData{Level1: l1, Level2: l2}, nil
+		},
+		Report: reportSyndromeRates,
+	})
+
+	Register(Experiment{
+		Name:    "figure9",
+		Aliases: []string{"fig9"},
+		Title:   "Figure 9: connection time vs total distance by island separation",
+		Doc:     "Sweeps the calibrated repeater-channel model over total distance for each Figure-9 island separation, with the d=100/d=350 crossover (paper: ~6000 cells) and the best separation at the sweep endpoints.",
+		Params: []ParamDef{
+			{Name: "distances", Kind: Ints, Default: []int{2000, 4000, 6000, 8000, 12000, 16000, 24000, 30000}, Doc: "total distances in cells"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			distances := rc.Params.Ints("distances")
+			lp := teleport.DefaultLinkParams()
+			data := Figure9Data{Points: lp.Figure9Series(distances)}
+			if len(distances) > 0 {
+				data.Crossover = lp.CrossoverDistance(100, 350, distances)
+				data.BestSepShort, _, _ = lp.BestSeparation(distances[0])
+				data.BestSepLong, _, _ = lp.BestSeparation(distances[len(distances)-1])
+			}
+			return data, nil
+		},
+		Report: reportFigure9,
+	})
+
+	Register(Experiment{
+		Name:    "scheduler-sweep",
+		Aliases: []string{"sched"},
+		Title:   "Section 5: EPR scheduler bandwidth sweep",
+		Doc:     "Schedules the canonical Toffoli workload at each candidate channel bandwidth (paper: bandwidth 2 fully overlaps communication with error correction at ~23% utilization).",
+		Params: []ParamDef{
+			{Name: "bandwidths", Kind: Ints, Default: []int{1, 2, 4}, Doc: "channel bandwidths to sweep"},
+			{Name: "islands-w", Kind: Int, Default: 20, Doc: "island grid width"},
+			{Name: "islands-h", Kind: Int, Default: 20, Doc: "island grid height"},
+			{Name: "toffolis", Kind: Int, Default: 25, Doc: "concurrent fault-tolerant Toffoli gates"},
+			{Name: "workload-seed", Kind: Uint, Default: 7, Doc: "workload placement seed"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			return netsim.RunBandwidthSweep(
+				rc.Params.Int("islands-w"), rc.Params.Int("islands-h"),
+				rc.Params.Int("toffolis"), rc.Params.Ints("bandwidths"),
+				rc.Params.Uint("workload-seed"))
+		},
+		Report: reportSchedulerSweep,
+	})
+
+	Register(Experiment{
+		Name:  "table2",
+		Title: "Table 2: Shor's algorithm on the QLA",
+		Doc:   "Regenerates Table 2 (Shor sizing for N = 128, 512, 1024, 2048) under the expected parameters, printed beside the paper's reported values.",
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			return shor.Table2()
+		},
+		Report: reportTable2,
+	})
+
+	Register(Experiment{
+		Name:        "shor",
+		UsesMachine: true,
+		Aliases:     []string{"shor128"},
+		Title:       "Factoring on the QLA (Section 5 narrative)",
+		Doc:         "Sizes Shor's algorithm for one modulus width and derives the machine-level narrative numbers (paper at N=128: ~16 h/run, 0.11 m², ~7e6 ions).",
+		Params: []ParamDef{
+			{Name: "n-bits", Kind: Int, Default: 128, Doc: "modulus width in bits"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			n := rc.Params.Int("n-bits")
+			r, err := shor.Estimate(n, rc.Tech)
+			if err != nil {
+				return nil, err
+			}
+			opts, err := rc.Machine.Options()
+			if err != nil {
+				return nil, err
+			}
+			m, err := core.New(r.LogicalQubits, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return ShorRunData{
+				Resources:          r,
+				EdgeCM:             m.Floorplan.EdgeCM(),
+				PhysicalIons:       m.PhysicalIons(),
+				ClassicalMIPSYears: shor.ClassicalNFSMIPSYears(n),
+			}, nil
+		},
+		Report: reportShor,
+	})
+
+	Register(Experiment{
+		Name:    "compare-adders",
+		Aliases: []string{"adders"},
+		Title:   "Adder ablation: Toffoli critical path, ripple vs QCLA",
+		Doc:     "Builds, verifies and measures the Cuccaro ripple-carry baseline against the DKRS carry-lookahead adder at each width, plus the VBE modular-adder comparison (the paper's QCLA choice).",
+		Params: []ParamDef{
+			{Name: "widths", Kind: Ints, Default: []int{4, 8, 16, 32, 64}, Doc: "operand widths in bits"},
+			{Name: "with-modular", Kind: Bool, Default: true, Doc: "include the modular-adder comparison rows"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			var data AddersData
+			for _, n := range rc.Params.Ints("widths") {
+				if n < 1 {
+					return nil, fmt.Errorf("width %d must be positive", n)
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				data.Comparisons = append(data.Comparisons, adder.Compare(n))
+			}
+			if rc.Params.Bool("with-modular") {
+				for _, row := range []struct {
+					n int
+					m uint64
+				}{{8, 251}, {12, 3677}, {16, 40961}} {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					data.Modular = append(data.Modular, ModAddComparison{
+						Bits:    row.n,
+						Modulus: row.m,
+						Ripple:  modarith.Measure(row.n, row.m, modarith.Ripple),
+						CLA:     modarith.Measure(row.n, row.m, modarith.CLA),
+					})
+				}
+			}
+			return data, nil
+		},
+		Report: reportCompareAdders,
+	})
+
+	Register(Experiment{
+		Name:        "code-ablation",
+		UsesMachine: true,
+		Aliases:     []string{"codes"},
+		Title:       "Code ablation: syndrome-extraction bill per full round",
+		Doc:         "Compares syndrome-extraction costs across the code catalog under the machine's technology parameters, plus a decoder Monte Carlo when mc-trials > 0 (paper: Steane [[7,1,3]] chosen in Section 4.1).",
+		Params: []ParamDef{
+			{Name: "mc-trials", Kind: Int, Default: 100000, Doc: "decoder Monte Carlo trials per point (0 skips)"},
+			{Name: "mc-errors", Kind: Floats, Default: []float64{0.002, 0.01, 0.05}, Doc: "depolarizing probabilities for the Monte Carlo"},
+			{Name: "mc-seed", Kind: Uint, Default: 17, Doc: "decoder Monte Carlo seed"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			for _, c := range codes.All() {
+				if err := c.Validate(); err != nil {
+					return nil, err
+				}
+			}
+			data := CodeAblationData{Costs: codes.Ablation(rc.Tech)}
+			if trials := rc.Params.Int("mc-trials"); trials > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				data.MCErrors = rc.Params.Floats("mc-errors")
+				mc, err := codes.MonteCarloSweep(data.MCErrors, trials, rc.Params.Uint("mc-seed"))
+				if err != nil {
+					return nil, err
+				}
+				data.MonteCarlo = mc
+			}
+			return data, nil
+		},
+		Report: reportCodeAblation,
+	})
+
+	Register(Experiment{
+		Name:    "chain-validation",
+		Aliases: []string{"chainmc"},
+		Title:   "Repeater-chain Monte Carlo (stabilizer backend) vs Werner model",
+		Doc:     "Executes the repeater protocol gate by gate on the stabilizer backend across four chain shapes and contrasts naive end-to-end teleportation with the repeater chain (the paper's contribution-2 validation).",
+		Params: []ParamDef{
+			{Name: "trials", Kind: Int, Default: 3000, Doc: "Monte Carlo trials per chain shape (capped at 6000)"},
+			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			trials := rc.Params.Int("trials")
+			if trials > 6000 {
+				trials = 6000 // far more than this validation needs
+			}
+			seed := rc.Params.Uint("seed")
+			var data ChainValidationData
+			for i, cfg := range []commsim.ChainConfig{
+				{Links: 2, LinkEps: 0.06, PurifyRounds: 0},
+				{Links: 2, LinkEps: 0.06, PurifyRounds: 1},
+				{Links: 4, LinkEps: 0.06, PurifyRounds: 1},
+				{Links: 8, LinkEps: 0.06, PurifyRounds: 2},
+			} {
+				cfg.Trials = trials
+				cfg.Seed = seed + uint64(i)
+				cfg.Parallelism = rc.Parallelism
+				res, err := commsim.RunChainCtx(ctx, cfg)
+				if err != nil {
+					return nil, err
+				}
+				data.Rows = append(data.Rows, res)
+			}
+			cmp, err := commsim.CompareStrategiesCtx(ctx, 0.05, 8, 1, trials, seed+10, rc.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+			data.Compare = cmp
+			return data, nil
+		},
+		Report: reportChainValidation,
+	})
+
+	Register(Experiment{
+		Name:  "run-chain",
+		Title: "Repeater-chain Monte Carlo: one configuration",
+		Doc:   "Executes the repeater protocol gate by gate on the stabilizer backend for one chain configuration and compares against the Werner-model prediction. Honors engine parallelism with bit-identical results at any width.",
+		Params: []ParamDef{
+			{Name: "links", Kind: Int, Default: 2, Doc: "repeater links in the chain"},
+			{Name: "link-eps", Kind: Float, Default: 0.06, Doc: "per-link depolarization probability"},
+			{Name: "purify-rounds", Kind: Int, Default: 1, Doc: "nested BBPSSW ladder depth per link"},
+			{Name: "swap-eps", Kind: Float, Default: 0.0, Doc: "depolarization per entanglement swap"},
+			{Name: "trials", Kind: Int, Default: 2000, Doc: "Monte Carlo trials"},
+			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			return commsim.RunChainCtx(ctx, commsim.ChainConfig{
+				Links:        rc.Params.Int("links"),
+				LinkEps:      rc.Params.Float("link-eps"),
+				PurifyRounds: rc.Params.Int("purify-rounds"),
+				SwapEps:      rc.Params.Float("swap-eps"),
+				Trials:       rc.Params.Int("trials"),
+				Seed:         rc.Params.Uint("seed"),
+				Parallelism:  rc.Parallelism,
+			})
+		},
+		Report: reportRunChain,
+	})
+
+	Register(Experiment{
+		Name:        "shuttle",
+		UsesMachine: true,
+		Title:       "QCCD substrate: executed transversal gate vs analytic budget",
+		Doc:         "Runs full inter-block transversal gates on the discrete-event QCCD simulator at each island separation and compares against the analytic movement budget (Figures 2-4 substrate).",
+		Params: []ParamDef{
+			{Name: "ions", Kind: Int, Default: 7, Doc: "ions per block (7 for Steane)"},
+			{Name: "separations", Kind: Ints, Default: []int{12, 50, 100, 350}, Doc: "channel separations in cells"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			var rows []ShuttleRow
+			for _, sep := range rc.Params.Ints("separations") {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				rep, err := qccd.InterBlockTransversalGate(rc.Params.Int("ions"), sep, rc.Tech)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, ShuttleRow{Separation: sep, Report: rep})
+			}
+			return rows, nil
+		},
+		Report: reportShuttle,
+	})
+
+	Register(Experiment{
+		Name:  "qft",
+		Title: "QFT: banded circuit vs the paper's EC-step charge",
+		Doc:   "Verifies the banded transform against the DFT matrix at small widths, measures the Coppersmith banding error, and compares banded gate counts to the 2N·(log2(2N)+2) model charge.",
+		Params: []ParamDef{
+			{Name: "charge-widths", Kind: Ints, Default: []int{32, 128, 512, 1024}, Doc: "modulus widths for the gate-count comparison"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			var data QFTData
+			for n := 2; n <= 6; n++ {
+				data.Exact = append(data.Exact, QFTExactRow{N: n, MaxBasisError: qft.Exact(n).MaxBasisError()})
+			}
+			for band := 3; band <= 7; band++ {
+				data.Banding = append(data.Banding, QFTBandRow{Band: band, MaxBasisError: qft.Banded(6, band).MaxBasisError()})
+			}
+			for _, n := range rc.Params.Ints("charge-widths") {
+				if n < 1 {
+					return nil, fmt.Errorf("charge width %d must be positive", n)
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				band := qft.PaperBand(n)
+				total := int64(qft.Banded(2*n, band).Counts().Total())
+				model := shor.QFTSteps(n)
+				data.Charge = append(data.Charge, QFTChargeRow{
+					N: n, Band: band, Gates: total, Model: model,
+					Ratio: float64(total) / float64(model),
+				})
+			}
+			return data, nil
+		},
+		Report: reportQFT,
+	})
+
+	Register(Experiment{
+		Name:        "multichip",
+		UsesMachine: true,
+		Title:       "Multi-chip partitioning (Section 6)",
+		Doc:         "Partitions N-bit factorization machines across chips bounded by a maximum edge and sizes the photonic links per boundary (paper: 'a multi-chip solution is desirable' beyond N=128).",
+		Params: []ParamDef{
+			{Name: "n-bits", Kind: Ints, Default: []int{128, 512, 1024, 2048}, Doc: "modulus widths to partition"},
+			{Name: "max-edge-cm", Kind: Float, Default: 33.0, Doc: "maximum chip edge in cm"},
+			{Name: "max-links", Kind: Int, Default: 0, Doc: "links available per boundary (0 = unlimited)"},
+		},
+		Bench: true,
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			link := multichip.DefaultLinkParams()
+			var rows []multichip.Partition
+			for _, n := range rc.Params.Ints("n-bits") {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				pt, err := multichip.Plan(n, rc.Params.Float("max-edge-cm"), rc.Params.Int("max-links"), link, rc.Tech)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, pt)
+			}
+			return rows, nil
+		},
+		Report: reportMultichip,
+	})
+
+	// ARQ pipeline stages: the circuit front end as registry experiments,
+	// so cmd/arq drives the same front door as everything else.
+
+	circuitParam := ParamDef{Name: "circuit", Kind: Text, Default: defaultCircuit, Doc: "circuit in the .qc text format"}
+
+	Register(Experiment{
+		Name:        "arq-estimate",
+		UsesMachine: true,
+		Title:       "ARQ: architecture-level execution estimate",
+		Doc:         "Maps a .qc circuit onto a QLA machine and reports the execution estimate (EC-step depth, communication overlap, failure budget, area).",
+		Params: []ParamDef{
+			circuitParam,
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			job, err := parseJob(rc)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := job.Estimate()
+			if err != nil {
+				return nil, err
+			}
+			return EstimateData{Report: rep, ECStepTime: job.Machine.ECStepTime(), AreaM2: job.Machine.AreaM2()}, nil
+		},
+		Report: reportEstimate,
+	})
+
+	Register(Experiment{
+		Name:        "arq-run",
+		UsesMachine: true,
+		Title:       "ARQ: exact stabilizer execution",
+		Doc:         "Runs a .qc circuit exactly on the stabilizer backend and returns the measurement outcomes in program order.",
+		Params: []ParamDef{
+			circuitParam,
+			{Name: "seed", Kind: Uint, Default: 1, Doc: "measurement randomness seed"},
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			job, err := parseJob(rc)
+			if err != nil {
+				return nil, err
+			}
+			return job.RunExact(rc.Params.Uint("seed")), nil
+		},
+		Report: reportRunExact,
+	})
+
+	Register(Experiment{
+		Name:        "arq-noisy",
+		UsesMachine: true,
+		Title:       "ARQ: noisy Pauli-frame Monte Carlo",
+		Doc:         "Runs a .qc circuit through the Pauli-frame backend under the machine's technology parameters and reports measurement-flip statistics.",
+		Params: []ParamDef{
+			circuitParam,
+			{Name: "trials", Kind: Int, Default: 1000, Doc: "Monte Carlo trials"},
+			{Name: "seed", Kind: Uint, Default: 1, Doc: "Monte Carlo seed"},
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			job, err := parseJob(rc)
+			if err != nil {
+				return nil, err
+			}
+			return job.RunNoisy(rc.Tech, rc.Params.Int("trials"), rc.Params.Uint("seed"))
+		},
+		Report: reportRunNoisy,
+	})
+
+	Register(Experiment{
+		Name:        "arq-pulses",
+		UsesMachine: true,
+		Title:       "ARQ: lowered pulse schedule",
+		Doc:         "Lowers a .qc circuit to the timed pulse-schedule text format.",
+		Params: []ParamDef{
+			circuitParam,
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			job, err := parseJob(rc)
+			if err != nil {
+				return nil, err
+			}
+			var sb strings.Builder
+			if err := job.WritePulses(&sb); err != nil {
+				return nil, err
+			}
+			return sb.String(), nil
+		},
+		Report: reportPulses,
+	})
+
+	Register(Experiment{
+		Name:        "arq-control",
+		UsesMachine: true,
+		Title:       "ARQ: classical control budget (Section 6)",
+		Doc:         "Computes laser, photodetector and control-event-rate requirements for a circuit's pulse schedule, with SIMD laser grouping.",
+		Params: []ParamDef{
+			circuitParam,
+			{Name: "event-window", Kind: Float, Default: 0.0, Doc: "peak-rate sliding window in seconds (0 means 10 µs)"},
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			job, err := parseJob(rc)
+			if err != nil {
+				return nil, err
+			}
+			return control.Analyze(job.Lower(), rc.Params.Float("event-window")), nil
+		},
+		Report: reportControl,
+	})
+}

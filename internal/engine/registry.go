@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Experiment is one registered entry point: a named, parameterized,
+// documented reproduction of a paper table/figure (or an ARQ pipeline
+// stage). Experiments run through Engine.Run, never directly.
+type Experiment struct {
+	// Name is the canonical registry key (lower-case, hyphenated).
+	Name string
+	// Aliases are alternative lookup names (legacy CLI spellings).
+	Aliases []string
+	// Title is the one-line human heading printed above reports.
+	Title string
+	// Doc records which paper artifact the experiment reproduces and
+	// any measurement caveats.
+	Doc string
+	// Params declares the accepted parameters with defaults.
+	Params []ParamDef
+	// Bench marks experiments included in the qlabench "all" sweep.
+	Bench bool
+	// UsesMachine marks experiments that honor Spec.Machine. The engine
+	// rejects a non-zero Machine on experiments that would silently
+	// ignore it.
+	UsesMachine bool
+	// Run executes the experiment and returns its typed data payload.
+	Run func(ctx context.Context, rc *RunContext) (any, error)
+	// Report renders a Result for humans. A nil Report falls back to
+	// JSON encoding of the data payload.
+	Report func(w io.Writer, res Result) error
+}
+
+// HasParam reports whether the experiment declares the named parameter.
+func (e *Experiment) HasParam(name string) bool {
+	for _, d := range e.Params {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	regMu     sync.RWMutex
+	regByName = map[string]*Experiment{}
+	regOrder  []string
+)
+
+// Register adds an experiment to the registry. It panics on a duplicate
+// or empty name/alias, or a nil Run: registration happens at init time
+// and a malformed table is a programming error.
+func Register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if e.Name == "" || e.Run == nil {
+		panic("engine: Register needs a name and a Run function")
+	}
+	if e.Name != strings.ToLower(e.Name) {
+		// Canonical names must be lower-case: lookups fold case, and a
+		// mixed-case name would be unreachable through Experiments().
+		panic(fmt.Sprintf("engine: experiment name %q is not lower-case", e.Name))
+	}
+	stored := e
+	for _, key := range append([]string{e.Name}, e.Aliases...) {
+		key = strings.ToLower(key)
+		if key == "" {
+			panic(fmt.Sprintf("engine: experiment %q has an empty alias", e.Name))
+		}
+		if _, dup := regByName[key]; dup {
+			panic(fmt.Sprintf("engine: duplicate experiment name %q", key))
+		}
+		regByName[key] = &stored
+	}
+	regOrder = append(regOrder, e.Name)
+}
+
+// Experiments returns every registered experiment in registration order.
+func Experiments() []*Experiment {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Experiment, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, regByName[name])
+	}
+	return out
+}
+
+// Lookup resolves a canonical name or alias, case-insensitively.
+func Lookup(name string) (*Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := regByName[strings.ToLower(name)]
+	return e, ok
+}
+
+// knownNames lists every canonical name, sorted, for error messages.
+func knownNames() string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := append([]string(nil), regOrder...)
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadSpecFile parses a JSON Spec from path; "-" reads standard input.
+// Shared by every CLI front end so spec invocations stay uniform.
+func ReadSpecFile(path string) (Spec, error) {
+	var (
+		raw []byte
+		err error
+	)
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return Spec{}, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return Spec{}, fmt.Errorf("parsing spec %s: %w", path, err)
+	}
+	return spec, nil
+}

@@ -1,6 +1,7 @@
 package threshold
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -25,6 +26,10 @@ type Config struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Parallelism bounds the worker-pool width (0 means GOMAXPROCS).
+	// Every trial is seeded from its global trial index, so the result
+	// is bit-identical at any parallelism for a fixed Seed.
+	Parallelism int
 }
 
 // Point is one measured point of the Figure-7 curves.
@@ -44,7 +49,12 @@ const DefaultMovePerCell = 1e-6
 
 // Run executes the Monte Carlo for one configuration, parallelized over
 // available CPUs with per-shard deterministic seeding.
-func Run(cfg Config) (Point, error) {
+func Run(cfg Config) (Point, error) { return RunCtx(context.Background(), cfg) }
+
+// RunCtx is Run with cooperative cancellation: workers poll ctx between
+// trials and the call returns ctx.Err() if the context ends before the
+// last trial completes.
+func RunCtx(ctx context.Context, cfg Config) (Point, error) {
 	if cfg.Level != 1 && cfg.Level != 2 {
 		return Point{}, fmt.Errorf("threshold: level must be 1 or 2, got %d", cfg.Level)
 	}
@@ -55,7 +65,10 @@ func Run(cfg Config) (Point, error) {
 		return Point{}, fmt.Errorf("threshold: physical error %g outside [0,1]", cfg.PhysError)
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
@@ -75,6 +88,9 @@ func Run(cfg Config) (Point, error) {
 			hi := cfg.Trials * (w + 1) / workers
 			var r shardResult
 			for trial := lo; trial < hi; trial++ {
+				if ctx.Err() != nil {
+					return
+				}
 				fail, ext, nt, pr := runTrial(cfg, uint64(trial))
 				if fail {
 					r.failures++
@@ -87,6 +103,9 @@ func Run(cfg Config) (Point, error) {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Point{}, err
+	}
 
 	var total shardResult
 	for _, r := range results {
@@ -180,14 +199,21 @@ func SingleFaultTrial(level int, site int64, choice int) (fail bool, totalSites 
 
 // Sweep runs the Monte Carlo at each physical error rate for one level.
 func Sweep(level int, physErrors []float64, trials int, seed uint64) ([]Point, error) {
+	return SweepCtx(context.Background(), level, physErrors, trials, seed, 0)
+}
+
+// SweepCtx is Sweep with cooperative cancellation and an explicit
+// worker-pool width (parallelism 0 means GOMAXPROCS).
+func SweepCtx(ctx context.Context, level int, physErrors []float64, trials int, seed uint64, parallelism int) ([]Point, error) {
 	var out []Point
 	for _, p := range physErrors {
-		pt, err := Run(Config{
+		pt, err := RunCtx(ctx, Config{
 			Level:       level,
 			PhysError:   p,
 			MovePerCell: DefaultMovePerCell,
 			Trials:      trials,
 			Seed:        seed,
+			Parallelism: parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -230,23 +256,35 @@ func Crossing(l1, l2 []Point) float64 {
 // 2 under the expected technology parameters (Section 4.1.1 reports
 // 3.35×10⁻⁴ and 7.92×10⁻⁴).
 func SyndromeRates(trials int, seed uint64) (l1, l2 float64, err error) {
+	return SyndromeRatesCtx(context.Background(), trials, seed, 0)
+}
+
+// SyndromeRatesCtx is SyndromeRates with cooperative cancellation and an
+// explicit worker-pool width (parallelism 0 means GOMAXPROCS).
+func SyndromeRatesCtx(ctx context.Context, trials int, seed uint64, parallelism int) (l1, l2 float64, err error) {
 	expected := iontrap.Expected()
-	p1, err := Run(Config{
+	p1, err := RunCtx(ctx, Config{
 		Level:       1,
 		PhysError:   expected.Fail[iontrap.OpDouble],
 		MovePerCell: expected.Fail[iontrap.OpMoveCell],
 		Trials:      trials,
 		Seed:        seed,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		return 0, 0, err
 	}
-	p2, err := Run(Config{
+	l2Trials := trials / 10
+	if l2Trials < 1 {
+		l2Trials = 1
+	}
+	p2, err := RunCtx(ctx, Config{
 		Level:       2,
 		PhysError:   expected.Fail[iontrap.OpDouble],
 		MovePerCell: expected.Fail[iontrap.OpMoveCell],
-		Trials:      trials / 10,
+		Trials:      l2Trials,
 		Seed:        seed + 1,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		return 0, 0, err

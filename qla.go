@@ -7,6 +7,11 @@
 //
 // The package is the public facade over the implementation packages:
 //
+//   - NewEngine builds the front door: a concurrency-safe,
+//     context-aware executor for the registry of named experiments
+//     (Experiments, Lookup) that regenerate every table and figure of
+//     the paper's evaluation from a JSON-serializable Spec; see
+//     EXPERIMENTS.md.
 //   - NewMachine configures a QLA instance (floorplan, technology
 //     parameters, recursion level, channel bandwidth) and answers
 //     architecture questions: EC-step clock tick, logical failure rate,
@@ -14,12 +19,15 @@
 //   - NewJob / ParseJob run circuits through the ARQ pipeline: exact
 //     stabilizer execution, noisy Pauli-frame Monte Carlo, pulse-schedule
 //     lowering.
-//   - The experiment functions (Table2, Figure7, Figure9, ECLatency,
-//     Equation2, SchedulerSweep, SyndromeRates) regenerate every table and
-//     figure of the paper's evaluation; see EXPERIMENTS.md.
+//   - The top-level experiment functions (Table2, Figure7, Figure9,
+//     ECLatency, Equation2, SchedulerSweep, SyndromeRates, …) remain as
+//     thin wrappers over the registry for callers that want one-line
+//     access without building a Spec.
 package qla
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"qla/internal/adder"
@@ -29,6 +37,7 @@ import (
 	"qla/internal/commsim"
 	"qla/internal/control"
 	"qla/internal/core"
+	"qla/internal/engine"
 	"qla/internal/ft"
 	"qla/internal/iontrap"
 	"qla/internal/modarith"
@@ -118,11 +127,95 @@ func ParseJob(r io.Reader, opts ...MachineOption) (*Job, error) {
 	return arq.Parse(r, opts...)
 }
 
+// The Engine front door. Every experiment below (and more — see
+// EXPERIMENTS.md) is registered by name and runs through
+// Engine.Run(ctx, Spec) with a JSON-round-trippable Spec.
+
+type (
+	// Engine executes experiment Specs; one instance serves any number
+	// of concurrent Run calls.
+	Engine = engine.Engine
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
+	// Spec is the JSON-(de)serializable description of one run.
+	Spec = engine.Spec
+	// MachineSpec selects the machine configuration inside a Spec.
+	MachineSpec = engine.MachineSpec
+	// Result carries an experiment's typed data rows, timing metadata
+	// and the seed used.
+	Result = engine.Result
+	// Experiment is one registered entry point.
+	Experiment = engine.Experiment
+	// ExperimentParams carries experiment parameters by name.
+	ExperimentParams = engine.Params
+)
+
+// NewEngine builds the experiment engine.
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
+
+// WithParallelism bounds the worker-pool width of Monte Carlo
+// experiments (0, the default, means GOMAXPROCS). Results are
+// bit-identical at any parallelism for a fixed seed.
+func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
+
+// Experiments returns every registered experiment in registration order.
+func Experiments() []*Experiment { return engine.Experiments() }
+
+// Lookup resolves an experiment name or alias, case-insensitively.
+func Lookup(name string) (*Experiment, bool) { return engine.Lookup(name) }
+
+// ReportResult renders a Result for humans (the experiment's registered
+// formatter, falling back to indented JSON).
+func ReportResult(w io.Writer, res Result) error { return engine.Report(w, res) }
+
+// ReadSpecFile parses a JSON Spec from a file path ("-" reads standard
+// input).
+func ReadSpecFile(path string) (Spec, error) { return engine.ReadSpecFile(path) }
+
+// defaultEngine backs the deprecated one-line experiment wrappers.
+var defaultEngine = engine.New()
+
+// runExperiment is the shared wrapper plumbing: run the named
+// experiment on the default engine and hand back the typed payload.
+func runExperiment[T any](spec Spec) (T, error) {
+	res, err := defaultEngine.Run(context.Background(), spec)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	data, ok := res.Data.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("qla: experiment %s returned %T", spec.Experiment, res.Data)
+	}
+	return data, nil
+}
+
+// mustExperiment backs the wrappers whose original signatures have no
+// error return. Their specs are wrapper-built and always valid, so a
+// failure here can only mean a misconfigured registry — a programming
+// error worth a panic rather than a silently returned zero value.
+func mustExperiment[T any](spec Spec) T {
+	data, err := runExperiment[T](spec)
+	if err != nil {
+		// The engine already prefixes the experiment name.
+		panic(fmt.Sprintf("qla: %v", err))
+	}
+	return data
+}
+
 // Experiments (see EXPERIMENTS.md for the paper-vs-measured record).
+// These remain as thin wrappers over the registry; new code should
+// prefer Engine.Run, which adds context cancellation, parallelism
+// control and machine configuration.
 
 // Table2 regenerates the paper's Table 2 (Shor's algorithm sizing for
 // N = 128, 512, 1024, 2048) under the expected parameters.
-func Table2() ([]ShorResources, error) { return shor.Table2() }
+//
+// Deprecated: use Engine.Run with the "table2" experiment.
+func Table2() ([]ShorResources, error) {
+	return runExperiment[[]ShorResources](Spec{Experiment: "table2"})
+}
 
 // EstimateShor sizes Shor's algorithm for an arbitrary modulus width.
 func EstimateShor(nBits int, p TechParams) (ShorResources, error) {
@@ -132,16 +225,22 @@ func EstimateShor(nBits int, p TechParams) (ShorResources, error) {
 // Figure7 runs the threshold Monte Carlo at both recursion levels over
 // the given physical error rates and returns the two curves and the
 // interpolated pseudo-threshold crossing.
+//
+// Deprecated: use Engine.Run with the "figure7" experiment.
 func Figure7(physErrors []float64, trialsL1, trialsL2 int, seed uint64) (l1, l2 []ThresholdPoint, crossing float64, err error) {
-	l1, err = threshold.Sweep(1, physErrors, trialsL1, seed)
+	data, err := runExperiment[engine.Figure7Data](Spec{
+		Experiment: "figure7",
+		Params: ExperimentParams{
+			"phys-errors": physErrors,
+			"trials":      trialsL1,
+			"trials-l2":   trialsL2,
+			"seed":        seed,
+		},
+	})
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	l2, err = threshold.Sweep(2, physErrors, trialsL2, seed+1)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	return l1, l2, threshold.Crossing(l1, l2), nil
+	return data.L1, data.L2, data.Crossing, nil
 }
 
 // Figure7Errors is the paper's Figure-7 sweep range.
@@ -149,8 +248,17 @@ var Figure7Errors = threshold.Figure7Errors
 
 // SyndromeRates measures the non-trivial syndrome rates at levels 1 and 2
 // under the expected parameters (Section 4.1.1).
+//
+// Deprecated: use Engine.Run with the "syndrome-rates" experiment.
 func SyndromeRates(trials int, seed uint64) (l1, l2 float64, err error) {
-	return threshold.SyndromeRates(trials, seed)
+	data, err := runExperiment[engine.SyndromeRateData](Spec{
+		Experiment: "syndrome-rates",
+		Params:     ExperimentParams{"trials": trials, "seed": seed},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return data.Level1, data.Level2, nil
 }
 
 // DefaultLink returns the calibrated Figure-9 repeater-channel model.
@@ -158,25 +266,45 @@ func DefaultLink() LinkModel { return teleport.DefaultLinkParams() }
 
 // Figure9 sweeps connection time over total distance for each island
 // separation of Figure 9.
+//
+// Deprecated: use Engine.Run with the "figure9" experiment.
 func Figure9(distances []int) []Fig9Point {
-	return DefaultLink().Figure9Series(distances)
+	return mustExperiment[engine.Figure9Data](Spec{
+		Experiment: "figure9",
+		Params:     ExperimentParams{"distances": distances},
+	}).Points
 }
 
 // ECLatency evaluates Equation 1 under the given parameters, returning
 // the level-1 and level-2 EC-step times and the ancilla preparation time.
+//
+// Deprecated: use Engine.Run with the "ec-latency" experiment.
 func ECLatency(p TechParams) ECLatencySummary {
-	return ft.NewLatencyModel(p).Summarize()
+	return mustExperiment[ECLatencySummary](Spec{
+		Experiment: "ec-latency",
+		Machine:    MachineSpec{Tech: &p},
+	})
 }
 
 // Equation2 evaluates Gottesman's local-architecture failure estimate.
+//
+// Deprecated: use Engine.Run with the "equation2" experiment.
 func Equation2(p0, pth float64, level int) float64 {
-	return ft.GottesmanFailure(p0, pth, 12, level)
+	return mustExperiment[engine.Equation2Data](Spec{
+		Experiment: "equation2",
+		Params:     ExperimentParams{"p0": p0, "pth": pth, "level": level},
+	}).Failure
 }
 
 // SchedulerSweep runs the Section-5 bandwidth experiment at the given
 // channel bandwidths (the paper's canonical workload).
+//
+// Deprecated: use Engine.Run with the "scheduler-sweep" experiment.
 func SchedulerSweep(bandwidths []int) ([]BandwidthResult, error) {
-	return netsim.DefaultExperiment(bandwidths)
+	return runExperiment[[]BandwidthResult](Spec{
+		Experiment: "scheduler-sweep",
+		Params:     ExperimentParams{"bandwidths": bandwidths},
+	})
 }
 
 // Arithmetic circuits (Section 5 workload components).
@@ -191,7 +319,15 @@ type (
 // CompareAdders builds, verifies and measures the Cuccaro ripple-carry
 // baseline against the DKRS carry-lookahead adder (the paper's QCLA
 // choice) at the given operand width.
-func CompareAdders(nBits int) AdderComparison { return adder.Compare(nBits) }
+//
+// Deprecated: use Engine.Run with the "compare-adders" experiment.
+func CompareAdders(nBits int) AdderComparison {
+	data := mustExperiment[engine.AddersData](Spec{
+		Experiment: "compare-adders",
+		Params:     ExperimentParams{"widths": []int{nBits}, "with-modular": false},
+	})
+	return data.Comparisons[0]
+}
 
 // ModAddMetrics measures one modular-adder circuit (the VBE
 // construction from four adder passes — the building block the paper's
@@ -224,7 +360,16 @@ func CodeCatalog() []*Code { return codes.All() }
 
 // CodeAblation compares syndrome-extraction costs across the catalog
 // under the given technology parameters.
-func CodeAblation(p TechParams) []CodeCost { return codes.Ablation(p) }
+//
+// Deprecated: use Engine.Run with the "code-ablation" experiment
+// (which adds the decoder Monte Carlo sweep).
+func CodeAblation(p TechParams) []CodeCost {
+	return mustExperiment[engine.CodeAblationData](Spec{
+		Experiment: "code-ablation",
+		Machine:    MachineSpec{Tech: &p},
+		Params:     ExperimentParams{"mc-trials": 0},
+	}).Costs
+}
 
 // QCCD physical simulation (Figures 2-4 substrate).
 
@@ -262,7 +407,31 @@ type (
 
 // RunChain executes the repeater protocol gate by gate on the
 // stabilizer backend and compares against the Werner-model prediction.
-func RunChain(cfg ChainConfig) (ChainResult, error) { return commsim.RunChain(cfg) }
+//
+// Deprecated: use Engine.Run with the "run-chain" experiment.
+func RunChain(cfg ChainConfig) (ChainResult, error) {
+	eng := defaultEngine
+	if cfg.Parallelism != 0 {
+		// The config's worker-pool bound maps onto the engine's; the
+		// measurements are bit-identical either way.
+		eng = engine.New(engine.WithParallelism(cfg.Parallelism))
+	}
+	res, err := eng.Run(context.Background(), Spec{
+		Experiment: "run-chain",
+		Params: ExperimentParams{
+			"links":         cfg.Links,
+			"link-eps":      cfg.LinkEps,
+			"purify-rounds": cfg.PurifyRounds,
+			"swap-eps":      cfg.SwapEps,
+			"trials":        cfg.Trials,
+			"seed":          cfg.Seed,
+		},
+	})
+	if err != nil {
+		return ChainResult{}, err
+	}
+	return res.Data.(ChainResult), nil
+}
 
 // CompareCommStrategies contrasts naive end-to-end teleportation with
 // the repeater chain at equal total channel noise, on the full backend.
@@ -275,9 +444,20 @@ func CompareCommStrategies(perLinkEps float64, links, purifyRounds, trials int, 
 // ControlBudget is the classical-resource bill of a pulse schedule.
 type ControlBudget = control.Budget
 
+// ControlOption configures AnalyzeControl.
+type ControlOption = control.Option
+
+// WithEventWindow sets the sliding window (in seconds) used for the
+// peak control-event rate; non-positive keeps the 10 µs default.
+func WithEventWindow(seconds float64) ControlOption {
+	return control.WithEventWindow(seconds)
+}
+
 // AnalyzeControl computes laser, detector and event-rate requirements
 // for a job's pulse schedule, with SIMD laser grouping.
-func AnalyzeControl(j *Job) ControlBudget { return control.Analyze(j.Lower(), 0) }
+func AnalyzeControl(j *Job, opts ...ControlOption) ControlBudget {
+	return control.AnalyzeSchedule(j.Lower(), opts...)
+}
 
 // Multi-chip scaling (Section 6 future work).
 

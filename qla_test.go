@@ -1,6 +1,10 @@
 package qla_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -123,5 +127,146 @@ func TestFacadeCircuitBuilder(t *testing.T) {
 	out := c.RunOn(s)
 	if out[0] != out[1] {
 		t.Errorf("Bell outcomes %v", out)
+	}
+}
+
+// tinyParams shrinks each experiment's Monte Carlo knobs so the whole
+// registry can be executed inside the test budget.
+var tinyParams = map[string]qla.ExperimentParams{
+	"figure7":          {"phys-errors": []float64{4e-3}, "trials": 60, "trials-l2": 20, "seed": 3},
+	"syndrome-rates":   {"trials": 40},
+	"scheduler-sweep":  {"bandwidths": []int{2}},
+	"compare-adders":   {"widths": []int{4, 8}, "with-modular": false},
+	"code-ablation":    {"mc-trials": 300},
+	"chain-validation": {"trials": 40},
+	"run-chain":        {"trials": 40},
+	"shuttle":          {"separations": []int{12}},
+	"qft":              {"charge-widths": []int{32}},
+	"multichip":        {"n-bits": []int{128}},
+	"arq-noisy":        {"trials": 50},
+}
+
+// TestEngineRunsEveryExperiment enumerates the registry and runs every
+// experiment (at tiny trial counts) under a live context, asserting each
+// produces a JSON-serializable Result, then under a cancelled context,
+// asserting each refuses to run.
+func TestEngineRunsEveryExperiment(t *testing.T) {
+	eng := qla.NewEngine()
+	exps := qla.Experiments()
+	if len(exps) < 20 {
+		t.Fatalf("registry holds %d experiments", len(exps))
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range exps {
+		t.Run(e.Name, func(t *testing.T) {
+			spec := qla.Spec{Experiment: e.Name, Params: tinyParams[e.Name]}
+			res, err := eng.Run(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("live context: %v", err)
+			}
+			if res.Experiment != e.Name || res.Data == nil {
+				t.Fatalf("result %+v", res)
+			}
+			if _, err := json.Marshal(res); err != nil {
+				t.Fatalf("result not JSON-serializable: %v", err)
+			}
+			if _, err := eng.Run(cancelled, spec); err == nil {
+				t.Fatal("cancelled context: experiment ran anyway")
+			}
+		})
+	}
+}
+
+// TestEngineSpecRoundTrip drives one Monte Carlo experiment through a
+// JSON-encoded Spec, the transport a serving front end would use.
+func TestEngineSpecRoundTrip(t *testing.T) {
+	raw := []byte(`{"experiment":"run-chain","params":{"links":3,"link-eps":0.07,"trials":50,"seed":9}}`)
+	var spec qla.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := qla.NewEngine().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res.Data.(qla.ChainResult)
+	if !ok {
+		t.Fatalf("data is %T", res.Data)
+	}
+	if got.Config.Links != 3 || got.Config.Trials != 50 || res.Seed != 9 {
+		t.Fatalf("spec not honored: %+v seed %d", got.Config, res.Seed)
+	}
+}
+
+// TestEngineParallelDeterminism: the Monte Carlo experiments must
+// produce bit-identical results at any parallelism for a fixed seed.
+func TestEngineParallelDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec qla.Spec
+	}{
+		{"figure7", qla.Spec{
+			Experiment: "figure7",
+			Params:     qla.ExperimentParams{"phys-errors": []float64{2e-3, 4e-3}, "trials": 400, "trials-l2": 80, "seed": 13},
+		}},
+		{"run-chain", qla.Spec{
+			Experiment: "run-chain",
+			Params:     qla.ExperimentParams{"links": 4, "link-eps": 0.06, "purify-rounds": 1, "trials": 400, "seed": 13},
+		}},
+		{"syndrome-rates", qla.Spec{
+			Experiment: "syndrome-rates",
+			Params:     qla.ExperimentParams{"trials": 300, "seed": 13},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := qla.NewEngine(qla.WithParallelism(1)).Run(context.Background(), tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := qla.NewEngine(qla.WithParallelism(8)).Run(context.Background(), tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sd, _ := json.Marshal(serial.Data)
+			pd, _ := json.Marshal(parallel.Data)
+			if !bytes.Equal(sd, pd) {
+				t.Fatalf("parallel result diverged from serial:\n%s\nvs\n%s", pd, sd)
+			}
+		})
+	}
+}
+
+// TestExperimentsDocumented: every registered experiment must appear in
+// EXPERIMENTS.md so the catalog cannot silently drift from the docs.
+func TestExperimentsDocumented(t *testing.T) {
+	raw, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	for _, e := range qla.Experiments() {
+		if !strings.Contains(doc, "`"+e.Name+"`") {
+			t.Errorf("experiment %q missing from EXPERIMENTS.md", e.Name)
+		}
+	}
+}
+
+// TestAnalyzeControlOptions covers the options form of AnalyzeControl.
+func TestAnalyzeControlOptions(t *testing.T) {
+	job, err := qla.ParseJob(strings.NewReader("qubits 2\nh 0\ncnot 0 1\nmeasure 0\nmeasure 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := qla.AnalyzeControl(job)
+	if def.EventWindow != 10e-6 {
+		t.Errorf("default window %g", def.EventWindow)
+	}
+	wide := qla.AnalyzeControl(job, qla.WithEventWindow(1e-3))
+	if wide.EventWindow != 1e-3 {
+		t.Errorf("window option ignored: %g", wide.EventWindow)
+	}
+	if def.Ops != wide.Ops || def.PeakLasers != wide.PeakLasers {
+		t.Error("window must not change pulse accounting")
 	}
 }
