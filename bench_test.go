@@ -51,31 +51,31 @@ func BenchmarkTable2Shor(b *testing.B) {
 
 // --- Figure 7: threshold Monte Carlo ---
 
-func BenchmarkFig7Level1Trial(b *testing.B) {
-	cfg := threshold.Config{
-		Level: 1, PhysError: 2e-3,
-		MovePerCell: threshold.DefaultMovePerCell,
-		Trials:      b.N, Seed: 1,
+// benchFig7Trial runs one threshold level under both Monte Carlo
+// backends so `go test -bench Fig7` prints the scalar-vs-batch ns/trial
+// side by side (the bit-sliced backend packs 64 trials per word and
+// must come out >10× faster at level 2).
+func benchFig7Trial(b *testing.B, level int, seed uint64) {
+	for _, backend := range []string{threshold.BackendScalar, threshold.BackendBatch} {
+		b.Run(backend, func(b *testing.B) {
+			cfg := threshold.Config{
+				Level: level, PhysError: 2e-3,
+				MovePerCell: threshold.DefaultMovePerCell,
+				Trials:      b.N, Seed: seed, Backend: backend,
+			}
+			pt, err := threshold.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(pt.FailRate, "failrate")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/trial")
+		})
 	}
-	pt, err := threshold.Run(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportMetric(pt.FailRate, "failrate")
 }
 
-func BenchmarkFig7Level2Trial(b *testing.B) {
-	cfg := threshold.Config{
-		Level: 2, PhysError: 2e-3,
-		MovePerCell: threshold.DefaultMovePerCell,
-		Trials:      b.N, Seed: 2,
-	}
-	pt, err := threshold.Run(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportMetric(pt.FailRate, "failrate")
-}
+func BenchmarkFig7Level1Trial(b *testing.B) { benchFig7Trial(b, 1, 1) }
+
+func BenchmarkFig7Level2Trial(b *testing.B) { benchFig7Trial(b, 2, 2) }
 
 func BenchmarkFig7Crossing(b *testing.B) {
 	// The full two-curve sweep with the interpolated pseudo-threshold.
@@ -200,6 +200,31 @@ func BenchmarkPauliFrameCNOT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.CNOT(i%1023, (i%1023)+1)
+	}
+}
+
+// BenchmarkBatchFrame measures the bit-sliced frame's gate throughput:
+// every op advances 64 lanes at once, reported as lane-ops/sec.
+func BenchmarkBatchFrame(b *testing.B) {
+	full := ^uint64(0)
+	for _, bench := range []struct {
+		name string
+		run  func(f *pauliframe.Batch, i int)
+	}{
+		{"CNOT", func(f *pauliframe.Batch, i int) { f.CNOT(i%1023, (i%1023)+1, full) }},
+		{"H", func(f *pauliframe.Batch, i int) { f.H(i%1024, full) }},
+		{"MeasureZ", func(f *pauliframe.Batch, i int) { f.MeasureZ(i%1024, full) }},
+		{"CNOTMasked", func(f *pauliframe.Batch, i int) { f.CNOT(i%1023, (i%1023)+1, 0xAAAA5555AAAA5555) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			f := pauliframe.NewBatch(1024)
+			f.InjectX(0, full)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bench.run(f, i)
+			}
+			b.ReportMetric(float64(b.N)*pauliframe.Lanes/b.Elapsed().Seconds(), "laneops/s")
+		})
 	}
 }
 

@@ -8,6 +8,7 @@
 //
 //	qlabench -exp all
 //	qlabench -exp fig7 -trials 200000
+//	qlabench -exp fig7 -backend scalar
 //	qlabench -exp table2
 //	qlabench -list
 //	qlabench -spec run.json
@@ -31,6 +32,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (-list shows the catalog; \"all\" runs the benchmark set)")
 	trials := flag.Int("trials", 0, "override the experiment's Monte Carlo trial count (0 keeps its default)")
 	seed := flag.Uint64("seed", 0, "override the experiment's Monte Carlo seed (0 keeps its default)")
+	backend := flag.String("backend", "", "override the Monte Carlo backend where selectable: \"batch\" (bit-sliced, default) or \"scalar\" (reference)")
 	parallelism := flag.Int("parallelism", 0, "Monte Carlo worker-pool width (0 = GOMAXPROCS; results are seed-deterministic at any width)")
 	specFile := flag.String("spec", "", "run one JSON Spec file instead of -exp (\"-\" reads standard input)")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of the human report")
@@ -66,7 +68,7 @@ func main() {
 				// get one JSON document per experiment instead.
 				fmt.Printf("\n================ %s ================\n", e.Name)
 			}
-			spec := qla.Spec{Experiment: e.Name, Params: overrides(e, *trials, *seed)}
+			spec := qla.Spec{Experiment: e.Name, Params: overrides(e, *trials, *seed, *backend)}
 			if err := runOne(ctx, eng, spec, *asJSON); err != nil {
 				fatal(err)
 			}
@@ -79,7 +81,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qlabench: unknown experiment %q (run qlabench -list)\n", *exp)
 		os.Exit(2)
 	}
-	spec := qla.Spec{Experiment: e.Name, Params: overrides(e, *trials, *seed)}
+	spec := qla.Spec{Experiment: e.Name, Params: overrides(e, *trials, *seed, *backend)}
 	if err := runOne(ctx, eng, spec, *asJSON); err != nil {
 		fatal(err)
 	}
@@ -88,13 +90,16 @@ func main() {
 // overrides maps the convenience flags onto whichever of the standard
 // parameter names the experiment declares; experiments without a
 // matching parameter keep their documented defaults.
-func overrides(e *qla.Experiment, trials int, seed uint64) qla.ExperimentParams {
+func overrides(e *qla.Experiment, trials int, seed uint64, backend string) qla.ExperimentParams {
 	p := qla.ExperimentParams{}
 	if trials > 0 && e.HasParam("trials") {
 		p["trials"] = trials
 	}
 	if seed > 0 && e.HasParam("seed") {
 		p["seed"] = seed
+	}
+	if backend != "" && e.HasParam("backend") {
+		p["backend"] = backend
 	}
 	if len(p) == 0 {
 		return nil

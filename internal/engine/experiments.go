@@ -251,6 +251,7 @@ func init() {
 			{Name: "trials", Kind: Int, Default: 120000, Doc: "level-1 Monte Carlo trials per point"},
 			{Name: "trials-l2", Kind: Int, Default: 0, Doc: "level-2 trials per point (0 means trials/4)"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed (level 2 uses seed+1)"},
+			{Name: "backend", Kind: Text, Default: threshold.BackendBatch, Doc: "Monte Carlo backend: \"batch\" (64 bit-sliced trials/word) or \"scalar\" (reference oracle)"},
 		},
 		Bench: true,
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
@@ -267,11 +268,12 @@ func init() {
 				}
 			}
 			seed := rc.Params.Uint("seed")
-			l1, err := threshold.SweepCtx(ctx, 1, physErrors, trials, seed, rc.Parallelism)
+			backend := rc.Params.Str("backend")
+			l1, err := threshold.SweepCtx(ctx, 1, physErrors, trials, seed, rc.Parallelism, backend)
 			if err != nil {
 				return nil, err
 			}
-			l2, err := threshold.SweepCtx(ctx, 2, physErrors, trialsL2, seed+1, rc.Parallelism)
+			l2, err := threshold.SweepCtx(ctx, 2, physErrors, trialsL2, seed+1, rc.Parallelism, backend)
 			if err != nil {
 				return nil, err
 			}
@@ -288,10 +290,11 @@ func init() {
 		Params: []ParamDef{
 			{Name: "trials", Kind: Int, Default: 120000, Doc: "level-1 Monte Carlo trials"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
+			{Name: "backend", Kind: Text, Default: threshold.BackendBatch, Doc: "Monte Carlo backend: \"batch\" or \"scalar\""},
 		},
 		Bench: true,
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
-			l1, l2, err := threshold.SyndromeRatesCtx(ctx, rc.Params.Int("trials"), rc.Params.Uint("seed"), rc.Parallelism)
+			l1, l2, err := threshold.SyndromeRatesCtx(ctx, rc.Params.Int("trials"), rc.Params.Uint("seed"), rc.Parallelism, rc.Params.Str("backend"))
 			if err != nil {
 				return nil, err
 			}
@@ -533,6 +536,30 @@ func init() {
 			})
 		},
 		Report: reportRunChain,
+	})
+
+	Register(Experiment{
+		Name:    "compare-comm",
+		Aliases: []string{"comm"},
+		Title:   "Communication strategies: naive end-to-end vs repeater chain",
+		Doc:     "Contrasts naive end-to-end teleportation with the repeater chain at equal total channel noise on the full stabilizer backend (the Section-5 interconnect argument). Honors engine parallelism with bit-identical results at any width.",
+		Params: []ParamDef{
+			{Name: "link-eps", Kind: Float, Default: 0.05, Doc: "per-link depolarization probability"},
+			{Name: "links", Kind: Int, Default: 8, Doc: "repeater links the channel splits into"},
+			{Name: "purify-rounds", Kind: Int, Default: 1, Doc: "nested BBPSSW ladder depth per link"},
+			{Name: "trials", Kind: Int, Default: 2000, Doc: "Monte Carlo trials per strategy"},
+			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed (the repeater run uses seed+1)"},
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			return commsim.CompareStrategiesCtx(ctx,
+				rc.Params.Float("link-eps"),
+				rc.Params.Int("links"),
+				rc.Params.Int("purify-rounds"),
+				rc.Params.Int("trials"),
+				rc.Params.Uint("seed"),
+				rc.Parallelism)
+		},
+		Report: reportCompareComm,
 	})
 
 	Register(Experiment{

@@ -333,6 +333,21 @@ func reportRunChain(w io.Writer, res Result) error {
 	return nil
 }
 
+func reportCompareComm(w io.Writer, res Result) error {
+	c, ok := res.Data.(commsim.NaiveVsRepeater)
+	if !ok {
+		return reportJSON(w, res)
+	}
+	fmt.Fprintln(w, "Communication strategies at equal total channel noise")
+	fmt.Fprintf(w, "naive end-to-end pair:  error %.4f (predicted %.4f, %.1f raw pairs/conn)\n",
+		c.Naive.ErrorRate, c.Naive.PredictedError, c.Naive.RawPairsMean)
+	fmt.Fprintf(w, "repeater chain:         error %.4f (predicted %.4f, %.1f raw pairs/conn)\n",
+		c.Repeater.ErrorRate, c.Repeater.PredictedError, c.Repeater.RawPairsMean)
+	fmt.Fprintln(w, "\npaper (Section 5): stretching one pair across the whole channel")
+	fmt.Fprintln(w, "collapses with distance; repeater islands keep fidelity pinned.")
+	return nil
+}
+
 func reportShuttle(w io.Writer, res Result) error {
 	rows, ok := res.Data.([]ShuttleRow)
 	if !ok {

@@ -1,0 +1,275 @@
+package noise
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"qla/internal/iontrap"
+	"qla/internal/pauliframe"
+)
+
+// maskSampler draws 64-lane Bernoulli(p) hit masks. Instead of one
+// uniform draw per (site, lane) pair it flattens the pairs into one
+// stream and jumps between hits with geometric gaps — the standard
+// skip-ahead trick — so a site costs O(1) plus O(actual hits). At the
+// Figure-7 error rates (p ~ 1e-3) that replaces 64 RNG draws per site
+// with ~0.06 on average.
+type maskSampler struct {
+	p      float64
+	invLog float64 // 1 / log1p(-p), negative
+	skip   int64   // lanes to skip before the next hit
+}
+
+func newMaskSampler(p float64, rng *rand.Rand) *maskSampler {
+	s := &maskSampler{p: p}
+	if p > 0 && p < 1 {
+		s.invLog = 1 / math.Log1p(-p)
+		s.skip = s.gap(rng)
+	}
+	return s
+}
+
+// gap samples the number of misses before the next hit (Geometric(p)).
+func (s *maskSampler) gap(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	if u == 0 {
+		return 1 << 40 // log(0) would overflow the conversion; cap the gap
+	}
+	g := math.Log(u) * s.invLog
+	if g >= 1<<40 {
+		return 1 << 40
+	}
+	return int64(g)
+}
+
+// mask consumes one site's worth (64 lanes) of the Bernoulli stream and
+// returns its hit mask.
+func (s *maskSampler) mask(rng *rand.Rand) uint64 {
+	if s.p <= 0 {
+		return 0
+	}
+	if s.p >= 1 {
+		return ^uint64(0)
+	}
+	var m uint64
+	for s.skip < pauliframe.Lanes {
+		m |= 1 << uint64(s.skip)
+		s.skip += 1 + s.gap(rng)
+	}
+	s.skip -= pauliframe.Lanes
+	return m
+}
+
+// BatchModel samples errors for 64 independent trials at once,
+// injecting them lane-wise into a pauliframe.Batch. Each error site
+// draws one Bernoulli hit mask over the lanes (via maskSampler's
+// geometric skipping) and only the hit lanes pay for Pauli-variant
+// selection. Masked injection — every sampler method takes the lane
+// mask of trials that actually execute the operation — keeps per-lane
+// control flow (ancilla retries, syndrome re-extraction) exact: lanes
+// outside the mask see no error and no frame change.
+//
+// The deterministic-fault mode mirrors Model's: when ForceEnabled, no
+// randomness is consumed at all; the site whose sequence number equals
+// ForceSite injects error variant ForceChoice into lane ForceLane
+// (when that lane is in the site's execution mask) and every other
+// site is silent. Because sites are numbered once per batched site
+// visit, a batch in which only ForceLane's control flow deviates
+// visits sites in exactly the scalar backend's order — the property
+// the batch-vs-scalar single-fault equivalence tests rely on.
+type BatchModel struct {
+	P   iontrap.Params
+	Rng *rand.Rand
+
+	// Injected counts lane-hits by op class, for diagnostics and tests.
+	Injected [iontrap.NumOpClasses]int64
+
+	// Deterministic fault injection (see Model).
+	ForceEnabled bool
+	ForceSite    int64
+	ForceChoice  int
+	ForceLane    int
+
+	siteCounter int64
+	// samplers caches one skip-ahead state per distinct probability
+	// (gate/prep/measure classes plus the few move-path compositions);
+	// a linear scan beats a map at these counts.
+	samplers []*maskSampler
+	// movePs caches MoveFailure(cells, corners) per path shape: the
+	// threshold schedule uses two shapes millions of times each.
+	movePs []moveP
+}
+
+type moveP struct {
+	cells, corners int
+	p              float64
+}
+
+// NewBatchModel returns a batch model over params p with a
+// deterministic seed.
+func NewBatchModel(p iontrap.Params, seed uint64) *BatchModel {
+	return &BatchModel{P: p, Rng: rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5deadbeef))}
+}
+
+// Sites returns the number of potential error sites visited so far.
+func (m *BatchModel) Sites() int64 { return m.siteCounter }
+
+func (m *BatchModel) sampler(p float64) *maskSampler {
+	for _, s := range m.samplers {
+		if s.p == p {
+			return s
+		}
+	}
+	s := newMaskSampler(p, m.Rng)
+	m.samplers = append(m.samplers, s)
+	return s
+}
+
+// site implements one 64-lane error site: the lane mask of trials that
+// inject, already restricted to the execution mask.
+func (m *BatchModel) site(p float64, mask uint64) uint64 {
+	idx := m.siteCounter
+	m.siteCounter++
+	if m.ForceEnabled {
+		if idx == m.ForceSite {
+			return 1 << uint(m.ForceLane) & mask
+		}
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	return m.sampler(p).mask(m.Rng) & mask
+}
+
+// forced reports whether a hit in force mode must use ForceChoice.
+func (m *BatchModel) forced() bool { return m.ForceEnabled }
+
+// Depolarize1 injects a uniformly random non-identity Pauli on q, per
+// hit lane, with probability p.
+func (m *BatchModel) Depolarize1(f *pauliframe.Batch, q int, p float64, mask uint64) int64 {
+	hits := m.site(p, mask)
+	if hits == 0 {
+		return 0
+	}
+	var xm, ym, zm uint64
+	for h := hits; h != 0; h &= h - 1 {
+		lane := uint64(1) << uint(bits.TrailingZeros64(h))
+		k := m.ForceChoice % 3
+		if !m.forced() {
+			k = m.Rng.IntN(3)
+		}
+		switch k {
+		case 0:
+			xm |= lane
+		case 1:
+			ym |= lane
+		case 2:
+			zm |= lane
+		}
+	}
+	f.InjectX(q, xm|ym)
+	f.InjectZ(q, zm|ym)
+	return int64(bits.OnesCount64(hits))
+}
+
+// Depolarize2 injects a uniformly random non-identity two-qubit Pauli
+// on (a,b), per hit lane, with probability p (one of the 15 non-II
+// pairs, same indexing as Model.Depolarize2).
+func (m *BatchModel) Depolarize2(f *pauliframe.Batch, a, b int, p float64, mask uint64) int64 {
+	hits := m.site(p, mask)
+	if hits == 0 {
+		return 0
+	}
+	var ax, az, bx, bz uint64
+	for h := hits; h != 0; h &= h - 1 {
+		lane := uint64(1) << uint(bits.TrailingZeros64(h))
+		k := m.ForceChoice % 15
+		if !m.forced() {
+			k = m.Rng.IntN(15)
+		}
+		k++ // 1..15, base-4 digits (pa, pb), not both I
+		if pa := k / 4; pa > 0 {
+			if pa != 3 { // X or Y carry an X component
+				ax |= lane
+			}
+			if pa != 1 { // Y or Z carry a Z component
+				az |= lane
+			}
+		}
+		if pb := k % 4; pb > 0 {
+			if pb != 3 {
+				bx |= lane
+			}
+			if pb != 1 {
+				bz |= lane
+			}
+		}
+	}
+	f.InjectX(a, ax)
+	f.InjectZ(a, az)
+	f.InjectX(b, bx)
+	f.InjectZ(b, bz)
+	return int64(bits.OnesCount64(hits))
+}
+
+// GateError1 injects the post-gate error for a 1-qubit gate on q in the
+// masked lanes.
+func (m *BatchModel) GateError1(f *pauliframe.Batch, q int, mask uint64) {
+	m.Injected[iontrap.OpSingle] += m.Depolarize1(f, q, m.P.Fail[iontrap.OpSingle], mask)
+}
+
+// GateError2 injects the post-gate error for a 2-qubit gate on (a,b) in
+// the masked lanes.
+func (m *BatchModel) GateError2(f *pauliframe.Batch, a, b int, mask uint64) {
+	m.Injected[iontrap.OpDouble] += m.Depolarize2(f, a, b, m.P.Fail[iontrap.OpDouble], mask)
+}
+
+// PrepError injects preparation errors: hit lanes come up flipped.
+func (m *BatchModel) PrepError(f *pauliframe.Batch, q int, mask uint64) {
+	hits := m.site(m.P.Fail[iontrap.OpPrep], mask)
+	if hits != 0 {
+		f.InjectX(q, hits)
+		m.Injected[iontrap.OpPrep] += int64(bits.OnesCount64(hits))
+	}
+}
+
+// MeasureFlips samples readout errors for the masked lanes, returning
+// the lane mask of flipped classical outcomes.
+func (m *BatchModel) MeasureFlips(mask uint64) uint64 {
+	hits := m.site(m.P.Fail[iontrap.OpMeasure], mask)
+	m.Injected[iontrap.OpMeasure] += int64(bits.OnesCount64(hits))
+	return hits
+}
+
+// MoveError injects the error of shuttling q across cells and corners
+// in the masked lanes.
+func (m *BatchModel) MoveError(f *pauliframe.Batch, q, cells, corners int, mask uint64) {
+	m.Injected[iontrap.OpMoveCell] += m.Depolarize1(f, q, m.moveFailure(cells, corners), mask)
+}
+
+func (m *BatchModel) moveFailure(cells, corners int) float64 {
+	for _, c := range m.movePs {
+		if c.cells == cells && c.corners == corners {
+			return c.p
+		}
+	}
+	p := m.P.MoveFailure(cells, corners)
+	m.movePs = append(m.movePs, moveP{cells: cells, corners: corners, p: p})
+	return p
+}
+
+// IdleError injects memory errors for one idle slot on q.
+func (m *BatchModel) IdleError(f *pauliframe.Batch, q int, mask uint64) {
+	m.Injected[iontrap.OpMemory] += m.Depolarize1(f, q, m.P.Fail[iontrap.OpMemory], mask)
+}
+
+// TotalInjected returns the total number of lane-errors injected.
+func (m *BatchModel) TotalInjected() int64 {
+	var t int64
+	for _, v := range m.Injected {
+		t += v
+	}
+	return t
+}

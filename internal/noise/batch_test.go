@@ -1,0 +1,164 @@
+package noise
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"qla/internal/iontrap"
+	"qla/internal/pauliframe"
+)
+
+// TestMaskSamplerRate: the geometric-skipping sampler must produce
+// per-lane Bernoulli(p) hits at the right rate.
+func TestMaskSamplerRate(t *testing.T) {
+	for _, p := range []float64{1e-3, 0.01, 0.1, 0.5} {
+		m := NewBatchModel(iontrap.Uniform(0, 0), 42)
+		const sites = 20000
+		hits := 0
+		for i := 0; i < sites; i++ {
+			hits += bits.OnesCount64(m.site(p, ^uint64(0)))
+		}
+		n := float64(sites * 64)
+		mean := p * n
+		sigma := math.Sqrt(n * p * (1 - p))
+		if math.Abs(float64(hits)-mean) > 6*sigma {
+			t.Errorf("p=%g: %d hits, want %.0f ± %.0f", p, hits, mean, 6*sigma)
+		}
+	}
+}
+
+// TestMaskSamplerEdges: p=0 never hits, p=1 always hits, and the
+// execution mask restricts hits.
+func TestMaskSamplerEdges(t *testing.T) {
+	m := NewBatchModel(iontrap.Uniform(0, 0), 1)
+	for i := 0; i < 100; i++ {
+		if m.site(0, ^uint64(0)) != 0 {
+			t.Fatal("p=0 must never hit")
+		}
+		if m.site(1, ^uint64(0)) != ^uint64(0) {
+			t.Fatal("p=1 must always hit")
+		}
+		if m.site(0.7, 0xFF)&^uint64(0xFF) != 0 {
+			t.Fatal("hits escaped the execution mask")
+		}
+	}
+}
+
+// TestBatchModelDeterminism: identical seeds must reproduce identical
+// hit masks.
+func TestBatchModelDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		m := NewBatchModel(iontrap.Uniform(0.01, 1e-6), 99)
+		var out []uint64
+		for i := 0; i < 500; i++ {
+			out = append(out, m.site(0.01, ^uint64(0)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site %d: masks diverge with identical seeds", i)
+		}
+	}
+}
+
+// TestBatchDepolarize1Variants: every Pauli variant appears, lane-wise,
+// and X+Z planes stay consistent (Y sets both).
+func TestBatchDepolarize1Variants(t *testing.T) {
+	m := NewBatchModel(iontrap.Uniform(0, 0), 7)
+	f := pauliframe.NewBatch(1)
+	var sawX, sawZ, sawY bool
+	for i := 0; i < 2000; i++ {
+		f.Clear()
+		m.Depolarize1(f, 0, 0.5, ^uint64(0))
+		x, z := f.XBits(0), f.ZBits(0)
+		if x&^z != 0 {
+			sawX = true
+		}
+		if z&^x != 0 {
+			sawZ = true
+		}
+		if x&z != 0 {
+			sawY = true
+		}
+	}
+	if !sawX || !sawZ || !sawY {
+		t.Errorf("missing depolarizing variant: X=%v Y=%v Z=%v", sawX, sawY, sawZ)
+	}
+}
+
+// TestBatchDepolarize2Variants: all 15 two-qubit variants occur.
+func TestBatchDepolarize2Variants(t *testing.T) {
+	m := NewBatchModel(iontrap.Uniform(0, 0), 13)
+	f := pauliframe.NewBatch(2)
+	seen := map[int]bool{}
+	for i := 0; i < 4000 && len(seen) < 15; i++ {
+		f.Clear()
+		m.Depolarize2(f, 0, 1, 0.5, 1) // single lane isolates the variant
+		pa := int(f.XBits(0)&1) | int(f.ZBits(0)&1)<<1
+		pb := int(f.XBits(1)&1) | int(f.ZBits(1)&1)<<1
+		if pa != 0 || pb != 0 {
+			seen[pa<<2|pb] = true
+		}
+	}
+	if len(seen) != 15 {
+		t.Errorf("saw %d of 15 two-qubit Pauli variants", len(seen))
+	}
+}
+
+// TestBatchForceMode mirrors the scalar deterministic-fault contract:
+// exactly the forced site injects, into exactly the forced lane, and
+// only when that lane is in the execution mask.
+func TestBatchForceMode(t *testing.T) {
+	m := NewBatchModel(iontrap.Uniform(0.5, 0.5), 3)
+	m.ForceEnabled = true
+	m.ForceSite = 5
+	m.ForceChoice = 2 // Z for 1-qubit sites
+	m.ForceLane = 17
+	f := pauliframe.NewBatch(1)
+	for i := 0; i < 10; i++ {
+		m.Depolarize1(f, 0, 0.5, ^uint64(0))
+	}
+	if f.XBits(0) != 0 || f.ZBits(0) != 1<<17 {
+		t.Fatalf("forced fault landed wrong: x=%x z=%x", f.XBits(0), f.ZBits(0))
+	}
+	if m.Sites() != 10 {
+		t.Fatalf("site counter = %d, want 10", m.Sites())
+	}
+
+	// Same forced site, but the forced lane is masked out: no injection.
+	m2 := NewBatchModel(iontrap.Uniform(0.5, 0.5), 3)
+	m2.ForceEnabled = true
+	m2.ForceSite = 0
+	m2.ForceLane = 17
+	f2 := pauliframe.NewBatch(1)
+	m2.Depolarize1(f2, 0, 0.5, ^(uint64(1) << 17))
+	if f2.DirtyLanes() != 0 {
+		t.Fatal("forced fault must respect the execution mask")
+	}
+}
+
+// TestBatchInjectedLedger: lane-hit counts land in the right op class.
+func TestBatchInjectedLedger(t *testing.T) {
+	p := iontrap.Uniform(0.5, 0.01)
+	m := NewBatchModel(p, 21)
+	f := pauliframe.NewBatch(2)
+	m.GateError1(f, 0, ^uint64(0))
+	m.GateError2(f, 0, 1, ^uint64(0))
+	m.PrepError(f, 0, ^uint64(0))
+	m.MeasureFlips(^uint64(0))
+	m.MoveError(f, 0, 3, 1, ^uint64(0))
+	for _, c := range []iontrap.OpClass{iontrap.OpSingle, iontrap.OpDouble, iontrap.OpPrep, iontrap.OpMeasure, iontrap.OpMoveCell} {
+		if m.Injected[c] == 0 {
+			t.Errorf("op class %v recorded no injections at p=0.5", c)
+		}
+	}
+	if m.TotalInjected() == 0 {
+		t.Error("total injected must be positive")
+	}
+	if m.Sites() != 5 {
+		t.Errorf("sites = %d, want 5", m.Sites())
+	}
+}

@@ -8,6 +8,11 @@
 // path used for the paper's Figure-7 threshold Monte Carlo, where millions
 // of level-2 error-correction circuits must be sampled.
 //
+// Two layouts are provided: Frame simulates one trial (one bit per qubit
+// per error component), and Batch bit-slices 64 independent trials into
+// each word (see batch.go), turning gate propagation and measurement into
+// branch-free lane-parallel bitwise operations.
+//
 // Measurement semantics: MeasureZ returns the bit by which the noisy
 // outcome differs from the noiseless reference outcome. Circuits whose
 // decoded quantities (syndromes, verification parities, logical parities)

@@ -83,10 +83,15 @@ func (s *State) N() int { return s.n }
 // state has produced so far.
 func (s *State) RandomOutcomes() int { return s.germs }
 
-// Clone returns a deep copy sharing nothing with s (including a copied RNG
-// position is NOT preserved: the clone gets a derived deterministic RNG).
+// Clone returns a deep copy sharing nothing with s. The RNG position is
+// NOT preserved: the clone's RNG stream is split off the parent's
+// (Clone advances the parent RNG by two draws), so sibling clones of
+// the same state draw independent measurement randomness — seeding them
+// identically would silently correlate Monte Carlo branches that fork a
+// shared prefix state — while a fixed parent seed still reproduces the
+// same clone streams in the same clone order.
 func (s *State) Clone() *State {
-	c := NewWithRand(s.n, rand.New(rand.NewPCG(0xc10e, 0xd5a1)))
+	c := NewWithRand(s.n, rand.New(rand.NewPCG(s.rng.Uint64(), s.rng.Uint64())))
 	for i := range s.x {
 		copy(c.x[i], s.x[i])
 		copy(c.z[i], s.z[i])

@@ -428,6 +428,28 @@ func TestStabilizerAccessors(t *testing.T) {
 	}
 }
 
+// TestCloneRNGIndependent: sibling clones of the same state must draw
+// independent measurement randomness. (A fixed clone seed once made
+// every clone produce the identical "random" outcome stream.)
+func TestCloneRNGIndependent(t *testing.T) {
+	s := New(1)
+	s.H(0)
+	outcomes := map[int]int{}
+	for i := 0; i < 64; i++ {
+		outcomes[s.Clone().Measure(0)]++
+	}
+	if outcomes[0] == 0 || outcomes[1] == 0 {
+		t.Fatalf("64 sibling clones produced only outcome distribution %v; clone RNGs are correlated", outcomes)
+	}
+	// Clones must still be deep copies: measuring one leaves another (and
+	// the original) untouched.
+	a, b := s.Clone(), s.Clone()
+	a.Measure(0)
+	if !b.SameState(s.Clone()) {
+		t.Error("measuring one clone disturbed a sibling")
+	}
+}
+
 func BenchmarkCNOTChain100(b *testing.B) {
 	s := New(100)
 	b.ResetTimer()

@@ -1,0 +1,64 @@
+package steane
+
+// Bit-sliced (lane-parallel) decode arithmetic: every uint64 here is a
+// lane mask carrying one bit of 64 independent Monte Carlo trials, the
+// layout used by pauliframe.Batch. The functions mirror Syndrome,
+// DecodePosition and DecodeBlock word-wise, so a batched simulator
+// decodes all 64 trials with a handful of XOR/AND operations instead of
+// 64 scalar Hamming decodes.
+
+// SyndromeMasks computes the Hamming syndrome of a 7-bit measurement
+// word for 64 lanes at once. w[q] is the lane mask of measured bits on
+// qubit q; the returned planes s0, s1, s2 carry bit 0 (LSB), bit 1 and
+// bit 2 of each lane's syndrome value, matching Syndrome's convention
+// (row 0 of Supports is the most significant bit). A lane whose three
+// planes are all zero detected no error.
+func SyndromeMasks(w *[7]uint64) (s0, s1, s2 uint64) {
+	// The planes are the parities over Supports[2], Supports[1],
+	// Supports[0] respectively (column q of the check matrix is the
+	// binary representation of q+1).
+	s0 = w[0] ^ w[2] ^ w[4] ^ w[6]
+	s1 = w[1] ^ w[2] ^ w[5] ^ w[6]
+	s2 = w[3] ^ w[4] ^ w[5] ^ w[6]
+	return s0, s1, s2
+}
+
+// PositionMask returns the lane mask of trials whose syndrome planes
+// decode to physical qubit pos (0..6): the lanes where the syndrome
+// value equals pos+1. Lanes with the trivial (zero) syndrome appear in
+// no position mask, mirroring DecodePosition's -1.
+func PositionMask(s0, s1, s2 uint64, pos int) uint64 {
+	if pos < 0 || pos >= N {
+		panic("steane: PositionMask position out of range")
+	}
+	v := pos + 1
+	m := ^uint64(0)
+	if v&1 != 0 {
+		m &= s0
+	} else {
+		m &^= s0
+	}
+	if v&2 != 0 {
+		m &= s1
+	} else {
+		m &^= s1
+	}
+	if v&4 != 0 {
+		m &= s2
+	} else {
+		m &^= s2
+	}
+	return m
+}
+
+// DecodeBlockMasks performs ideal decoding of one error-component word
+// for 64 lanes at once, returning the lane mask of decoder failures
+// (lanes whose corrected residual is a logical operator). It mirrors
+// DecodeBlock: correcting the single qubit named by a non-trivial
+// syndrome flips the word's overall parity, so the corrected logical
+// parity is the raw parity XOR the "syndrome non-zero" mask.
+func DecodeBlockMasks(w *[7]uint64) uint64 {
+	s0, s1, s2 := SyndromeMasks(w)
+	parity := w[0] ^ w[1] ^ w[2] ^ w[3] ^ w[4] ^ w[5] ^ w[6]
+	return parity ^ (s0 | s1 | s2)
+}

@@ -1,0 +1,84 @@
+package steane
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// laneWord extracts lane l of the 7 plane masks as a scalar bit word.
+func laneWord(w *[7]uint64, l int) [N]int {
+	var bits [N]int
+	for q := 0; q < N; q++ {
+		bits[q] = int(w[q] >> uint(l) & 1)
+	}
+	return bits
+}
+
+func randomPlanes(rng *rand.Rand) [7]uint64 {
+	var w [7]uint64
+	for q := range w {
+		w[q] = rng.Uint64()
+	}
+	return w
+}
+
+func TestSyndromeMasksMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for round := 0; round < 50; round++ {
+		w := randomPlanes(rng)
+		s0, s1, s2 := SyndromeMasks(&w)
+		for l := 0; l < 64; l++ {
+			want := Syndrome(laneWord(&w, l))
+			got := int(s0>>uint(l)&1) | int(s1>>uint(l)&1)<<1 | int(s2>>uint(l)&1)<<2
+			if got != want {
+				t.Fatalf("lane %d: bit-sliced syndrome %d, scalar %d", l, got, want)
+			}
+		}
+	}
+}
+
+func TestPositionMaskMatchesDecodePosition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for round := 0; round < 50; round++ {
+		w := randomPlanes(rng)
+		s0, s1, s2 := SyndromeMasks(&w)
+		for l := 0; l < 64; l++ {
+			want := DecodePosition(Syndrome(laneWord(&w, l)))
+			got := -1
+			for pos := 0; pos < N; pos++ {
+				if PositionMask(s0, s1, s2, pos)>>uint(l)&1 == 1 {
+					if got != -1 {
+						t.Fatalf("lane %d decodes to two positions", l)
+					}
+					got = pos
+				}
+			}
+			if got != want {
+				t.Fatalf("lane %d: bit-sliced position %d, scalar %d", l, got, want)
+			}
+		}
+	}
+}
+
+func TestDecodeBlockMasksMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for round := 0; round < 50; round++ {
+		w := randomPlanes(rng)
+		fail := DecodeBlockMasks(&w)
+		for l := 0; l < 64; l++ {
+			want := DecodeBlock(laneWord(&w, l))
+			if got := int(fail >> uint(l) & 1); got != want {
+				t.Fatalf("lane %d: bit-sliced decode %d, scalar %d", l, got, want)
+			}
+		}
+	}
+}
+
+func TestPositionMaskRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range position must panic")
+		}
+	}()
+	PositionMask(0, 0, 0, 7)
+}

@@ -13,6 +13,18 @@
 //     built from seven level-1 blocks via the transversal encoder;
 //   - trials are scored by ideal hierarchical decoding of the residual
 //     Pauli frame: a residual logical operator is a gate failure.
+//
+// Two Monte Carlo backends implement this procedure. The default batch
+// backend (batch.go) bit-slices 64 independent trials per word: the
+// gadget schedule runs once per 64-trial block on pauliframe.Batch lane
+// masks, with per-lane control flow (ancilla "Start Over" retries, the
+// agreeing-syndromes rule) expressed as masked re-execution. The scalar
+// backend (this file, level2.go) simulates one trial at a time and is
+// kept as the reference oracle: the backends agree exactly under
+// deterministic single-fault injection and statistically under random
+// noise. Fixed Seed + Backend reproduces bit-identical statistics at
+// any Parallelism; the two backends draw different random streams, so
+// across backends agreement is statistical only.
 package threshold
 
 import (

@@ -27,10 +27,26 @@ type Config struct {
 	// Seed makes the run reproducible.
 	Seed uint64
 	// Parallelism bounds the worker-pool width (0 means GOMAXPROCS).
-	// Every trial is seeded from its global trial index, so the result
-	// is bit-identical at any parallelism for a fixed Seed.
+	// Every trial (scalar backend) or 64-trial block (batch backend) is
+	// seeded from its global index, so the result is bit-identical at
+	// any parallelism for a fixed Seed and Backend.
 	Parallelism int
+	// Backend selects the Monte Carlo engine: BackendBatch (the
+	// default, 64 bit-sliced trials per word) or BackendScalar (the
+	// one-trial-at-a-time reference oracle). The two backends draw
+	// different random streams from the same Seed, so their results
+	// agree statistically, not bit-for-bit.
+	Backend string
 }
+
+// Monte Carlo backends.
+const (
+	// BackendBatch is the bit-sliced engine: 64 independent trials per
+	// uint64 word, the default (an empty Backend selects it).
+	BackendBatch = "batch"
+	// BackendScalar is the one-trial-at-a-time reference engine.
+	BackendScalar = "scalar"
+)
 
 // Point is one measured point of the Figure-7 curves.
 type Point struct {
@@ -65,55 +81,21 @@ func RunCtx(ctx context.Context, cfg Config) (Point, error) {
 		return Point{}, fmt.Errorf("threshold: physical error %g outside [0,1]", cfg.PhysError)
 	}
 
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	var total blockStats
+	var err error
+	switch cfg.Backend {
+	case "", BackendBatch:
+		total, err = runBatched(ctx, cfg)
+	case BackendScalar:
+		total, err = runScalar(ctx, cfg)
+	default:
+		return Point{}, fmt.Errorf("threshold: unknown backend %q (want %q or %q)",
+			cfg.Backend, BackendBatch, BackendScalar)
 	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
-	type shardResult struct {
-		failures    int64
-		extractions int64
-		nontrivial  int64
-		prepRetries int64
-	}
-	results := make([]shardResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lo := cfg.Trials * w / workers
-			hi := cfg.Trials * (w + 1) / workers
-			var r shardResult
-			for trial := lo; trial < hi; trial++ {
-				if ctx.Err() != nil {
-					return
-				}
-				fail, ext, nt, pr := runTrial(cfg, uint64(trial))
-				if fail {
-					r.failures++
-				}
-				r.extractions += ext
-				r.nontrivial += nt
-				r.prepRetries += pr
-			}
-			results[w] = r
-		}(w)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		return Point{}, err
 	}
 
-	var total shardResult
-	for _, r := range results {
-		total.failures += r.failures
-		total.extractions += r.extractions
-		total.nontrivial += r.nontrivial
-		total.prepRetries += r.prepRetries
-	}
 	p := Point{
 		Level:     cfg.Level,
 		PhysError: cfg.PhysError,
@@ -127,6 +109,79 @@ func RunCtx(ctx context.Context, cfg Config) (Point, error) {
 	}
 	p.PrepRetry = float64(total.prepRetries) / float64(cfg.Trials)
 	return p, nil
+}
+
+// runScalar fans trials out one at a time over the worker pool (the
+// reference oracle path).
+func runScalar(ctx context.Context, cfg Config) (blockStats, error) {
+	return fanOut(ctx, cfg.Parallelism, cfg.Trials, func(trial int) blockStats {
+		fail, ext, nt, pr := runTrial(cfg, uint64(trial))
+		r := blockStats{extractions: ext, nontrivial: nt, prepRetries: pr}
+		if fail {
+			r.failures = 1
+		}
+		return r
+	})
+}
+
+// runBatched fans 64-trial blocks out over the worker pool; the final
+// block runs short when Trials is not a multiple of 64.
+func runBatched(ctx context.Context, cfg Config) (blockStats, error) {
+	blocks := (cfg.Trials + pauliframe.Lanes - 1) / pauliframe.Lanes
+	return fanOut(ctx, cfg.Parallelism, blocks, func(block int) blockStats {
+		lanes := pauliframe.Lanes
+		if rem := cfg.Trials - block*pauliframe.Lanes; rem < lanes {
+			lanes = rem
+		}
+		return runBlock(cfg, uint64(block), lanes)
+	})
+}
+
+func (a *blockStats) add(b blockStats) {
+	a.failures += b.failures
+	a.extractions += b.extractions
+	a.nontrivial += b.nontrivial
+	a.prepRetries += b.prepRetries
+}
+
+// fanOut shards unit indices [0,units) over a worker pool. Each unit is
+// seeded from its global index by the caller and the integer statistics
+// are summed, so the total is bit-identical at any worker count.
+func fanOut(ctx context.Context, parallelism, units int, run func(unit int) blockStats) (blockStats, error) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > units {
+		workers = units
+	}
+	results := make([]blockStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := units * w / workers
+			hi := units * (w + 1) / workers
+			var r blockStats
+			for u := lo; u < hi; u++ {
+				if ctx.Err() != nil {
+					return
+				}
+				r.add(run(u))
+			}
+			results[w] = r
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return blockStats{}, err
+	}
+	var total blockStats
+	for _, r := range results {
+		total.add(r)
+	}
+	return total, nil
 }
 
 // runTrial simulates one logical one-qubit gate followed by error
@@ -197,14 +252,16 @@ func SingleFaultTrial(level int, site int64, choice int) (fail bool, totalSites 
 	return s.residualFail(), model.Sites()
 }
 
-// Sweep runs the Monte Carlo at each physical error rate for one level.
+// Sweep runs the Monte Carlo at each physical error rate for one level
+// on the default (batch) backend.
 func Sweep(level int, physErrors []float64, trials int, seed uint64) ([]Point, error) {
-	return SweepCtx(context.Background(), level, physErrors, trials, seed, 0)
+	return SweepCtx(context.Background(), level, physErrors, trials, seed, 0, "")
 }
 
-// SweepCtx is Sweep with cooperative cancellation and an explicit
-// worker-pool width (parallelism 0 means GOMAXPROCS).
-func SweepCtx(ctx context.Context, level int, physErrors []float64, trials int, seed uint64, parallelism int) ([]Point, error) {
+// SweepCtx is Sweep with cooperative cancellation, an explicit
+// worker-pool width (parallelism 0 means GOMAXPROCS) and a backend
+// selection (empty means BackendBatch).
+func SweepCtx(ctx context.Context, level int, physErrors []float64, trials int, seed uint64, parallelism int, backend string) ([]Point, error) {
 	var out []Point
 	for _, p := range physErrors {
 		pt, err := RunCtx(ctx, Config{
@@ -214,6 +271,7 @@ func SweepCtx(ctx context.Context, level int, physErrors []float64, trials int, 
 			Trials:      trials,
 			Seed:        seed,
 			Parallelism: parallelism,
+			Backend:     backend,
 		})
 		if err != nil {
 			return nil, err
@@ -256,12 +314,13 @@ func Crossing(l1, l2 []Point) float64 {
 // 2 under the expected technology parameters (Section 4.1.1 reports
 // 3.35×10⁻⁴ and 7.92×10⁻⁴).
 func SyndromeRates(trials int, seed uint64) (l1, l2 float64, err error) {
-	return SyndromeRatesCtx(context.Background(), trials, seed, 0)
+	return SyndromeRatesCtx(context.Background(), trials, seed, 0, "")
 }
 
-// SyndromeRatesCtx is SyndromeRates with cooperative cancellation and an
-// explicit worker-pool width (parallelism 0 means GOMAXPROCS).
-func SyndromeRatesCtx(ctx context.Context, trials int, seed uint64, parallelism int) (l1, l2 float64, err error) {
+// SyndromeRatesCtx is SyndromeRates with cooperative cancellation, an
+// explicit worker-pool width (parallelism 0 means GOMAXPROCS) and a
+// backend selection (empty means BackendBatch).
+func SyndromeRatesCtx(ctx context.Context, trials int, seed uint64, parallelism int, backend string) (l1, l2 float64, err error) {
 	expected := iontrap.Expected()
 	p1, err := RunCtx(ctx, Config{
 		Level:       1,
@@ -270,6 +329,7 @@ func SyndromeRatesCtx(ctx context.Context, trials int, seed uint64, parallelism 
 		Trials:      trials,
 		Seed:        seed,
 		Parallelism: parallelism,
+		Backend:     backend,
 	})
 	if err != nil {
 		return 0, 0, err
@@ -285,6 +345,7 @@ func SyndromeRatesCtx(ctx context.Context, trials int, seed uint64, parallelism 
 		Trials:      l2Trials,
 		Seed:        seed + 1,
 		Parallelism: parallelism,
+		Backend:     backend,
 	})
 	if err != nil {
 		return 0, 0, err

@@ -435,8 +435,24 @@ func RunChain(cfg ChainConfig) (ChainResult, error) {
 
 // CompareCommStrategies contrasts naive end-to-end teleportation with
 // the repeater chain at equal total channel noise, on the full backend.
+//
+// Deprecated: thin wrapper over the "compare-comm" registry experiment;
+// build a Spec and use Engine.Run for parallelism and cancellation.
 func CompareCommStrategies(perLinkEps float64, links, purifyRounds, trials int, seed uint64) (commsim.NaiveVsRepeater, error) {
-	return commsim.CompareStrategies(perLinkEps, links, purifyRounds, trials, seed)
+	res, err := defaultEngine.Run(context.Background(), Spec{
+		Experiment: "compare-comm",
+		Params: ExperimentParams{
+			"link-eps":      perLinkEps,
+			"links":         links,
+			"purify-rounds": purifyRounds,
+			"trials":        trials,
+			"seed":          seed,
+		},
+	})
+	if err != nil {
+		return commsim.NaiveVsRepeater{}, err
+	}
+	return res.Data.(commsim.NaiveVsRepeater), nil
 }
 
 // Classical control (Section 6 resource management).

@@ -210,6 +210,14 @@ func TestEngineParallelDeterminism(t *testing.T) {
 			Experiment: "figure7",
 			Params:     qla.ExperimentParams{"phys-errors": []float64{2e-3, 4e-3}, "trials": 400, "trials-l2": 80, "seed": 13},
 		}},
+		{"figure7-scalar", qla.Spec{
+			Experiment: "figure7",
+			Params:     qla.ExperimentParams{"phys-errors": []float64{2e-3, 4e-3}, "trials": 400, "trials-l2": 80, "seed": 13, "backend": "scalar"},
+		}},
+		{"compare-comm", qla.Spec{
+			Experiment: "compare-comm",
+			Params:     qla.ExperimentParams{"link-eps": 0.05, "links": 4, "trials": 200, "seed": 13},
+		}},
 		{"run-chain", qla.Spec{
 			Experiment: "run-chain",
 			Params:     qla.ExperimentParams{"links": 4, "link-eps": 0.06, "purify-rounds": 1, "trials": 400, "seed": 13},
