@@ -1,0 +1,83 @@
+// Command qlaserve serves the QLA experiment engine over HTTP: POST a
+// JSON Spec, receive the Result. It is the ROADMAP's serving front
+// door: one shared concurrency-safe Engine behind a content-addressed
+// result cache (repeated Specs are nearly free — fixed-seed results are
+// bit-identical, so cached bytes replay verbatim) and a process-wide
+// worker budget (concurrent runs share cores instead of each
+// oversubscribing GOMAXPROCS).
+//
+// Usage:
+//
+//	qlaserve -addr :8080
+//	curl -d '{"experiment":"figure7","params":{"trials":6400}}' localhost:8080/v1/run
+//	curl localhost:8080/v1/experiments
+//	curl localhost:8080/v1/stats
+//
+// See the "Serving over HTTP" section of EXPERIMENTS.md for the
+// endpoint reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qla/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (negative = unbounded)")
+	workers := flag.Int("workers", 0, "global Monte Carlo worker budget shared across concurrent runs (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline (requests may override with ?timeout=)")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper bound on per-request deadlines")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CacheBytes:     *cacheBytes,
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight runs gracefully.
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	cfg := srv.Config()
+	log.Printf("qlaserve: listening on %s (workers=%d cache=%d bytes, timeout=%v/%v)",
+		*addr, cfg.Workers, cfg.CacheBytes, cfg.DefaultTimeout, cfg.MaxTimeout)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		log.Printf("qlaserve: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err == nil || errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "qlaserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,185 @@
+// Package cache is a content-addressed result cache for the QLA
+// serving layer. Keys are canonical-Spec hashes (engine.SpecHash) and
+// values are the marshaled Result bytes of the run — legal to replay
+// verbatim because fixed-seed Monte Carlo results are bit-identical at
+// any parallelism, so a cached body is indistinguishable from a fresh
+// execution. The cache bounds itself by a byte budget with LRU
+// eviction, and de-duplicates concurrent identical requests
+// (singleflight): N callers asking for the same key while it computes
+// share one execution and receive the same bytes.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Cache is a byte-budgeted LRU keyed by content hash, safe for
+// concurrent use. Construct with New; the zero Cache is not usable.
+// Stored byte slices are shared between the cache and its callers and
+// must be treated as immutable.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, dedups, evictions uint64
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// flight is one in-progress computation. The leader writes val/err and
+// then closes done; followers read them only after done is closed.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New builds a Cache bounded to maxBytes of stored values (keys charged
+// against the budget too). maxBytes <= 0 means unbounded.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// GetOrCompute returns the cached bytes for key, or runs compute to
+// produce them. Concurrent calls for the same key collapse onto one
+// compute (the first caller's); the rest wait and share its outcome,
+// reported as hits. Errors are never cached — a later call recomputes —
+// and the error of a collapsed flight is delivered to every waiter.
+// The context governs only the caller's own wait; it does not cancel a
+// computation other callers may still be waiting on.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, false, f.err
+			}
+			return f.val, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	// A panic escaping compute must not strand the flight: waiters
+	// would block on done forever and the key would be poisoned until
+	// process restart. Resolve the flight with an error and let the
+	// panic continue to the caller.
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		f.err = fmt.Errorf("cache: computation for key %s panicked", key)
+		close(f.done)
+	}()
+	val, err = compute()
+	completed = true
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.storeLocked(key, val)
+	}
+	c.mu.Unlock()
+	f.val, f.err = val, err
+	close(f.done)
+	return val, false, err
+}
+
+// storeLocked inserts the value at the front of the LRU list and evicts
+// from the back until the byte budget holds. A value larger than the
+// whole budget is not cached at all.
+func (c *Cache) storeLocked(key string, val []byte) {
+	cost := int64(len(val)) + int64(len(key))
+	if c.maxBytes > 0 && cost > c.maxBytes {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		old := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(old.val))
+		old.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.bytes += cost
+	}
+	for c.maxBytes > 0 && c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.val)) + int64(len(e.key))
+		c.evictions++
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts requests served from stored bytes. Waiters collapsed
+	// onto an in-flight computation count under Dedups instead.
+	Hits uint64 `json:"hits"`
+	// Misses counts computations actually executed.
+	Misses uint64 `json:"misses"`
+	// Dedups counts requests that joined an in-flight computation
+	// instead of starting their own.
+	Dedups uint64 `json:"dedups"`
+	// Evictions counts entries dropped to hold the byte budget.
+	Evictions uint64 `json:"evictions"`
+	// Entries and Bytes describe the current stored set; Inflight is the
+	// number of computations currently executing.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	Inflight int   `json:"inflight"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Dedups:    c.dedups,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Inflight:  len(c.inflight),
+	}
+}

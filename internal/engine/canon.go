@@ -1,0 +1,145 @@
+package engine
+
+// Spec canonicalization and content addressing. Two Specs that describe
+// the same run — alias vs canonical experiment name, defaults spelled
+// out vs omitted, machine defaults explicit vs zero — must hash to the
+// same content address, because the serving layer caches Results by
+// that hash and fixed-seed runs are bit-identical at any parallelism.
+// Canonical form: the experiment's registry name, every parameter
+// resolved (defaults included, values coerced to their declared kind,
+// seeds included), and the machine selection with the package defaults
+// made explicit. encoding/json marshals map keys sorted, so the
+// canonical JSON encoding is byte-stable.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"qla/internal/iontrap"
+)
+
+// canonicalize resolves spec against the registry and validates it
+// fully: experiment lookup, parameter resolution (defaults + coercion),
+// and the complete machine validation (parameter set, negative fields)
+// — not just the slice of it the experiment happens to touch. It
+// returns the experiment, the canonical spec, and the resolved
+// technology parameters. Both Engine.Run and the content-address path
+// go through here, so a spec that hashes is a spec that runs.
+func canonicalize(spec Spec) (*Experiment, Spec, iontrap.Params, error) {
+	fail := func(err error) (*Experiment, Spec, iontrap.Params, error) {
+		return nil, Spec{}, iontrap.Params{}, err
+	}
+	exp, ok := Lookup(spec.Experiment)
+	if !ok {
+		return fail(fmt.Errorf("engine: unknown experiment %q (known: %s)", spec.Experiment, knownNames()))
+	}
+	params, err := resolveParams(exp.Params, spec.Params)
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", exp.Name, err))
+	}
+	if !exp.UsesMachine && spec.Machine != (MachineSpec{}) {
+		return fail(fmt.Errorf("%s: experiment takes no machine configuration", exp.Name))
+	}
+	tech, err := spec.Machine.TechParams()
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", exp.Name, err))
+	}
+	// Full machine validation up front: an experiment that only reads
+	// rc.Tech would otherwise silently ignore a negative level.
+	if _, err := spec.Machine.Options(); err != nil {
+		return fail(fmt.Errorf("%s: %w", exp.Name, err))
+	}
+	canon := Spec{Experiment: exp.Name, Params: params}
+	if exp.UsesMachine {
+		canon.Machine = spec.Machine.normalize()
+	}
+	return exp, canon, tech, nil
+}
+
+// normalize makes the machine defaults explicit so equivalent
+// selections canonicalize identically: the zero ParamSet becomes
+// "expected", zero Level/Bandwidth become the core package defaults,
+// and a ParamSet shadowed by an explicit Tech override is dropped
+// (TechParams ignores it, so it must not perturb the hash).
+func (m MachineSpec) normalize() MachineSpec {
+	if m.Tech != nil {
+		m.ParamSet = ""
+		tech := *m.Tech
+		m.Tech = &tech
+	} else if m.ParamSet == "" {
+		m.ParamSet = "expected"
+	}
+	if m.Level == 0 {
+		m.Level = 2
+	}
+	if m.Bandwidth == 0 {
+		m.Bandwidth = 2
+	}
+	return m
+}
+
+// Canonicalize returns the canonical form of spec: aliases resolved to
+// the registry name, parameters fully resolved (defaults and seeds
+// included), machine defaults explicit. It validates exactly as
+// Engine.Run does; a spec Canonicalize accepts is a spec Run accepts.
+func Canonicalize(spec Spec) (Spec, error) {
+	_, canon, _, err := canonicalize(spec)
+	return canon, err
+}
+
+// Canonical is a Spec in canonical form together with its encoding and
+// content address, produced by one validation pass (MakeCanonical) so
+// serving front ends don't re-canonicalize per derived value.
+type Canonical struct {
+	// Spec is the canonical form; running it through Engine.Run executes
+	// exactly what the original described.
+	Spec Spec
+	// JSON is the byte-stable canonical encoding.
+	JSON []byte
+	// Hash is the hex SHA-256 of JSON — the result-cache key.
+	Hash string
+
+	// Resolved during MakeCanonical so Engine.RunCanonical need not
+	// repeat the validation pass; nil/zero in a hand-built Canonical,
+	// which RunCanonical re-canonicalizes defensively.
+	exp  *Experiment
+	tech iontrap.Params
+}
+
+// MakeCanonical canonicalizes, encodes and hashes spec in one pass.
+func MakeCanonical(spec Spec) (Canonical, error) {
+	exp, canon, tech, err := canonicalize(spec)
+	if err != nil {
+		return Canonical{}, err
+	}
+	raw, err := json.Marshal(canon)
+	if err != nil {
+		return Canonical{}, err
+	}
+	sum := sha256.Sum256(raw)
+	return Canonical{Spec: canon, JSON: raw, Hash: hex.EncodeToString(sum[:]), exp: exp, tech: tech}, nil
+}
+
+// CanonicalJSON returns the byte-stable JSON encoding of the canonical
+// form of spec (parameter keys sorted by encoding/json).
+func CanonicalJSON(spec Spec) ([]byte, error) {
+	c, err := MakeCanonical(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.JSON, nil
+}
+
+// SpecHash returns the content address of spec: the hex SHA-256 of its
+// canonical JSON. Two Specs hash equal exactly when Run would execute
+// the same computation, and fixed-seed results are bit-identical at any
+// parallelism, so the hash is a sound cache key for Results.
+func SpecHash(spec Spec) (string, error) {
+	c, err := MakeCanonical(spec)
+	if err != nil {
+		return "", err
+	}
+	return c.Hash, nil
+}

@@ -13,6 +13,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"qla/internal/core"
@@ -122,6 +123,18 @@ type RunContext struct {
 // number of concurrent Run calls.
 type Engine struct {
 	parallelism int
+	sched       Scheduler
+}
+
+// Scheduler allocates Monte Carlo worker slots from a budget shared
+// across concurrent Run calls (typically process-wide: internal/sched).
+// Acquire blocks until at least one slot is free and returns the number
+// granted (1 ≤ granted ≤ want) plus a release function the engine calls
+// when the run finishes. Because results are bit-identical at any
+// parallelism for a fixed seed, the grant width never changes what a
+// run computes — only how many cores it occupies.
+type Scheduler interface {
+	Acquire(ctx context.Context, want int) (granted int, release func(), err error)
 }
 
 // Option configures an Engine.
@@ -132,6 +145,14 @@ type Option func(*Engine)
 // bit-identical at any parallelism for a fixed seed.
 func WithParallelism(n int) Option {
 	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithScheduler makes every Run acquire its worker-pool width from s
+// instead of taking the full WithParallelism (or GOMAXPROCS) width
+// unconditionally, so concurrent runs share a global budget rather than
+// each oversubscribing the machine.
+func WithScheduler(s Scheduler) Option {
+	return func(e *Engine) { e.sched = s }
 }
 
 // New builds an Engine.
@@ -150,29 +171,55 @@ func New(opts ...Option) *Engine {
 // the engine is a serving front door and one bad spec must not take
 // the process down.
 func (e *Engine) Run(ctx context.Context, spec Spec) (Result, error) {
-	exp, ok := Lookup(spec.Experiment)
-	if !ok {
-		return Result{}, fmt.Errorf("engine: unknown experiment %q (known: %s)", spec.Experiment, knownNames())
+	exp, canon, tech, err := canonicalize(spec)
+	if err != nil {
+		return Result{}, err
 	}
+	return e.run(ctx, exp, canon, tech)
+}
+
+// RunCanonical executes a Canonical produced by MakeCanonical without
+// repeating its validation pass — the serving hot path, where the spec
+// was already canonicalized to compute the cache key. A hand-built
+// Canonical (no resolved experiment) is canonicalized from its Spec.
+func (e *Engine) RunCanonical(ctx context.Context, c Canonical) (Result, error) {
+	if c.exp == nil {
+		mc, err := MakeCanonical(c.Spec)
+		if err != nil {
+			return Result{}, err
+		}
+		c = mc
+	}
+	return e.run(ctx, c.exp, c.Spec, c.tech)
+}
+
+// run executes an already-canonicalized spec.
+func (e *Engine) run(ctx context.Context, exp *Experiment, canon Spec, tech iontrap.Params) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	params, err := resolveParams(exp.Params, spec.Params)
-	if err != nil {
-		return Result{}, fmt.Errorf("%s: %w", exp.Name, err)
+	par := e.parallelism
+	if e.sched != nil && exp.Parallel {
+		// Only fanout experiments draw from the shared worker budget;
+		// a deterministic analysis finishes in microseconds on one core
+		// and must not queue behind long Monte Carlo runs.
+		want := par
+		if want <= 0 {
+			want = runtime.GOMAXPROCS(0)
+		}
+		granted, release, err := e.sched.Acquire(ctx, want)
+		if err != nil {
+			return Result{}, err
+		}
+		defer release()
+		par = granted
 	}
-	if !exp.UsesMachine && spec.Machine != (MachineSpec{}) {
-		return Result{}, fmt.Errorf("%s: experiment takes no machine configuration", exp.Name)
-	}
-	tech, err := spec.Machine.TechParams()
-	if err != nil {
-		return Result{}, fmt.Errorf("%s: %w", exp.Name, err)
-	}
+	params := canon.Params
 	rc := &RunContext{
 		Params:      params,
-		Machine:     spec.Machine,
+		Machine:     canon.Machine,
 		Tech:        tech,
-		Parallelism: e.parallelism,
+		Parallelism: par,
 	}
 	started := time.Now()
 	data, err := runGuarded(ctx, exp, rc)

@@ -242,10 +242,11 @@ func init() {
 	})
 
 	Register(Experiment{
-		Name:    "figure7",
-		Aliases: []string{"fig7"},
-		Title:   "Figure 7: logical one-qubit gate failure vs component failure rate",
-		Doc:     "Threshold Monte Carlo at recursion levels 1 and 2 over a physical-error sweep, with the interpolated pseudo-threshold crossing (paper: (2.1±1.8)e-3). Honors engine parallelism with bit-identical results at any width.",
+		Name:     "figure7",
+		Parallel: true,
+		Aliases:  []string{"fig7"},
+		Title:    "Figure 7: logical one-qubit gate failure vs component failure rate",
+		Doc:      "Threshold Monte Carlo at recursion levels 1 and 2 over a physical-error sweep, with the interpolated pseudo-threshold crossing (paper: (2.1±1.8)e-3). Honors engine parallelism with bit-identical results at any width.",
 		Params: []ParamDef{
 			{Name: "phys-errors", Kind: Floats, Default: threshold.Figure7Errors, Doc: "physical error rates to sweep"},
 			{Name: "trials", Kind: Int, Default: 120000, Doc: "level-1 Monte Carlo trials per point"},
@@ -283,10 +284,11 @@ func init() {
 	})
 
 	Register(Experiment{
-		Name:    "syndrome-rates",
-		Aliases: []string{"syndrome"},
-		Title:   "Non-trivial syndrome rates at expected parameters (Section 4.1.1)",
-		Doc:     "Measures the non-trivial syndrome fraction at levels 1 and 2 under the expected parameters (paper: 3.35e-4 ± 0.41e-4 and 7.92e-4 ± 0.81e-4). Level 2 uses trials/10.",
+		Name:     "syndrome-rates",
+		Parallel: true,
+		Aliases:  []string{"syndrome"},
+		Title:    "Non-trivial syndrome rates at expected parameters (Section 4.1.1)",
+		Doc:      "Measures the non-trivial syndrome fraction at levels 1 and 2 under the expected parameters (paper: 3.35e-4 ± 0.41e-4 and 7.92e-4 ± 0.81e-4). Level 2 uses trials/10.",
 		Params: []ParamDef{
 			{Name: "trials", Kind: Int, Default: 120000, Doc: "level-1 Monte Carlo trials"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
@@ -471,10 +473,11 @@ func init() {
 	})
 
 	Register(Experiment{
-		Name:    "chain-validation",
-		Aliases: []string{"chainmc"},
-		Title:   "Repeater-chain Monte Carlo (stabilizer backend) vs Werner model",
-		Doc:     "Executes the repeater protocol gate by gate on the stabilizer backend across four chain shapes and contrasts naive end-to-end teleportation with the repeater chain (the paper's contribution-2 validation).",
+		Name:     "chain-validation",
+		Parallel: true,
+		Aliases:  []string{"chainmc"},
+		Title:    "Repeater-chain Monte Carlo (stabilizer backend) vs Werner model",
+		Doc:      "Executes the repeater protocol gate by gate on the stabilizer backend across four chain shapes and contrasts naive end-to-end teleportation with the repeater chain (the paper's contribution-2 validation).",
 		Params: []ParamDef{
 			{Name: "trials", Kind: Int, Default: 3000, Doc: "Monte Carlo trials per chain shape (capped at 6000)"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
@@ -513,9 +516,10 @@ func init() {
 	})
 
 	Register(Experiment{
-		Name:  "run-chain",
-		Title: "Repeater-chain Monte Carlo: one configuration",
-		Doc:   "Executes the repeater protocol gate by gate on the stabilizer backend for one chain configuration and compares against the Werner-model prediction. Honors engine parallelism with bit-identical results at any width.",
+		Name:     "run-chain",
+		Parallel: true,
+		Title:    "Repeater-chain Monte Carlo: one configuration",
+		Doc:      "Executes the repeater protocol gate by gate on the stabilizer backend for one chain configuration and compares against the Werner-model prediction. Honors engine parallelism with bit-identical results at any width.",
 		Params: []ParamDef{
 			{Name: "links", Kind: Int, Default: 2, Doc: "repeater links in the chain"},
 			{Name: "link-eps", Kind: Float, Default: 0.06, Doc: "per-link depolarization probability"},
@@ -539,10 +543,11 @@ func init() {
 	})
 
 	Register(Experiment{
-		Name:    "compare-comm",
-		Aliases: []string{"comm"},
-		Title:   "Communication strategies: naive end-to-end vs repeater chain",
-		Doc:     "Contrasts naive end-to-end teleportation with the repeater chain at equal total channel noise on the full stabilizer backend (the Section-5 interconnect argument). Honors engine parallelism with bit-identical results at any width.",
+		Name:     "compare-comm",
+		Parallel: true,
+		Aliases:  []string{"comm"},
+		Title:    "Communication strategies: naive end-to-end vs repeater chain",
+		Doc:      "Contrasts naive end-to-end teleportation with the repeater chain at equal total channel noise on the full stabilizer backend (the Section-5 interconnect argument). Honors engine parallelism with bit-identical results at any width.",
 		Params: []ParamDef{
 			{Name: "link-eps", Kind: Float, Default: 0.05, Doc: "per-link depolarization probability"},
 			{Name: "links", Kind: Int, Default: 8, Doc: "repeater links the channel splits into"},

@@ -1,0 +1,142 @@
+package engine
+
+// Golden-file guard for the cache key format. The serving layer caches
+// Results by the hash of the canonical Spec encoding, so an accidental
+// change to canonicalization — a renamed field, a new default, a
+// different machine normalization — silently invalidates (or worse,
+// aliases) every cached entry. For every registered experiment a
+// canonical Spec lives under testdata/specs/ and its content address
+// under testdata/spec_hashes.json; both must reproduce byte-for-byte.
+// A deliberate format change regenerates them:
+//
+//	go test ./internal/engine -run TestGoldenSpecs -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden spec files under testdata/")
+
+const (
+	specDir  = "testdata/specs"
+	hashFile = "testdata/spec_hashes.json"
+)
+
+// encodeGoldenSpec renders a canonical Spec as golden-file bytes:
+// indented JSON plus a trailing newline.
+func encodeGoldenSpec(canon Spec) ([]byte, error) {
+	raw, err := json.MarshalIndent(canon, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+func TestGoldenSpecs(t *testing.T) {
+	wantHashes := map[string]string{}
+	if raw, err := os.ReadFile(hashFile); err == nil {
+		if err := json.Unmarshal(raw, &wantHashes); err != nil {
+			t.Fatalf("parsing %s: %v", hashFile, err)
+		}
+	} else if !*update {
+		t.Fatalf("missing %s (regenerate with -update): %v", hashFile, err)
+	}
+
+	gotHashes := map[string]string{}
+	for _, e := range Experiments() {
+		canon, err := Canonicalize(Spec{Experiment: e.Name})
+		if err != nil {
+			t.Errorf("%s: default spec does not canonicalize: %v", e.Name, err)
+			continue
+		}
+		blob, err := encodeGoldenSpec(canon)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+			continue
+		}
+		hash, err := SpecHash(canon)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+			continue
+		}
+		gotHashes[e.Name] = hash
+		path := filepath.Join(specDir, e.Name+".json")
+		if *update {
+			if err := os.MkdirAll(specDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		t.Run(e.Name, func(t *testing.T) {
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden spec (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(blob, golden) {
+				t.Errorf("canonical encoding of the default %s spec drifted from %s;\nif deliberate, regenerate with -update and note that cached results are invalidated.\ngot:\n%s", e.Name, path, blob)
+			}
+			// Round trip: the golden must decode strictly and re-encode
+			// byte-identically after canonicalization.
+			spec, err := DecodeSpec(golden)
+			if err != nil {
+				t.Fatalf("golden spec fails strict decode: %v", err)
+			}
+			recanon, err := Canonicalize(spec)
+			if err != nil {
+				t.Fatalf("golden spec fails canonicalization: %v", err)
+			}
+			reblob, err := encodeGoldenSpec(recanon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(reblob, golden) {
+				t.Errorf("golden spec not a canonicalization fixed point:\n%s", reblob)
+			}
+			// Hash stability: the content address recorded for this spec
+			// must reproduce exactly.
+			h, err := SpecHash(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := wantHashes[e.Name]; h != want {
+				t.Errorf("spec hash drifted: got %s, recorded %s", h, want)
+			}
+		})
+	}
+
+	if *update {
+		raw, err := json.MarshalIndent(gotHashes, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(hashFile, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	// No orphans: every recorded hash and every golden file must belong
+	// to a registered experiment.
+	for name := range wantHashes {
+		if _, ok := gotHashes[name]; !ok {
+			t.Errorf("%s records hash for unregistered experiment %q", hashFile, name)
+		}
+	}
+	entries, err := os.ReadDir(specDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if _, ok := gotHashes[name[:len(name)-len(".json")]]; !ok {
+			t.Errorf("stale golden file %s", filepath.Join(specDir, name))
+		}
+	}
+}

@@ -30,6 +30,11 @@ type Experiment struct {
 	// rejects a non-zero Machine on experiments that would silently
 	// ignore it.
 	UsesMachine bool
+	// Parallel marks experiments whose Run fans trials out over
+	// RunContext.Parallelism workers. Only these acquire from the
+	// engine's Scheduler: a deterministic analysis must not queue
+	// behind long Monte Carlo runs for worker slots it would never use.
+	Parallel bool
 	// Run executes the experiment and returns its typed data payload.
 	Run func(ctx context.Context, rc *RunContext) (any, error)
 	// Report renders a Result for humans. A nil Report falls back to

@@ -1,11 +1,30 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 )
+
+// DecodeSpec parses a JSON Spec strictly: unknown top-level or machine
+// fields are rejected (a typoed field name must not silently fall back
+// to a default — the spec hash would cache the wrong run under it), as
+// is trailing data after the document. Malformed input of any shape
+// returns an error, never panics; FuzzSpecDecode enforces that.
+func DecodeSpec(raw []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("engine: invalid spec JSON: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("engine: trailing data after spec JSON")
+	}
+	return spec, nil
+}
 
 // ReadSpecFile parses a JSON Spec from path; "-" reads standard input.
 // Shared by every CLI front end so spec invocations stay uniform.
@@ -22,8 +41,8 @@ func ReadSpecFile(path string) (Spec, error) {
 	if err != nil {
 		return Spec{}, err
 	}
-	var spec Spec
-	if err := json.Unmarshal(raw, &spec); err != nil {
+	spec, err := DecodeSpec(raw)
+	if err != nil {
 		return Spec{}, fmt.Errorf("parsing spec %s: %w", path, err)
 	}
 	return spec, nil

@@ -1,0 +1,160 @@
+// Package sched is a process-wide worker-budget scheduler for the QLA
+// engine. Engine.WithParallelism bounds one run's Monte Carlo fanout,
+// but a serving deployment executes many runs concurrently, and if each
+// takes GOMAXPROCS workers the process oversubscribes its cores by the
+// number of in-flight requests. A Pool holds the one global budget:
+// every run asks for the width it wants and is granted a share of
+// whatever is free (always at least one slot, blocking FIFO until one
+// is). Results are unaffected — fixed-seed runs are bit-identical at
+// any parallelism — so the grant width is purely a throughput decision.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a FIFO counting semaphore with partial grants: an acquirer
+// asking for n slots receives between 1 and n, depending on what is
+// free when its turn comes. The zero Pool is not usable; construct with
+// New. A Pool is safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	waiters  []*waiter
+
+	peak   int
+	grants uint64
+	waits  uint64
+}
+
+type waiter struct {
+	want    int
+	granted int
+	ready   chan struct{}
+}
+
+// New builds a Pool with the given slot capacity; capacity <= 0 means
+// GOMAXPROCS.
+func New(capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{capacity: capacity}
+}
+
+// Acquire obtains between 1 and want slots, blocking while the pool is
+// exhausted (or while earlier acquirers are still queued — grants are
+// strictly FIFO, so a small request cannot starve behind-the-head
+// waiters by overtaking them). It returns the number of slots granted
+// and a release function that must be called exactly when the work
+// finishes (calling it more than once is a no-op). On context
+// cancellation while waiting it returns ctx.Err() with no slots held.
+func (p *Pool) Acquire(ctx context.Context, want int) (int, func(), error) {
+	if want < 1 {
+		want = 1
+	}
+	if want > p.capacity {
+		want = p.capacity
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	if len(p.waiters) == 0 && p.inUse < p.capacity {
+		granted := min(want, p.capacity-p.inUse)
+		p.grantLocked(granted)
+		p.mu.Unlock()
+		return granted, p.releaseFunc(granted), nil
+	}
+	w := &waiter{want: want, ready: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.waits++
+	p.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return w.granted, p.releaseFunc(w.granted), nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		for i, q := range p.waiters {
+			if q == w {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				p.mu.Unlock()
+				return 0, nil, ctx.Err()
+			}
+		}
+		// A release granted our slots concurrently with the
+		// cancellation; hand them straight back.
+		p.releaseLocked(w.granted)
+		p.mu.Unlock()
+		return 0, nil, ctx.Err()
+	}
+}
+
+// grantLocked books n slots and updates the grant statistics.
+func (p *Pool) grantLocked(n int) {
+	p.inUse += n
+	p.grants++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+}
+
+// releaseFunc wraps releaseLocked in the idempotent closure Acquire
+// hands out.
+func (p *Pool) releaseFunc(n int) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.releaseLocked(n)
+			p.mu.Unlock()
+		})
+	}
+}
+
+// releaseLocked returns n slots and hands the freed capacity to queued
+// waiters in FIFO order, each receiving up to its requested width.
+func (p *Pool) releaseLocked(n int) {
+	p.inUse -= n
+	for len(p.waiters) > 0 && p.inUse < p.capacity {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		w.granted = min(w.want, p.capacity-p.inUse)
+		p.grantLocked(w.granted)
+		close(w.ready)
+	}
+}
+
+// Stats is a point-in-time snapshot of the pool.
+type Stats struct {
+	// Capacity is the global slot budget.
+	Capacity int `json:"capacity"`
+	// InUse is the number of slots currently granted.
+	InUse int `json:"in_use"`
+	// Waiting is the number of queued acquirers.
+	Waiting int `json:"waiting"`
+	// Peak is the high-water mark of InUse; it never exceeds Capacity.
+	Peak int `json:"peak"`
+	// Grants counts completed acquisitions; Waits counts the subset
+	// that had to queue first.
+	Grants uint64 `json:"grants"`
+	Waits  uint64 `json:"waits"`
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Capacity: p.capacity,
+		InUse:    p.inUse,
+		Waiting:  len(p.waiters),
+		Peak:     p.peak,
+		Grants:   p.grants,
+		Waits:    p.waits,
+	}
+}

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBudgetNeverExceeded drives many concurrent acquirers through a
+// small pool and checks — with an independent atomic census, not the
+// pool's own bookkeeping — that the number of simultaneously granted
+// slots never exceeds the capacity. Run under -race in CI.
+func TestBudgetNeverExceeded(t *testing.T) {
+	const capacity = 4
+	p := New(capacity)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(want int) {
+			defer wg.Done()
+			granted, release, err := p.Acquire(context.Background(), want)
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			if granted < 1 || granted > want || granted > capacity {
+				t.Errorf("granted %d for want %d", granted, want)
+			}
+			now := inUse.Add(int64(granted))
+			for {
+				old := peak.Load()
+				if now <= old || peak.CompareAndSwap(old, now) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-int64(granted))
+			release()
+		}(1 + i%6)
+	}
+	wg.Wait()
+	if got := peak.Load(); got > capacity {
+		t.Errorf("observed %d slots in use, capacity %d", got, capacity)
+	}
+	s := p.Stats()
+	if s.InUse != 0 || s.Waiting != 0 {
+		t.Errorf("pool not drained: %+v", s)
+	}
+	if s.Peak > capacity {
+		t.Errorf("pool peak %d exceeds capacity %d", s.Peak, capacity)
+	}
+	if s.Grants != 32 {
+		t.Errorf("grants = %d, want 32", s.Grants)
+	}
+}
+
+// TestGrantClamping covers the want-normalization edges.
+func TestGrantClamping(t *testing.T) {
+	p := New(3)
+	for _, tc := range []struct{ want, granted int }{
+		{-5, 1}, {0, 1}, {1, 1}, {3, 3}, {99, 3},
+	} {
+		granted, release, err := p.Acquire(context.Background(), tc.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if granted != tc.granted {
+			t.Errorf("Acquire(want=%d) granted %d, want %d", tc.want, granted, tc.granted)
+		}
+		release()
+	}
+}
+
+// TestPartialGrant: with some of the pool held, a wide request gets the
+// remainder rather than blocking for its full width.
+func TestPartialGrant(t *testing.T) {
+	p := New(4)
+	_, release1, err := p.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, release2, err := p.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted != 1 {
+		t.Errorf("granted %d from a pool with 1 free, want 1", granted)
+	}
+	release1()
+	release2()
+	if s := p.Stats(); s.InUse != 0 {
+		t.Errorf("InUse = %d after releases", s.InUse)
+	}
+}
+
+// TestFIFOOrder: queued acquirers are served strictly in arrival order,
+// even when a later, narrower request would fit sooner.
+func TestFIFOOrder(t *testing.T) {
+	p := New(2)
+	_, releaseHead, err := p.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first two waiters want the full capacity so each release wakes
+	// exactly one of them; the last wants a single slot that would fit
+	// beside waiter 1's grant — FIFO must not let it overtake.
+	wants := []int{2, 2, 1}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, release, err := p.Acquire(context.Background(), wants[i])
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			release()
+		}(i)
+		// Wait until waiter i is queued before launching i+1 so the
+		// arrival order is deterministic.
+		for p.Stats().Waiting != i+1 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	releaseHead()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("service order %v, want [0 1 2]", order)
+		}
+	}
+	if s := p.Stats(); s.Waits != 3 {
+		t.Errorf("Waits = %d, want 3", s.Waits)
+	}
+}
+
+// TestCancelWhileWaiting: a cancelled waiter leaves the queue without
+// holding slots, and the pool keeps serving.
+func TestCancelWhileWaiting(t *testing.T) {
+	p := New(1)
+	_, release, err := p.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := p.Acquire(ctx, 1)
+		errc <- err
+	}()
+	for p.Stats().Waiting != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Acquire returned %v", err)
+	}
+	if s := p.Stats(); s.Waiting != 0 {
+		t.Fatalf("cancelled waiter still queued: %+v", s)
+	}
+	release()
+	granted, release2, err := p.Acquire(context.Background(), 1)
+	if err != nil || granted != 1 {
+		t.Fatalf("pool unusable after cancellation: granted=%d err=%v", granted, err)
+	}
+	release2()
+}
+
+// TestCancelledContextUpFront never enters the queue.
+func TestCancelledContextUpFront(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.Acquire(ctx, 1); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if s := p.Stats(); s.InUse != 0 || s.Waiting != 0 {
+		t.Fatalf("stats after pre-cancelled acquire: %+v", s)
+	}
+}
+
+// TestReleaseIdempotent: releasing twice must not free slots twice.
+func TestReleaseIdempotent(t *testing.T) {
+	p := New(2)
+	_, release, err := p.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release()
+	if s := p.Stats(); s.InUse != 0 {
+		t.Fatalf("InUse = %d after double release", s.InUse)
+	}
+	granted, release2, err := p.Acquire(context.Background(), 2)
+	if err != nil || granted != 2 {
+		t.Fatalf("granted=%d err=%v", granted, err)
+	}
+	release2()
+}

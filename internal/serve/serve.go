@@ -1,0 +1,305 @@
+// Package serve is the HTTP front door of the QLA simulator: a JSON
+// Spec in, a Result out, over one shared concurrency-safe Engine. Three
+// layers sit between the socket and the experiment registry:
+//
+//   - per-request deadlines (?timeout=30s, clamped to a server maximum)
+//     mapped directly onto the engine's context plumbing;
+//   - a content-addressed result cache keyed on the canonical-Spec hash
+//     (engine.SpecHash) with singleflight de-duplication, legal because
+//     fixed-seed results are bit-identical at any parallelism — a cache
+//     hit replays the stored Result bytes verbatim;
+//   - a process-wide worker-budget scheduler (internal/sched), so
+//     concurrent runs share a global core budget instead of each
+//     oversubscribing GOMAXPROCS.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"qla/internal/cache"
+	"qla/internal/engine"
+	"qla/internal/sched"
+)
+
+// Routes lists the served endpoints as ServeMux patterns. The
+// documentation drift test asserts EXPERIMENTS.md covers every entry;
+// Handler builds the mux from the same list.
+var Routes = []string{
+	"POST /v1/run",
+	"GET /v1/experiments",
+	"GET /v1/stats",
+	"GET /healthz",
+}
+
+// Config sizes a Server. The zero value is production-usable: a 64 MiB
+// result cache, a GOMAXPROCS worker budget, 60 s default and 10 min
+// maximum per-request deadlines, 1 MiB spec bodies.
+type Config struct {
+	// CacheBytes is the result-cache byte budget (0 = 64 MiB, negative =
+	// unbounded).
+	CacheBytes int64
+	// Workers is the global Monte Carlo worker budget shared by all
+	// concurrent runs (0 = GOMAXPROCS).
+	Workers int
+	// DefaultTimeout applies when a request names none; MaxTimeout caps
+	// what ?timeout= may ask for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes caps the POST /v1/run request body.
+	MaxBodyBytes int64
+}
+
+// Server executes Specs over HTTP. Construct with New; one Server
+// handles any number of concurrent requests.
+type Server struct {
+	cfg     Config
+	eng     *engine.Engine
+	cache   *cache.Cache
+	pool    *sched.Pool
+	started time.Time
+
+	runRequests  atomic.Uint64
+	runsExecuted atomic.Uint64
+}
+
+// New builds a Server with its engine, cache and scheduler wired
+// together.
+func New(cfg Config) *Server {
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	pool := sched.New(cfg.Workers)
+	return &Server{
+		cfg:     cfg,
+		eng:     engine.New(engine.WithScheduler(pool)),
+		cache:   cache.New(cfg.CacheBytes),
+		pool:    pool,
+		started: time.Now(),
+	}
+}
+
+// Config returns the server's configuration with all defaults resolved.
+func (s *Server) Config() Config { return s.cfg }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	handlers := map[string]http.HandlerFunc{
+		"POST /v1/run":        s.handleRun,
+		"GET /v1/experiments": s.handleExperiments,
+		"GET /v1/stats":       s.handleStats,
+		"GET /healthz":        s.handleHealthz,
+	}
+	mux := http.NewServeMux()
+	for _, route := range Routes {
+		h, ok := handlers[route]
+		if !ok {
+			panic("serve: route " + route + " has no handler")
+		}
+		mux.HandleFunc(route, h)
+	}
+	return mux
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// handleRun is POST /v1/run: decode the Spec strictly, canonicalize and
+// hash it (validating it completely — a spec that hashes is a spec that
+// runs), then serve from the cache or execute under the per-request
+// deadline. The response body of a hit is byte-identical to the miss
+// that populated it; X-Cache says which happened and X-Spec-Hash names
+// the content address.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.runRequests.Add(1)
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("reading spec body: %w", err))
+		return
+	}
+	spec, err := engine.DecodeSpec(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canon, err := engine.MakeCanonical(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid timeout %q (want a positive Go duration, e.g. 30s)", q))
+			return
+		}
+		timeout = d
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	body, hit, err := s.cache.GetOrCompute(ctx, canon.Hash, func() ([]byte, error) {
+		// The computation is detached from the leader's request context:
+		// collapsed followers share this one execution, so the leader
+		// hanging up (or carrying a shorter deadline than its followers)
+		// must not fail them. The run still gets the leader's timeout
+		// budget; each waiter's own deadline governs only its wait.
+		runCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), timeout)
+		defer cancel()
+		s.runsExecuted.Add(1)
+		res, err := s.eng.RunCanonical(runCtx, canon)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// The client is gone; the status is for the log line only.
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Spec-Hash", canon.Hash)
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// ParamInfo documents one experiment parameter over the wire. Default
+// is always present (a zero default like swap-eps's 0 must stay
+// distinguishable from having none): null exactly when Optional is
+// true.
+type ParamInfo struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Default  any    `json:"default"`
+	Optional bool   `json:"optional,omitempty"`
+	Doc      string `json:"doc"`
+}
+
+// ExperimentInfo documents one registry entry over the wire.
+type ExperimentInfo struct {
+	Name        string      `json:"name"`
+	Aliases     []string    `json:"aliases,omitempty"`
+	Title       string      `json:"title"`
+	Doc         string      `json:"doc"`
+	UsesMachine bool        `json:"uses_machine"`
+	Bench       bool        `json:"bench"`
+	Params      []ParamInfo `json:"params,omitempty"`
+}
+
+// handleExperiments is GET /v1/experiments: the registry catalog —
+// names, aliases, docs, and parameter declarations with defaults — in
+// registration order.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	exps := engine.Experiments()
+	out := make([]ExperimentInfo, 0, len(exps))
+	for _, e := range exps {
+		info := ExperimentInfo{
+			Name:        e.Name,
+			Aliases:     e.Aliases,
+			Title:       e.Title,
+			Doc:         e.Doc,
+			UsesMachine: e.UsesMachine,
+			Bench:       e.Bench,
+		}
+		for _, d := range e.Params {
+			info.Params = append(info.Params, ParamInfo{
+				Name:     d.Name,
+				Kind:     d.Kind.String(),
+				Default:  d.Default,
+				Optional: d.Default == nil,
+				Doc:      d.Doc,
+			})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// StatsBody is the GET /v1/stats payload.
+type StatsBody struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Experiments   int         `json:"experiments"`
+	RunRequests   uint64      `json:"run_requests"`
+	RunsExecuted  uint64      `json:"runs_executed"`
+	Cache         cache.Stats `json:"cache"`
+	Scheduler     sched.Stats `json:"scheduler"`
+}
+
+// handleStats is GET /v1/stats: cache hit/miss/dedup counters, the
+// scheduler budget, and request totals.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsBody{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Experiments:   len(engine.Experiments()),
+		RunRequests:   s.runRequests.Load(),
+		RunsExecuted:  s.runsExecuted.Load(),
+		Cache:         s.cache.Stats(),
+		Scheduler:     s.pool.Stats(),
+	})
+}
+
+// handleHealthz is GET /healthz: liveness only, no dependencies.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SchedulerStats exposes the worker pool's counters for tests asserting
+// the budget is never exceeded.
+func (s *Server) SchedulerStats() sched.Stats { return s.pool.Stats() }
+
+// CacheStats exposes the result cache's counters.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }

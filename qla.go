@@ -44,6 +44,7 @@ import (
 	"qla/internal/multichip"
 	"qla/internal/netsim"
 	"qla/internal/qccd"
+	"qla/internal/sched"
 	"qla/internal/shor"
 	"qla/internal/stabilizer"
 	"qla/internal/teleport"
@@ -171,6 +172,39 @@ func ReportResult(w io.Writer, res Result) error { return engine.Report(w, res) 
 // ReadSpecFile parses a JSON Spec from a file path ("-" reads standard
 // input).
 func ReadSpecFile(path string) (Spec, error) { return engine.ReadSpecFile(path) }
+
+// DecodeSpec parses a JSON Spec strictly: unknown fields and trailing
+// data are rejected, and malformed input returns an error, never a
+// panic.
+func DecodeSpec(raw []byte) (Spec, error) { return engine.DecodeSpec(raw) }
+
+// CanonicalizeSpec returns the canonical form of a Spec: aliases
+// resolved to registry names, parameters fully resolved (defaults and
+// seeds included), machine defaults made explicit. It validates exactly
+// as Engine.Run does.
+func CanonicalizeSpec(spec Spec) (Spec, error) { return engine.Canonicalize(spec) }
+
+// SpecHash returns the content address of a Spec — the hex SHA-256 of
+// its canonical JSON. Equivalent spellings of the same run hash equal;
+// the qlaserve front end caches Result bytes under this key.
+func SpecHash(spec Spec) (string, error) { return engine.SpecHash(spec) }
+
+// EngineScheduler allocates Monte Carlo worker slots from a budget
+// shared across concurrent Run calls.
+type EngineScheduler = engine.Scheduler
+
+// WorkerPool is a process-wide FIFO worker budget implementing
+// EngineScheduler; see NewWorkerPool.
+type WorkerPool = sched.Pool
+
+// NewWorkerPool builds a WorkerPool with the given slot capacity
+// (capacity <= 0 means GOMAXPROCS).
+func NewWorkerPool(capacity int) *WorkerPool { return sched.New(capacity) }
+
+// WithScheduler makes every Engine.Run acquire its worker-pool width
+// from s instead of taking the full WithParallelism (or GOMAXPROCS)
+// width unconditionally, so concurrent runs share a global budget.
+func WithScheduler(s EngineScheduler) EngineOption { return engine.WithScheduler(s) }
 
 // defaultEngine backs the deprecated one-line experiment wrappers.
 var defaultEngine = engine.New()

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"qla"
+	"qla/internal/serve"
 )
 
 // The facade tests double as end-to-end integration tests of the public
@@ -257,6 +258,73 @@ func TestExperimentsDocumented(t *testing.T) {
 		if !strings.Contains(doc, "`"+e.Name+"`") {
 			t.Errorf("experiment %q missing from EXPERIMENTS.md", e.Name)
 		}
+	}
+	// The qlaserve endpoints are part of the same catalog contract:
+	// every served route must be documented with its method and path.
+	for _, route := range serve.Routes {
+		if !strings.Contains(doc, "`"+route+"`") {
+			t.Errorf("qlaserve endpoint %q missing from EXPERIMENTS.md", route)
+		}
+	}
+}
+
+// TestFacadeSpecHashing covers the canonicalization surface re-exported
+// through the facade: equivalent spellings share a content address.
+func TestFacadeSpecHashing(t *testing.T) {
+	spec, err := qla.DecodeSpec([]byte(`{"experiment":"fig7","params":{"trials":64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := qla.CanonicalizeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Experiment != "figure7" {
+		t.Errorf("alias not resolved: %q", canon.Experiment)
+	}
+	if canon.Params.Uint("seed") != 11 {
+		t.Errorf("default seed not resolved: %+v", canon.Params)
+	}
+	h1, err := qla.SpecHash(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := qla.SpecHash(qla.Spec{Experiment: "figure7", Params: qla.ExperimentParams{"trials": 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("alias spelling hashes differently: %s vs %s", h1, h2)
+	}
+	if _, err := qla.DecodeSpec([]byte(`{"experiment":"fig7","bogus":1}`)); err == nil {
+		t.Error("strict decoder accepted an unknown field")
+	}
+}
+
+// TestFacadeWorkerPool: an engine behind a shared WorkerPool produces
+// the same bytes as an unscheduled one — the budget changes core
+// occupancy, never results.
+func TestFacadeWorkerPool(t *testing.T) {
+	spec := qla.Spec{
+		Experiment: "figure7",
+		Params:     qla.ExperimentParams{"phys-errors": []float64{4e-3}, "trials": 40, "seed": 5},
+	}
+	plain, err := qla.NewEngine().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := qla.NewWorkerPool(1)
+	pooled, err := qla.NewEngine(qla.WithScheduler(pool)).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(plain.Data)
+	b, _ := json.Marshal(pooled.Data)
+	if !bytes.Equal(a, b) {
+		t.Errorf("scheduled run diverged from unscheduled:\n%s\nvs\n%s", b, a)
+	}
+	if s := pool.Stats(); s.Grants != 1 || s.InUse != 0 {
+		t.Errorf("pool stats %+v", s)
 	}
 }
 
