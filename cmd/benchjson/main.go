@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON object mapping benchmark name → ns/trial (the
+// per-trial metric the Monte Carlo benchmarks report; benchmarks
+// without it fall back to ns/op). CI feeds the bench smoke step
+// through it to emit BENCH_PR4.json, the perf-trajectory artifact.
+//
+//	go test -run '^$' -bench 'Fig7|ChainTrial|CodesMC' -benchtime 1x . | benchjson > BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	rows := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the build log
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		value := -1.0
+		haveTrial := false
+		for i := 2; i < len(fields); i++ {
+			unit := fields[i]
+			if unit != "ns/trial" && unit != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			// Prefer the per-trial metric; ns/op is the fallback for
+			// benchmarks that don't report one.
+			if unit == "ns/trial" {
+				value, haveTrial = v, true
+			} else if !haveTrial {
+				value = v
+			}
+		}
+		if value >= 0 {
+			rows[name] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// encoding/json marshals map keys sorted, so the file is stable.
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	f, err := outFile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	fmt.Fprintln(f, string(out))
+}
+
+// trimProcSuffix drops the -<GOMAXPROCS> tail go test appends, so the
+// JSON keys are stable across runner shapes.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// outFile resolves the JSON destination: the -o flag value, or stdout
+// would collide with the passed-through bench text, so default to
+// BENCH_PR4.json in the working directory.
+func outFile() (*os.File, error) {
+	path := "BENCH_PR4.json"
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-o" && i+1 < len(args) {
+			path = args[i+1]
+		}
+	}
+	return os.Create(path)
+}

@@ -7,6 +7,16 @@ import (
 	"qla/internal/pauli"
 )
 
+// Monte Carlo backends.
+const (
+	// BackendBatch is the bit-sliced engine (mcbatch.go): 64 trials per
+	// uint64 word, the default (an empty backend selects it).
+	BackendBatch = "batch"
+	// BackendScalar draws one Pauli error at a time on pauli.String
+	// arithmetic — the reference oracle.
+	BackendScalar = "scalar"
+)
+
 // MCResult is one code-performance Monte Carlo outcome.
 type MCResult struct {
 	// Code names the measured code.
@@ -20,13 +30,24 @@ type MCResult struct {
 	LogicalFailures int
 	// LogicalRate is LogicalFailures/Trials.
 	LogicalRate float64
+	// Backend records the Monte Carlo engine that produced the row
+	// ("batch" or "scalar"); the two draw different random streams and
+	// agree statistically.
+	Backend string `json:"Backend,omitempty"`
 }
 
 // MonteCarloLogicalError measures the logical failure rate of a code
-// under i.i.d. per-qubit depolarizing noise with probability p, using
-// the weight-t syndrome-table decoder: each trial draws an error,
-// decodes its syndrome, and counts failure when error·correction is a
-// non-trivial logical.
+// under i.i.d. per-qubit depolarizing noise with probability p on the
+// default (batch) backend — see MonteCarloLogicalErrorBackend.
+func MonteCarloLogicalError(c *Code, p float64, trials int, seed uint64) (MCResult, error) {
+	return MonteCarloLogicalErrorBackend(c, p, trials, seed, "")
+}
+
+// MonteCarloLogicalErrorBackend measures the logical failure rate of a
+// code under i.i.d. per-qubit depolarizing noise with probability p,
+// using the weight-t syndrome-table decoder: each trial draws an
+// error, decodes its syndrome, and counts failure when error·correction
+// is a non-trivial logical.
 //
 // The error arithmetic runs on Pauli algebra directly (errors compose
 // as Pauli products and success is membership of the residual in the
@@ -35,7 +56,13 @@ type MCResult struct {
 // distilled to the code layer so the catalog codes can be compared on
 // equal footing: distance-3 codes suppress to O(p²) while the
 // repetition codes keep an O(p) channel open.
-func MonteCarloLogicalError(c *Code, p float64, trials int, seed uint64) (MCResult, error) {
+//
+// backend selects the engine: BackendBatch (the default when empty)
+// packs 64 trials per uint64 word and runs the syndrome and
+// stabilizer-membership arithmetic bit-sliced; BackendScalar is the
+// one-trial-at-a-time reference. The two draw different random streams
+// from the same seed, so they agree statistically, not bit-for-bit.
+func MonteCarloLogicalErrorBackend(c *Code, p float64, trials int, seed uint64, backend string) (MCResult, error) {
 	if p < 0 || p > 1 {
 		return MCResult{}, fmt.Errorf("codes: depolarizing probability %g outside [0,1]", p)
 	}
@@ -50,8 +77,26 @@ func MonteCarloLogicalError(c *Code, p float64, trials int, seed uint64) (MCResu
 	if err != nil {
 		return MCResult{}, err
 	}
-	rng := rand.New(rand.NewPCG(seed, seed^0x10c1ca1))
 	res := MCResult{Code: c.Name, PhysError: p, Trials: trials}
+	switch backend {
+	case "", BackendBatch:
+		res.Backend = BackendBatch
+		res.LogicalFailures = mcBatch(c, dec, p, trials, seed)
+	case BackendScalar:
+		res.Backend = BackendScalar
+		res.LogicalFailures = mcScalar(c, dec, p, trials, seed)
+	default:
+		return MCResult{}, fmt.Errorf("codes: unknown backend %q (want %q or %q)",
+			backend, BackendBatch, BackendScalar)
+	}
+	res.LogicalRate = float64(res.LogicalFailures) / float64(trials)
+	return res, nil
+}
+
+// mcScalar is the one-trial-at-a-time reference backend.
+func mcScalar(c *Code, dec *Decoder, p float64, trials int, seed uint64) int {
+	rng := rand.New(rand.NewPCG(seed, seed^0x10c1ca1))
+	failures := 0
 	for i := 0; i < trials; i++ {
 		e := pauli.NewIdentity(c.N)
 		hit := false
@@ -66,25 +111,31 @@ func MonteCarloLogicalError(c *Code, p float64, trials int, seed uint64) (MCResu
 		}
 		corr, ok := dec.Lookup(c.SyndromeOf(e))
 		if !ok {
-			res.LogicalFailures++ // syndrome beyond the decoder's budget
+			failures++ // syndrome beyond the decoder's budget
 			continue
 		}
 		residual := e.Mul(corr)
 		if !residual.IsIdentity() && !c.IsStabilizer(residual) {
-			res.LogicalFailures++
+			failures++
 		}
 	}
-	res.LogicalRate = float64(res.LogicalFailures) / float64(trials)
-	return res, nil
+	return failures
 }
 
 // MonteCarloSweep measures every catalog code at each physical error
-// rate — the code-layer analogue of the paper's Figure 7.
+// rate on the default (batch) backend — the code-layer analogue of the
+// paper's Figure 7.
 func MonteCarloSweep(physErrors []float64, trials int, seed uint64) ([]MCResult, error) {
+	return MonteCarloSweepBackend(physErrors, trials, seed, "")
+}
+
+// MonteCarloSweepBackend is MonteCarloSweep with an explicit backend
+// selection (empty means BackendBatch).
+func MonteCarloSweepBackend(physErrors []float64, trials int, seed uint64, backend string) ([]MCResult, error) {
 	var out []MCResult
 	for i, c := range All() {
 		for j, p := range physErrors {
-			r, err := MonteCarloLogicalError(c, p, trials, seed+uint64(i*1000+j))
+			r, err := MonteCarloLogicalErrorBackend(c, p, trials, seed+uint64(i*1000+j), backend)
 			if err != nil {
 				return nil, err
 			}

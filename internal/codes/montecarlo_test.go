@@ -122,6 +122,83 @@ func TestMonteCarloDeterministic(t *testing.T) {
 	}
 }
 
+// TestMonteCarloBackendAgreement: the scalar and batch backends draw
+// different random streams but must estimate the same logical rate for
+// every catalog code (two-proportion z-test; fixed seeds make the 5σ
+// bound deterministic, not flaky).
+func TestMonteCarloBackendAgreement(t *testing.T) {
+	const trials = 30000
+	for _, c := range All() {
+		s, err := MonteCarloLogicalErrorBackend(c, 0.03, trials, 404, BackendScalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MonteCarloLogicalErrorBackend(c, 0.03, trials, 505, BackendBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.LogicalFailures == 0 || b.LogicalFailures == 0 {
+			t.Fatalf("%s: no failures at p=0.03 (scalar %d, batch %d); test has no power",
+				c.Name, s.LogicalFailures, b.LogicalFailures)
+		}
+		p1 := s.LogicalRate
+		p2 := b.LogicalRate
+		pool := float64(s.LogicalFailures+b.LogicalFailures) / (2 * trials)
+		se := math.Sqrt(pool * (1 - pool) * (2.0 / trials))
+		if z := math.Abs(p1-p2) / se; z > 5 {
+			t.Errorf("%s: backends disagree: scalar %.4g, batch %.4g (z=%.2f)", c.Name, p1, p2, z)
+		}
+	}
+}
+
+// TestMonteCarloBatchMatchesScalarCensus: at p=1 every qubit errs in
+// every trial on both backends, so the decoders face the same dense
+// error population; the heavy-error regime (table misses everywhere)
+// must not diverge between the two engines.
+func TestMonteCarloBatchMatchesScalarCensus(t *testing.T) {
+	for _, c := range All() {
+		s, err := MonteCarloLogicalErrorBackend(c, 1, 512, 3, BackendScalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MonteCarloLogicalErrorBackend(c, 1, 512, 3, BackendBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At p=1 the hit masks are deterministic (all lanes hit) but the
+		// per-hit Pauli choices still differ by stream; compare rates
+		// loosely and failure counts for plausibility.
+		if math.Abs(s.LogicalRate-b.LogicalRate) > 0.15 {
+			t.Errorf("%s: p=1 rates far apart: scalar %.3f, batch %.3f", c.Name, s.LogicalRate, b.LogicalRate)
+		}
+	}
+}
+
+func TestMonteCarloBackendValidation(t *testing.T) {
+	_, err := MonteCarloLogicalErrorBackend(Steane7(), 0.01, 10, 1, "warp")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	const want = `codes: unknown backend "warp" (want "batch" or "scalar")`
+	if err.Error() != want {
+		t.Fatalf("error %q, want %q", err, want)
+	}
+}
+
+func TestMonteCarloBatchDeterministic(t *testing.T) {
+	a, err := MonteCarloLogicalErrorBackend(Steane7(), 0.03, 5000, 77, BackendBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloLogicalErrorBackend(Steane7(), 0.03, 5000, 77, BackendBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogicalFailures != b.LogicalFailures {
+		t.Fatal("non-deterministic batch MC")
+	}
+}
+
 func BenchmarkMonteCarloSteane(b *testing.B) {
 	c := Steane7()
 	b.ReportAllocs()

@@ -1,0 +1,241 @@
+package commsim
+
+// Bit-sliced (batch) chain backend: 64 independent protocol instances
+// per uint64 word on a Pauli error frame.
+//
+// The ideal repeater protocol is a Clifford circuit whose classically
+// relevant quantities are all deterministic: the BBPSSW sacrificial
+// parity Z⊗Z is a stabilizer of the ideal pre-measurement state (the
+// two outcomes are random but always agree), entanglement swapping and
+// teleportation apply Pauli corrections that rebuild |Φ+⟩ (resp.
+// deliver the probe state) exactly in every outcome branch, and the
+// final probe readout is 0 in the noise-free circuit. Everything a
+// trial reports is therefore a function of the injected Pauli noise
+// alone, so the whole protocol runs on a pauliframe.Batch: Clifford
+// propagation is word-wide and branch-free, a measurement's outcome
+// *flip* is its frame X-bit, and the classically controlled X/Z
+// corrections fold the flip masks straight back into the frame.
+//
+// Per-lane control flow — purification's data-dependent retries — is
+// expressed with execution masks: only unconverged lanes re-run a
+// purification attempt, and each lane draws its noise from its own RNG
+// stream so a lane's trajectory is independent of its neighbours'.
+// Each lane's stream is seeded exactly as the scalar backend seeds the
+// same global trial's noise RNG, and the protocol visits a lane's
+// noise sites in exactly the scalar order, so the batch backend is
+// bit-identical to the scalar one at the same seed: same per-trial
+// error verdicts, same per-trial raw-pair counts (batch_test.go
+// enforces both, per lane, at forced-fault sites and on full runs).
+
+import (
+	"context"
+	"math/bits"
+	"math/rand/v2"
+
+	"qla/internal/pauliframe"
+)
+
+// Lane parity masks: trial t lives in lane t mod 64 of block t / 64,
+// and blocks are 64 trials wide, so a lane's basis is its parity —
+// even lanes probe |0⟩ (Z basis), odd lanes probe |+⟩ (X basis).
+const (
+	zBasisLanes = 0x5555555555555555
+	xBasisLanes = 0xAAAAAAAAAAAAAAAA
+)
+
+// batchChain holds one worker's 64-lane state: the frame, the per-lane
+// RNGs and the raw-pair counters are scratch that reset() rewinds per
+// block instead of reallocating.
+type batchChain struct {
+	cfg     ChainConfig
+	f       *pauliframe.Batch
+	pcgs    [pauliframe.Lanes]*rand.PCG
+	rngs    [pauliframe.Lanes]*rand.Rand
+	raw     [pauliframe.Lanes]int
+	scratch [][2]int
+	// forceDisagree is a test seam: when non-nil, its result is XORed
+	// into the parity-disagreement mask of every level-k purification
+	// junction at the given attempt, forcing the returned lanes to
+	// retry. Production runs leave it nil.
+	forceDisagree func(k, attempt int) uint64
+}
+
+// newBatchChain allocates one worker's reusable block state.
+func newBatchChain(cfg ChainConfig) *batchChain {
+	r := &batchChain{
+		cfg:     cfg,
+		f:       pauliframe.NewBatch(cfg.width()),
+		scratch: cfg.scratchPairs(),
+	}
+	for l := range r.pcgs {
+		r.pcgs[l] = rand.NewPCG(0, 0)
+		r.rngs[l] = rand.New(r.pcgs[l])
+	}
+	return r
+}
+
+// reset rewinds the scratch to the deterministic start state of the
+// block holding trials [block*64, block*64+lanes): every lane's noise
+// RNG reseeds exactly as the scalar backend seeds that global trial,
+// so blocks are independent of execution order.
+func (r *batchChain) reset(block, lanes int) {
+	r.f.Clear()
+	for l := 0; l < lanes; l++ {
+		trial := uint64(block)*pauliframe.Lanes + uint64(l)
+		r.pcgs[l].Seed(r.cfg.Seed^0x1e97, (trial+1)*0x9e3779b97f4a7c15)
+		r.raw[l] = 0
+	}
+}
+
+// depolarize draws each masked lane's own Bernoulli(eps) + Pauli-choice
+// variables — one Float64 per lane, matching the scalar backend's
+// stream draw for draw — and injects the hits into the frame.
+func (r *batchChain) depolarize(q int, eps float64, mask uint64) {
+	var xm, ym, zm uint64
+	for m := mask; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		rng := r.rngs[l]
+		if rng.Float64() < eps {
+			switch rng.IntN(3) {
+			case 0:
+				xm |= 1 << uint(l)
+			case 1:
+				ym |= 1 << uint(l)
+			default:
+				zm |= 1 << uint(l)
+			}
+		}
+	}
+	r.f.InjectX(q, xm|ym)
+	r.f.InjectZ(q, zm|ym)
+}
+
+// rawPair prepares |Φ+⟩ on (x, y) in the masked lanes and depolarizes
+// the travelling half. The ideal H/CNOT preparation acts on a frame
+// just cleared by the resets — the identity — so only the noise below
+// leaves a trace.
+func (r *batchChain) rawPair(x, y int, mask uint64) {
+	r.f.Reset(x, mask)
+	r.f.Reset(y, mask)
+	r.depolarize(y, r.cfg.LinkEps, mask)
+	for m := mask; m != 0; m &= m - 1 {
+		r.raw[bits.TrailingZeros64(m)]++
+	}
+}
+
+// purifiedPair builds a level-k purified pair on (x, y) for the masked
+// lanes. Disagreeing sacrificial parities — frame X-bits differing
+// between sx and sy, since the ideal outcomes always agree — keep a
+// lane in the masked retry loop while converged lanes sit out.
+func (r *batchChain) purifiedPair(x, y, k int, mask uint64) error {
+	if k == 0 {
+		r.rawPair(x, y, mask)
+		return nil
+	}
+	sx, sy := r.scratch[k-1][0], r.scratch[k-1][1]
+	need := mask
+	for attempt := 0; attempt < maxPurifyAttempts && need != 0; attempt++ {
+		if err := r.purifiedPair(x, y, k-1, need); err != nil {
+			return err
+		}
+		if err := r.purifiedPair(sx, sy, k-1, need); err != nil {
+			return err
+		}
+		r.f.CNOT(x, sx, need)
+		r.f.CNOT(y, sy, need)
+		disagree := r.f.MeasureZ(sx, need) ^ r.f.MeasureZ(sy, need)
+		if r.forceDisagree != nil {
+			disagree ^= r.forceDisagree(k, attempt) & need
+		}
+		need &= disagree
+	}
+	if need != 0 {
+		return errPurifyDiverged()
+	}
+	return nil
+}
+
+// entanglementSwap mirrors teleport.EntanglementSwap on the frame: the
+// Bell measurement's outcome flips are exactly the difference between
+// the corrections the noisy run applies and the ideal ones, so they
+// fold into the surviving half's frame as extra X/Z components.
+func (r *batchChain) entanglementSwap(a2, b1, b2 int, mask uint64) {
+	r.f.CNOT(a2, b1, mask)
+	r.f.H(a2, mask)
+	m0 := r.f.MeasureZ(a2, mask)
+	m1 := r.f.MeasureZ(b1, mask)
+	r.f.InjectX(b2, m1)
+	r.f.InjectZ(b2, m0)
+}
+
+// run executes the full protocol once for every lane in active and
+// returns the mask of lanes whose delivered probe read out wrong (the
+// ideal readout is 0 in both bases).
+func (r *batchChain) run(active uint64) (errMask uint64, err error) {
+	cfg := r.cfg
+
+	// Build one purified pair per link.
+	for i := 0; i < cfg.Links; i++ {
+		a, b := linkQubits(i)
+		if err := r.purifiedPair(a, b, cfg.PurifyRounds, active); err != nil {
+			return 0, err
+		}
+	}
+	// Swap the chain down to a single end-to-end pair (a_0, far).
+	a0, far := linkQubits(0)
+	for i := 1; i < cfg.Links; i++ {
+		ai, bi := linkQubits(i)
+		r.entanglementSwap(far, ai, bi, active)
+		r.depolarize(bi, cfg.SwapEps, active)
+		far = bi
+	}
+
+	// Probe: teleport |0⟩ in even lanes, |+⟩ in odd ones. The basis
+	// choice is invisible to the frame until the final readout (the
+	// probe preparation acts on a freshly reset, error-free qubit).
+	const data = 0
+	r.f.Reset(data, active)
+	r.f.CNOT(data, a0, active)
+	r.f.H(data, active)
+	m0 := r.f.MeasureZ(data, active)
+	m1 := r.f.MeasureZ(a0, active)
+	r.f.InjectX(far, m1)
+	r.f.InjectZ(far, m0)
+	r.f.H(far, xBasisLanes&active)
+	return r.f.MeasureZ(far, active), nil
+}
+
+// runChainBlock simulates one 64-trial block on the worker's reusable
+// scratch and folds its lane masks into integer statistics.
+func runChainBlock(r *batchChain, block, lanes int) (chainStats, error) {
+	r.reset(block, lanes)
+	active := pauliframe.LaneMask(lanes)
+	errMask, err := r.run(active)
+	if err != nil {
+		return chainStats{}, err
+	}
+	var st chainStats
+	st.zErrors = bits.OnesCount64(errMask & zBasisLanes)
+	st.xErrors = bits.OnesCount64(errMask & xBasisLanes)
+	st.zTrials = (lanes + 1) / 2
+	st.xTrials = lanes / 2
+	for l := 0; l < lanes; l++ {
+		st.rawPairs += r.raw[l]
+	}
+	return st, nil
+}
+
+// runChainBatched fans 64-trial blocks out over the worker pool; the
+// final block runs short when Trials is not a multiple of 64. Blocks
+// are seeded by their global index and integer-summed, so the result
+// is bit-identical at any parallelism.
+func runChainBatched(ctx context.Context, cfg ChainConfig) (chainStats, error) {
+	blocks := (cfg.Trials + pauliframe.Lanes - 1) / pauliframe.Lanes
+	return chainFanOut(ctx, cfg.Parallelism, blocks, func(scratch any, block int) (chainStats, error) {
+		lanes := pauliframe.Lanes
+		if rem := cfg.Trials - block*pauliframe.Lanes; rem < lanes {
+			lanes = rem
+		}
+		return runChainBlock(scratch.(*batchChain), block, lanes)
+	}, func() any { return newBatchChain(cfg) })
+}

@@ -1,9 +1,8 @@
 // Package commsim executes the QLA repeater-chain communication
-// protocol gate by gate on the stabilizer backend: raw EPR pairs are
-// created and depolarized, purified by nested BBPSSW rounds with real
-// post-selection, merged by entanglement swapping with per-swap noise,
-// and finally used to teleport a data qubit whose delivered state is
-// checked in both bases.
+// protocol gate by gate: raw EPR pairs are created and depolarized,
+// purified by nested BBPSSW rounds with real post-selection, merged by
+// entanglement swapping with per-swap noise, and finally used to
+// teleport a data qubit whose delivered state is checked in both bases.
 //
 // The analytic interconnect model (internal/teleport) applies the
 // Werner-state recurrences of Dür et al. to size the Figure-9 network;
@@ -14,6 +13,13 @@
 // It also measures raw-pair consumption directly, exhibiting the
 // exponential cost of purification rounds that motivates repeater
 // islands over end-to-end purification.
+//
+// Two Monte Carlo backends execute the protocol (see batch.go): the
+// bit-sliced default runs 64 trials per uint64 word on a Pauli-frame
+// chain model, and the scalar stabilizer-tableau path remains as the
+// reference oracle. Because every lane of the batch backend replays
+// exactly the scalar backend's per-trial noise RNG stream, the two are
+// bit-identical at the same seed — not merely statistically compatible.
 package commsim
 
 import (
@@ -25,6 +31,16 @@ import (
 
 	"qla/internal/stabilizer"
 	"qla/internal/teleport"
+)
+
+// Monte Carlo backends.
+const (
+	// BackendBatch is the bit-sliced Pauli-frame engine: 64 independent
+	// trials per uint64 word, the default (an empty Backend selects it).
+	BackendBatch = "batch"
+	// BackendScalar is the one-trial-at-a-time stabilizer-tableau
+	// reference engine.
+	BackendScalar = "scalar"
 )
 
 // ChainConfig parameterizes one chain experiment.
@@ -46,6 +62,12 @@ type ChainConfig struct {
 	Trials int
 	// Seed feeds the deterministic RNG.
 	Seed uint64
+	// Backend selects the Monte Carlo engine: BackendBatch (the
+	// default, 64 bit-sliced trials per word) or BackendScalar (the
+	// stabilizer-tableau reference oracle). Every batch lane replays
+	// the scalar backend's per-trial noise stream, so both backends
+	// produce bit-identical measurements at the same Seed.
+	Backend string `json:"Backend,omitempty"`
 	// Parallelism bounds the worker-pool width (0 means GOMAXPROCS).
 	// Every trial derives its RNG streams from its global trial index,
 	// so the result is bit-identical at any parallelism for a fixed
@@ -68,7 +90,28 @@ func (c ChainConfig) Validate() error {
 	case c.Trials <= 0:
 		return fmt.Errorf("commsim: trials must be positive, got %d", c.Trials)
 	}
+	switch c.Backend {
+	case "", BackendBatch, BackendScalar:
+	default:
+		return fmt.Errorf("commsim: unknown backend %q (want %q or %q)",
+			c.Backend, BackendBatch, BackendScalar)
+	}
 	return nil
+}
+
+// width is the qubit count of one protocol instance: the data qubit,
+// one pair per link, and one sacrificial pair per purification level.
+func (c ChainConfig) width() int { return 1 + 2*c.Links + 2*c.PurifyRounds }
+
+// scratchPairs lays out the sacrificial purification pairs after the
+// link qubits; scratch[k] serves purification level k+1.
+func (c ChainConfig) scratchPairs() [][2]int {
+	out := make([][2]int, 0, c.PurifyRounds)
+	for k := 0; k < c.PurifyRounds; k++ {
+		base := 1 + 2*c.Links + 2*k
+		out = append(out, [2]int{base, base + 1})
+	}
+	return out
 }
 
 // ChainResult reports one chain experiment.
@@ -95,19 +138,64 @@ type ChainResult struct {
 	RawPairsMean float64
 }
 
-// chainRun holds per-trial state.
+// chainStats is the integer-summable aggregate one worker shard (or
+// one 64-trial block) contributes.
+type chainStats struct {
+	zErrors, xErrors int
+	zTrials, xTrials int
+	rawPairs         int
+}
+
+func (a *chainStats) add(b chainStats) {
+	a.zErrors += b.zErrors
+	a.xErrors += b.xErrors
+	a.zTrials += b.zTrials
+	a.xTrials += b.xTrials
+	a.rawPairs += b.rawPairs
+}
+
+// chainRun holds the scalar backend's per-worker state: the stabilizer
+// tableau, both RNG streams and the raw-pair counter are scratch that
+// reset() rewinds per trial instead of reallocating (the scalar hot
+// path used to pay a fresh tableau per trial).
 type chainRun struct {
 	cfg      ChainConfig
+	noisePCG *rand.PCG
 	rng      *rand.Rand
+	outPCG   *rand.PCG
 	s        *stabilizer.State
 	rawPairs int
 	// scratch[k] is the qubit pair reserved for purification level k.
 	scratch [][2]int
 }
 
+// newChainRun allocates one worker's reusable trial state.
+func newChainRun(cfg ChainConfig) *chainRun {
+	r := &chainRun{
+		cfg:      cfg,
+		noisePCG: rand.NewPCG(0, 0),
+		outPCG:   rand.NewPCG(0, 0),
+		scratch:  cfg.scratchPairs(),
+	}
+	r.rng = rand.New(r.noisePCG)
+	r.s = stabilizer.NewWithRand(cfg.width(), rand.New(r.outPCG))
+	return r
+}
+
+// reset rewinds the run to the deterministic start state of one trial:
+// both RNG streams (noise injection and measurement outcomes) reseed
+// from the trial's global index alone — so trials are independent of
+// execution order — and the tableau returns to |0…0⟩ in place.
+func (r *chainRun) reset(trial int) {
+	r.noisePCG.Seed(r.cfg.Seed^0x1e97, (uint64(trial)+1)*0x9e3779b97f4a7c15)
+	r.outPCG.Seed(uint64(trial), r.cfg.Seed)
+	r.s.ResetAllZero()
+	r.rawPairs = 0
+}
+
 // qubit indices: 0 is the data qubit; link i owns (1+2i, 2+2i);
 // purification level k owns the pair after the links.
-func (r *chainRun) linkQubits(i int) (int, int) { return 1 + 2*i, 2 + 2*i }
+func linkQubits(i int) (int, int) { return 1 + 2*i, 2 + 2*i }
 
 func (r *chainRun) depolarize(q int, eps float64) {
 	if r.rng.Float64() < eps {
@@ -134,6 +222,10 @@ func (r *chainRun) rawPair(x, y int) {
 
 const maxPurifyAttempts = 4096
 
+func errPurifyDiverged() error {
+	return fmt.Errorf("commsim: purification did not converge in %d attempts", maxPurifyAttempts)
+}
+
 // purifiedPair recursively builds a level-k purified pair on (x, y):
 // two level-(k-1) pairs are combined by bilateral CNOT and the
 // sacrificial pair is measured; disagreement discards everything and
@@ -157,7 +249,7 @@ func (r *chainRun) purifiedPair(x, y, k int) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("commsim: purification did not converge in %d attempts", maxPurifyAttempts)
+	return errPurifyDiverged()
 }
 
 // RunChain executes the full protocol cfg.Trials times and aggregates
@@ -166,137 +258,166 @@ func RunChain(cfg ChainConfig) (ChainResult, error) {
 	return RunChainCtx(context.Background(), cfg)
 }
 
-// RunChainCtx is RunChain with cooperative cancellation: trials fan out
-// over a worker pool of cfg.Parallelism goroutines (GOMAXPROCS when
-// zero), each trial seeded from its global index so the aggregate is
-// bit-identical to a serial run at the same seed. Workers poll ctx
-// between trials and the call returns ctx.Err() on cancellation.
+// RunChainCtx is RunChain with cooperative cancellation: trials (or
+// 64-trial blocks, on the batch backend) fan out over a worker pool of
+// cfg.Parallelism goroutines (GOMAXPROCS when zero), each unit seeded
+// from its global index so the aggregate is bit-identical to a serial
+// run at the same seed. Workers poll ctx between units and the call
+// returns ctx.Err() on cancellation.
 func RunChainCtx(ctx context.Context, cfg ChainConfig) (ChainResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return ChainResult{}, err
 	}
 
-	workers := cfg.Parallelism
+	var total chainStats
+	var err error
+	switch cfg.Backend {
+	case "", BackendBatch:
+		total, err = runChainBatched(ctx, cfg)
+	case BackendScalar:
+		total, err = runChainScalar(ctx, cfg)
+	}
+	if err != nil {
+		return ChainResult{}, err
+	}
+
+	res := ChainResult{
+		Config:       cfg,
+		ZBasisErrors: total.zErrors,
+		XBasisErrors: total.xErrors,
+		ZTrials:      total.zTrials,
+		XTrials:      total.xTrials,
+	}
+	res.ErrorRate = float64(res.ZBasisErrors+res.XBasisErrors) / float64(cfg.Trials)
+	res.RawPairsMean = float64(total.rawPairs) / float64(cfg.Trials)
+	res.PredictedError = 1 - cfg.predictFidelity()
+	return res, nil
+}
+
+// runChainScalar fans trials out one at a time over the worker pool,
+// each worker reusing one chainRun's tableau and RNG scratch across
+// all of its trials.
+func runChainScalar(ctx context.Context, cfg ChainConfig) (chainStats, error) {
+	return chainFanOut(ctx, cfg.Parallelism, cfg.Trials, func(run any, trial int) (chainStats, error) {
+		r := run.(*chainRun)
+		var st chainStats
+		xBasis := trial%2 == 1
+		bad, raw, err := r.runTrial(trial, xBasis)
+		if err != nil {
+			return st, err
+		}
+		st.rawPairs = raw
+		if xBasis {
+			st.xTrials = 1
+			if bad {
+				st.xErrors = 1
+			}
+		} else {
+			st.zTrials = 1
+			if bad {
+				st.zErrors = 1
+			}
+		}
+		return st, nil
+	}, func() any { return newChainRun(cfg) })
+}
+
+// chainFanOut shards unit indices [0,units) over a worker pool. Each
+// worker owns one scratch value (built by newScratch) for its whole
+// life; each unit is seeded from its global index by the runner and the
+// integer statistics are summed, so the total is bit-identical at any
+// worker count.
+func chainFanOut(ctx context.Context, parallelism, units int, run func(scratch any, unit int) (chainStats, error), newScratch func() any) (chainStats, error) {
+	workers := parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
+	if workers > units {
+		workers = units
 	}
-	type shardResult struct {
-		zErrors, xErrors int
-		zTrials, xTrials int
-		rawPairs         int
-		err              error
+	type shard struct {
+		st  chainStats
+		err error
 	}
-	shards := make([]shardResult, workers)
+	shards := make([]shard, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lo := cfg.Trials * w / workers
-			hi := cfg.Trials * (w + 1) / workers
-			r := &shards[w]
-			for trial := lo; trial < hi; trial++ {
+			scratch := newScratch()
+			lo := units * w / workers
+			hi := units * (w + 1) / workers
+			s := &shards[w]
+			for u := lo; u < hi; u++ {
 				if ctx.Err() != nil {
 					return
 				}
-				xBasis := trial%2 == 1
-				bad, raw, err := runChainTrial(cfg, trial, xBasis)
+				st, err := run(scratch, u)
 				if err != nil {
-					r.err = err
+					s.err = err
 					return
 				}
-				r.rawPairs += raw
-				if xBasis {
-					r.xTrials++
-					if bad {
-						r.xErrors++
-					}
-				} else {
-					r.zTrials++
-					if bad {
-						r.zErrors++
-					}
-				}
+				s.st.add(st)
 			}
 		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return ChainResult{}, err
+		return chainStats{}, err
 	}
-
-	res := ChainResult{Config: cfg}
-	totalRaw := 0
-	for _, r := range shards {
-		if r.err != nil {
-			return ChainResult{}, r.err
+	var total chainStats
+	for _, s := range shards {
+		if s.err != nil {
+			return chainStats{}, s.err
 		}
-		res.ZBasisErrors += r.zErrors
-		res.XBasisErrors += r.xErrors
-		res.ZTrials += r.zTrials
-		res.XTrials += r.xTrials
-		totalRaw += r.rawPairs
+		total.add(s.st)
 	}
-	res.ErrorRate = float64(res.ZBasisErrors+res.XBasisErrors) / float64(cfg.Trials)
-	res.RawPairsMean = float64(totalRaw) / float64(cfg.Trials)
-	res.PredictedError = 1 - cfg.predictFidelity()
-	return res, nil
+	return total, nil
 }
 
-// runChainTrial executes one end-to-end protocol instance. Both RNG
-// streams (noise injection and measurement outcomes) are derived from
-// the trial index alone, so trials are independent of execution order.
-func runChainTrial(cfg ChainConfig, trial int, xBasis bool) (errored bool, rawPairs int, err error) {
-	width := 1 + 2*cfg.Links + 2*cfg.PurifyRounds
-	run := &chainRun{
-		cfg: cfg,
-		rng: rand.New(rand.NewPCG(cfg.Seed^0x1e97, (uint64(trial)+1)*0x9e3779b97f4a7c15)),
-		s:   stabilizer.NewWithRand(width, rand.New(rand.NewPCG(uint64(trial), cfg.Seed))),
-	}
-	for k := 0; k < cfg.PurifyRounds; k++ {
-		base := 1 + 2*cfg.Links + 2*k
-		run.scratch = append(run.scratch, [2]int{base, base + 1})
-	}
+// runTrial executes one end-to-end protocol instance on the reusable
+// scalar scratch.
+func (r *chainRun) runTrial(trial int, xBasis bool) (errored bool, rawPairs int, err error) {
+	cfg := r.cfg
+	r.reset(trial)
 
 	// Build one purified pair per link.
 	for i := 0; i < cfg.Links; i++ {
-		a, b := run.linkQubits(i)
-		if err := run.purifiedPair(a, b, cfg.PurifyRounds); err != nil {
+		a, b := linkQubits(i)
+		if err := r.purifiedPair(a, b, cfg.PurifyRounds); err != nil {
 			return false, 0, err
 		}
 	}
 	// Swap the chain down to a single end-to-end pair (a_0, far).
-	a0, far := run.linkQubits(0)
+	a0, far := linkQubits(0)
 	for i := 1; i < cfg.Links; i++ {
-		ai, bi := run.linkQubits(i)
-		teleport.EntanglementSwap(run.s, far, ai, bi)
-		run.depolarize(bi, cfg.SwapEps)
+		ai, bi := linkQubits(i)
+		teleport.EntanglementSwap(r.s, far, ai, bi)
+		r.depolarize(bi, cfg.SwapEps)
 		far = bi
 	}
 
 	// Probe: teleport |0⟩ on even trials, |+⟩ on odd ones.
 	data := 0
-	run.s.Reset(data)
+	r.s.Reset(data)
 	if xBasis {
-		run.s.H(data)
+		r.s.H(data)
 	}
-	run.s.CNOT(data, a0)
-	run.s.H(data)
-	m0 := run.s.Measure(data)
-	m1 := run.s.Measure(a0)
+	r.s.CNOT(data, a0)
+	r.s.H(data)
+	m0 := r.s.Measure(data)
+	m1 := r.s.Measure(a0)
 	if m1 == 1 {
-		run.s.X(far)
+		r.s.X(far)
 	}
 	if m0 == 1 {
-		run.s.Z(far)
+		r.s.Z(far)
 	}
 	if xBasis {
-		run.s.H(far)
+		r.s.H(far)
 	}
-	return run.s.Measure(far) != 0, run.rawPairs, nil
+	return r.s.Measure(far) != 0, r.rawPairs, nil
 }
 
 // predictFidelity chains the analytic Werner recurrences: the raw link
@@ -349,13 +470,13 @@ type NaiveVsRepeater struct {
 // links equal segments. The naive strategy sees the accumulated noise
 // 1-(1-perLinkEps)^links on its single stretched pair.
 func CompareStrategies(perLinkEps float64, links, purifyRounds, trials int, seed uint64) (NaiveVsRepeater, error) {
-	return CompareStrategiesCtx(context.Background(), perLinkEps, links, purifyRounds, trials, seed, 0)
+	return CompareStrategiesCtx(context.Background(), perLinkEps, links, purifyRounds, trials, seed, 0, "")
 }
 
 // CompareStrategiesCtx is CompareStrategies with cooperative
-// cancellation and an explicit worker-pool width (parallelism 0 means
-// GOMAXPROCS).
-func CompareStrategiesCtx(ctx context.Context, perLinkEps float64, links, purifyRounds, trials int, seed uint64, parallelism int) (NaiveVsRepeater, error) {
+// cancellation, an explicit worker-pool width (parallelism 0 means
+// GOMAXPROCS) and a backend selection (empty means BackendBatch).
+func CompareStrategiesCtx(ctx context.Context, perLinkEps float64, links, purifyRounds, trials int, seed uint64, parallelism int, backend string) (NaiveVsRepeater, error) {
 	accum := 1.0
 	for i := 0; i < links; i++ {
 		accum *= 1 - perLinkEps
@@ -366,14 +487,14 @@ func CompareStrategiesCtx(ctx context.Context, perLinkEps float64, links, purify
 	}
 	naive, err := RunChainCtx(ctx, ChainConfig{
 		Links: 1, LinkEps: naiveEps, PurifyRounds: purifyRounds,
-		Trials: trials, Seed: seed, Parallelism: parallelism,
+		Trials: trials, Seed: seed, Parallelism: parallelism, Backend: backend,
 	})
 	if err != nil {
 		return NaiveVsRepeater{}, err
 	}
 	rep, err := RunChainCtx(ctx, ChainConfig{
 		Links: links, LinkEps: perLinkEps, PurifyRounds: purifyRounds,
-		Trials: trials, Seed: seed + 1, Parallelism: parallelism,
+		Trials: trials, Seed: seed + 1, Parallelism: parallelism, Backend: backend,
 	})
 	if err != nil {
 		return NaiveVsRepeater{}, err

@@ -7,30 +7,33 @@ import (
 )
 
 // TestParallelMatchesSerial: both RNG streams of a trial derive from the
-// trial's global index, so the aggregate must be bit-identical at any
-// worker-pool width.
+// trial's global index (and each worker's reused scratch resets to that
+// trial-indexed state), so the aggregate must be bit-identical at any
+// worker-pool width — on both backends.
 func TestParallelMatchesSerial(t *testing.T) {
-	base := ChainConfig{
-		Links: 3, LinkEps: 0.07, PurifyRounds: 1, SwapEps: 0.01,
-		Trials: 1200, Seed: 29,
-	}
-	serial := base
-	serial.Parallelism = 1
-	want, err := RunChain(serial)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, workers := range []int{2, 5, 16} {
-		cfg := base
-		cfg.Parallelism = workers
-		got, err := RunChain(cfg)
+	for _, backend := range []string{BackendScalar, BackendBatch} {
+		base := ChainConfig{
+			Links: 3, LinkEps: 0.07, PurifyRounds: 1, SwapEps: 0.01,
+			Trials: 1200, Seed: 29, Backend: backend,
+		}
+		serial := base
+		serial.Parallelism = 1
+		want, err := RunChain(serial)
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Configs differ only in Parallelism; the measurements must not.
-		got.Config, want.Config = ChainConfig{}, ChainConfig{}
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("parallelism %d: %+v != serial %+v", workers, got, want)
+		for _, workers := range []int{2, 5, 16} {
+			cfg := base
+			cfg.Parallelism = workers
+			got, err := RunChain(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Configs differ only in Parallelism; the measurements must not.
+			got.Config, want.Config = ChainConfig{}, ChainConfig{}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s parallelism %d: %+v != serial %+v", backend, workers, got, want)
+			}
 		}
 	}
 }

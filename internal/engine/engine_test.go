@@ -79,6 +79,43 @@ func TestUnknownParameterRejected(t *testing.T) {
 	}
 }
 
+// TestInvalidBackendRejected: every experiment with a backend selector
+// rejects an unknown name at spec validation with one canonical error
+// text — before any Monte Carlo runs and before the spec can hash into
+// the result cache.
+func TestInvalidBackendRejected(t *testing.T) {
+	eng := New()
+	for _, exp := range []string{"figure7", "syndrome-rates", "run-chain", "chain-validation", "compare-comm", "code-ablation"} {
+		_, err := eng.Run(context.Background(), Spec{
+			Experiment: exp,
+			Params:     Params{"backend": "warp"},
+		})
+		want := `parameter "backend": invalid value "warp" (want one of "batch", "scalar")`
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: err = %v, want contains %q", exp, err, want)
+		}
+		// The canonicalization path (cache keying) must reject it too.
+		if _, err := Canonicalize(Spec{Experiment: exp, Params: Params{"backend": "warp"}}); err == nil {
+			t.Errorf("%s: invalid backend canonicalized", exp)
+		}
+	}
+}
+
+// TestBackendParamSelectsScalar: the scalar oracle stays reachable
+// through the front door for every backend-bearing experiment.
+func TestBackendParamSelectsScalar(t *testing.T) {
+	res, err := New().Run(context.Background(), Spec{
+		Experiment: "run-chain",
+		Params:     Params{"trials": 130, "backend": "scalar"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Params.Str("backend"); got != "scalar" {
+		t.Fatalf("resolved backend %q", got)
+	}
+}
+
 func TestParamCoercion(t *testing.T) {
 	defs := []ParamDef{
 		{Name: "n", Kind: Int, Default: 3},

@@ -167,6 +167,13 @@ measure 0
 measure 3
 `
 
+// backendNames is the value set of every "backend" parameter: the
+// bit-sliced 64-trials-per-word engine and the scalar reference
+// oracle. Validation happens at spec resolution (a bad name is a 400,
+// never a cached run), shared by the threshold, repeater-chain and
+// code-catalog Monte Carlos.
+var backendNames = []string{threshold.BackendBatch, threshold.BackendScalar}
+
 func parseJob(rc *RunContext) (*arq.Job, error) {
 	opts, err := rc.Machine.Options()
 	if err != nil {
@@ -252,7 +259,7 @@ func init() {
 			{Name: "trials", Kind: Int, Default: 120000, Doc: "level-1 Monte Carlo trials per point"},
 			{Name: "trials-l2", Kind: Int, Default: 0, Doc: "level-2 trials per point (0 means trials/4)"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed (level 2 uses seed+1)"},
-			{Name: "backend", Kind: Text, Default: threshold.BackendBatch, Doc: "Monte Carlo backend: \"batch\" (64 bit-sliced trials/word) or \"scalar\" (reference oracle)"},
+			{Name: "backend", Kind: Text, Default: threshold.BackendBatch, OneOf: backendNames, Doc: "Monte Carlo backend: \"batch\" (64 bit-sliced trials/word) or \"scalar\" (reference oracle)"},
 		},
 		Bench: true,
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
@@ -292,7 +299,7 @@ func init() {
 		Params: []ParamDef{
 			{Name: "trials", Kind: Int, Default: 120000, Doc: "level-1 Monte Carlo trials"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
-			{Name: "backend", Kind: Text, Default: threshold.BackendBatch, Doc: "Monte Carlo backend: \"batch\" or \"scalar\""},
+			{Name: "backend", Kind: Text, Default: threshold.BackendBatch, OneOf: backendNames, Doc: "Monte Carlo backend: \"batch\" or \"scalar\""},
 		},
 		Bench: true,
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
@@ -447,6 +454,7 @@ func init() {
 			{Name: "mc-trials", Kind: Int, Default: 100000, Doc: "decoder Monte Carlo trials per point (0 skips)"},
 			{Name: "mc-errors", Kind: Floats, Default: []float64{0.002, 0.01, 0.05}, Doc: "depolarizing probabilities for the Monte Carlo"},
 			{Name: "mc-seed", Kind: Uint, Default: 17, Doc: "decoder Monte Carlo seed"},
+			{Name: "backend", Kind: Text, Default: codes.BackendBatch, OneOf: backendNames, Doc: "decoder Monte Carlo backend: \"batch\" (64 bit-sliced trials/word) or \"scalar\" (reference oracle)"},
 		},
 		Bench: true,
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
@@ -461,7 +469,7 @@ func init() {
 					return nil, err
 				}
 				data.MCErrors = rc.Params.Floats("mc-errors")
-				mc, err := codes.MonteCarloSweep(data.MCErrors, trials, rc.Params.Uint("mc-seed"))
+				mc, err := codes.MonteCarloSweepBackend(data.MCErrors, trials, rc.Params.Uint("mc-seed"), rc.Params.Str("backend"))
 				if err != nil {
 					return nil, err
 				}
@@ -476,11 +484,12 @@ func init() {
 		Name:     "chain-validation",
 		Parallel: true,
 		Aliases:  []string{"chainmc"},
-		Title:    "Repeater-chain Monte Carlo (stabilizer backend) vs Werner model",
-		Doc:      "Executes the repeater protocol gate by gate on the stabilizer backend across four chain shapes and contrasts naive end-to-end teleportation with the repeater chain (the paper's contribution-2 validation).",
+		Title:    "Repeater-chain Monte Carlo vs Werner model",
+		Doc:      "Executes the repeater protocol gate by gate across four chain shapes and contrasts naive end-to-end teleportation with the repeater chain (the paper's contribution-2 validation). The batch and scalar backends are bit-identical at the same seed.",
 		Params: []ParamDef{
 			{Name: "trials", Kind: Int, Default: 3000, Doc: "Monte Carlo trials per chain shape (capped at 6000)"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
+			{Name: "backend", Kind: Text, Default: commsim.BackendBatch, OneOf: backendNames, Doc: "chain Monte Carlo backend: \"batch\" (64 bit-sliced trials/word) or \"scalar\" (stabilizer-tableau oracle); both are bit-identical at the same seed"},
 		},
 		Bench: true,
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
@@ -499,13 +508,14 @@ func init() {
 				cfg.Trials = trials
 				cfg.Seed = seed + uint64(i)
 				cfg.Parallelism = rc.Parallelism
+				cfg.Backend = rc.Params.Str("backend")
 				res, err := commsim.RunChainCtx(ctx, cfg)
 				if err != nil {
 					return nil, err
 				}
 				data.Rows = append(data.Rows, res)
 			}
-			cmp, err := commsim.CompareStrategiesCtx(ctx, 0.05, 8, 1, trials, seed+10, rc.Parallelism)
+			cmp, err := commsim.CompareStrategiesCtx(ctx, 0.05, 8, 1, trials, seed+10, rc.Parallelism, rc.Params.Str("backend"))
 			if err != nil {
 				return nil, err
 			}
@@ -519,7 +529,7 @@ func init() {
 		Name:     "run-chain",
 		Parallel: true,
 		Title:    "Repeater-chain Monte Carlo: one configuration",
-		Doc:      "Executes the repeater protocol gate by gate on the stabilizer backend for one chain configuration and compares against the Werner-model prediction. Honors engine parallelism with bit-identical results at any width.",
+		Doc:      "Executes the repeater protocol gate by gate for one chain configuration and compares against the Werner-model prediction. Honors engine parallelism with bit-identical results at any width; the batch and scalar backends are bit-identical at the same seed.",
 		Params: []ParamDef{
 			{Name: "links", Kind: Int, Default: 2, Doc: "repeater links in the chain"},
 			{Name: "link-eps", Kind: Float, Default: 0.06, Doc: "per-link depolarization probability"},
@@ -527,6 +537,7 @@ func init() {
 			{Name: "swap-eps", Kind: Float, Default: 0.0, Doc: "depolarization per entanglement swap"},
 			{Name: "trials", Kind: Int, Default: 2000, Doc: "Monte Carlo trials"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed"},
+			{Name: "backend", Kind: Text, Default: commsim.BackendBatch, OneOf: backendNames, Doc: "chain Monte Carlo backend: \"batch\" (64 bit-sliced trials/word) or \"scalar\" (stabilizer-tableau oracle); both are bit-identical at the same seed"},
 		},
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
 			return commsim.RunChainCtx(ctx, commsim.ChainConfig{
@@ -536,6 +547,7 @@ func init() {
 				SwapEps:      rc.Params.Float("swap-eps"),
 				Trials:       rc.Params.Int("trials"),
 				Seed:         rc.Params.Uint("seed"),
+				Backend:      rc.Params.Str("backend"),
 				Parallelism:  rc.Parallelism,
 			})
 		},
@@ -547,13 +559,14 @@ func init() {
 		Parallel: true,
 		Aliases:  []string{"comm"},
 		Title:    "Communication strategies: naive end-to-end vs repeater chain",
-		Doc:      "Contrasts naive end-to-end teleportation with the repeater chain at equal total channel noise on the full stabilizer backend (the Section-5 interconnect argument). Honors engine parallelism with bit-identical results at any width.",
+		Doc:      "Contrasts naive end-to-end teleportation with the repeater chain at equal total channel noise on the full protocol circuit (the Section-5 interconnect argument). Honors engine parallelism with bit-identical results at any width; the batch and scalar backends are bit-identical at the same seed.",
 		Params: []ParamDef{
 			{Name: "link-eps", Kind: Float, Default: 0.05, Doc: "per-link depolarization probability"},
 			{Name: "links", Kind: Int, Default: 8, Doc: "repeater links the channel splits into"},
 			{Name: "purify-rounds", Kind: Int, Default: 1, Doc: "nested BBPSSW ladder depth per link"},
 			{Name: "trials", Kind: Int, Default: 2000, Doc: "Monte Carlo trials per strategy"},
 			{Name: "seed", Kind: Uint, Default: 11, Doc: "Monte Carlo seed (the repeater run uses seed+1)"},
+			{Name: "backend", Kind: Text, Default: commsim.BackendBatch, OneOf: backendNames, Doc: "chain Monte Carlo backend: \"batch\" (64 bit-sliced trials/word) or \"scalar\" (stabilizer-tableau oracle); both are bit-identical at the same seed"},
 		},
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
 			return commsim.CompareStrategiesCtx(ctx,
@@ -562,7 +575,8 @@ func init() {
 				rc.Params.Int("purify-rounds"),
 				rc.Params.Int("trials"),
 				rc.Params.Uint("seed"),
-				rc.Parallelism)
+				rc.Parallelism,
+				rc.Params.Str("backend"))
 		},
 		Report: reportCompareComm,
 	})

@@ -59,6 +59,21 @@ type ParamDef struct {
 	Kind    Kind
 	Default any
 	Doc     string
+	// OneOf restricts a Text parameter to an explicit value set;
+	// resolution rejects anything else *before* the experiment runs, so
+	// a bad value is a spec-validation error (HTTP 400, never cached)
+	// rather than a runtime failure. Empty means unrestricted.
+	OneOf []string
+}
+
+// allows reports whether v satisfies the OneOf restriction.
+func (d *ParamDef) allows(v string) bool {
+	for _, ok := range d.OneOf {
+		if v == ok {
+			return true
+		}
+	}
+	return false
 }
 
 // Params carries experiment parameters by name. In a Spec the values may
@@ -122,9 +137,21 @@ func resolveParams(defs []ParamDef, given Params) (Params, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: parameter %q: %w", name, err)
 		}
+		if s, ok := v.(string); ok && len(d.OneOf) > 0 && !d.allows(s) {
+			return nil, fmt.Errorf("engine: parameter %q: invalid value %q (want one of %s)",
+				name, s, quotedList(d.OneOf))
+		}
 		out[name] = v
 	}
 	return out, nil
+}
+
+func quotedList(values []string) string {
+	quoted := make([]string, len(values))
+	for i, v := range values {
+		quoted[i] = fmt.Sprintf("%q", v)
+	}
+	return strings.Join(quoted, ", ")
 }
 
 func paramNames(defs []ParamDef) string {

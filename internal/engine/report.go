@@ -303,7 +303,7 @@ func reportChainValidation(w io.Writer, res Result) error {
 	if !ok {
 		return reportJSON(w, res)
 	}
-	fmt.Fprintln(w, "Repeater-chain Monte Carlo (stabilizer backend) vs Werner model")
+	fmt.Fprintln(w, "Repeater-chain Monte Carlo vs Werner model")
 	fmt.Fprintf(w, "%7s %9s %8s %12s %12s %10s\n",
 		"links", "purify", "eps", "measured", "predicted", "raw pairs")
 	for _, r := range data.Rows {
@@ -318,12 +318,20 @@ func reportChainValidation(w io.Writer, res Result) error {
 	return nil
 }
 
+// chainBackendName resolves the default for display.
+func chainBackendName(backend string) string {
+	if backend == "" {
+		return commsim.BackendBatch
+	}
+	return backend
+}
+
 func reportRunChain(w io.Writer, res Result) error {
 	r, ok := res.Data.(commsim.ChainResult)
 	if !ok {
 		return reportJSON(w, res)
 	}
-	fmt.Fprintln(w, "Repeater-chain Monte Carlo (stabilizer backend)")
+	fmt.Fprintf(w, "Repeater-chain Monte Carlo (%s backend)\n", chainBackendName(r.Config.Backend))
 	fmt.Fprintf(w, "links %d, purify rounds %d, link eps %g, swap eps %g, trials %d\n",
 		r.Config.Links, r.Config.PurifyRounds, r.Config.LinkEps, r.Config.SwapEps, r.Config.Trials)
 	fmt.Fprintf(w, "measured error:  %.4f (Z basis %d/%d, X basis %d/%d)\n",

@@ -92,6 +92,7 @@ type BatchModel struct {
 	ForceLane    int
 
 	siteCounter int64
+	pcg         *rand.PCG
 	// samplers caches one skip-ahead state per distinct probability
 	// (gate/prep/measure classes plus the few move-path compositions);
 	// a linear scan beats a map at these counts.
@@ -109,7 +110,31 @@ type moveP struct {
 // NewBatchModel returns a batch model over params p with a
 // deterministic seed.
 func NewBatchModel(p iontrap.Params, seed uint64) *BatchModel {
-	return &BatchModel{P: p, Rng: rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5deadbeef))}
+	pcg := rand.NewPCG(seed, seed^0xa5a5a5a5deadbeef)
+	return &BatchModel{P: p, Rng: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed rewinds the model to the state NewBatchModel(P, seed) would
+// produce, reusing its allocations: the RNG stream restarts from the
+// seed, the site counter and injection statistics zero, and every
+// cached sampler re-derives its skip-ahead state from the fresh
+// stream. Callers running many independently seeded blocks through one
+// model (one block per Reseed) avoid a model + RNG + sampler
+// allocation per block. The fresh-model equivalence is exact when the
+// model visits a single probability (each block then draws the skip
+// state first, exactly as a fresh model's first site would); with
+// several cached probabilities the skip states are re-derived in cache
+// order rather than first-visit order, which is still a valid
+// deterministic stream, just not the fresh model's.
+func (m *BatchModel) Reseed(seed uint64) {
+	m.pcg.Seed(seed, seed^0xa5a5a5a5deadbeef)
+	m.siteCounter = 0
+	m.Injected = [iontrap.NumOpClasses]int64{}
+	for _, s := range m.samplers {
+		if s.p > 0 && s.p < 1 {
+			s.skip = s.gap(m.Rng)
+		}
+	}
 }
 
 // Sites returns the number of potential error sites visited so far.

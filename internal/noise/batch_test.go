@@ -162,3 +162,30 @@ func TestBatchInjectedLedger(t *testing.T) {
 		t.Errorf("sites = %d, want 5", m.Sites())
 	}
 }
+
+// TestBatchModelReseedMatchesFresh: a reseeded model visiting one
+// probability must reproduce a freshly constructed model's hit masks
+// exactly — the property that lets block loops reuse one model instead
+// of allocating one per 64-trial block.
+func TestBatchModelReseedMatchesFresh(t *testing.T) {
+	const p = 0.03
+	reused := NewBatchModel(iontrap.Params{}, 0)
+	for _, seed := range []uint64{1, 99, 12345} {
+		fresh := NewBatchModel(iontrap.Params{}, seed)
+		reused.Reseed(seed)
+		ff := pauliframe.NewBatch(8)
+		rf := pauliframe.NewBatch(8)
+		for q := 0; q < 8; q++ {
+			fresh.Depolarize1(ff, q, p, ^uint64(0))
+			reused.Depolarize1(rf, q, p, ^uint64(0))
+		}
+		for q := 0; q < 8; q++ {
+			if ff.XBits(q) != rf.XBits(q) || ff.ZBits(q) != rf.ZBits(q) {
+				t.Fatalf("seed %d qubit %d: reseeded model diverged from fresh", seed, q)
+			}
+		}
+		if fresh.TotalInjected() != reused.TotalInjected() {
+			t.Fatalf("seed %d: injected %d vs %d", seed, fresh.TotalInjected(), reused.TotalInjected())
+		}
+	}
+}

@@ -8,6 +8,15 @@ import (
 // Lanes is the number of independent trials a Batch packs per word.
 const Lanes = 64
 
+// LaneMask returns the active-lane mask of a block carrying the given
+// number of trials (the final block of a run may be short).
+func LaneMask(lanes int) uint64 {
+	if lanes >= Lanes {
+		return ^uint64(0)
+	}
+	return 1<<uint(lanes) - 1
+}
+
 // Batch is a bit-sliced Pauli error frame: the X/Z components of Lanes
 // (64) independent trials packed one bit per lane, so that Clifford
 // propagation, error injection and measurement become branch-free

@@ -280,6 +280,8 @@ func TestErrorResponses(t *testing.T) {
 		{"trailing data", `{"experiment":"table1"} extra`, http.StatusBadRequest, "trailing data"},
 		{"unknown experiment", `{"experiment":"no-such"}`, http.StatusBadRequest, "unknown experiment"},
 		{"unknown parameter", `{"experiment":"figure7","params":{"bogus":1}}`, http.StatusBadRequest, "unknown parameter"},
+		{"invalid chain backend", `{"experiment":"run-chain","params":{"backend":"warp"}}`, http.StatusBadRequest, `run-chain: engine: parameter "backend": invalid value "warp" (want one of "batch", "scalar")`},
+		{"invalid codes backend", `{"experiment":"code-ablation","params":{"backend":"tableau"}}`, http.StatusBadRequest, `parameter "backend": invalid value "tableau" (want one of "batch", "scalar")`},
 		{"machine where unused", `{"experiment":"table2","machine":{"param_set":"current"}}`, http.StatusBadRequest, "no machine configuration"},
 		{"bad param set", `{"experiment":"ec-latency","machine":{"param_set":"warp"}}`, http.StatusBadRequest, `unknown parameter set "warp"`},
 		{"negative level", `{"experiment":"ec-latency","machine":{"level":-1}}`, http.StatusBadRequest, "negative recursion level -1"},

@@ -371,6 +371,24 @@ func (s *State) Reset(q int) {
 	s.MeasureReset(q)
 }
 
+// ResetAllZero returns the state to |0…0⟩ in place, reusing the tableau
+// allocation — the scratch-reuse primitive for Monte Carlo worker pools
+// that run many trials per State. The RNG (and its stream position) is
+// untouched; callers needing a per-trial deterministic outcome stream
+// reseed the rand.Source they passed to NewWithRand.
+func (s *State) ResetAllZero() {
+	for i := range s.x {
+		clear(s.x[i])
+		clear(s.z[i])
+	}
+	clear(s.r)
+	for i := 0; i < s.n; i++ {
+		s.x[i][i/64] |= 1 << (uint(i) % 64)     // destabilizer i = X_i
+		s.z[i+s.n][i/64] |= 1 << (uint(i) % 64) // stabilizer i  = Z_i
+	}
+	s.germs = 0
+}
+
 // --- Pauli-operator measurement and expectations ---
 
 func (s *State) anticommutesRow(i int, px, pz []uint64) bool {

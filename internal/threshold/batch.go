@@ -418,14 +418,6 @@ type blockStats struct {
 	prepRetries int64
 }
 
-// laneMask returns the active mask for a block of the given width.
-func laneMask(lanes int) uint64 {
-	if lanes >= pauliframe.Lanes {
-		return ^uint64(0)
-	}
-	return 1<<uint(lanes) - 1
-}
-
 // runBlock simulates one 64-trial block (lanes may be short for the
 // final block of a run) with a per-block deterministic seed: fixed
 // Seed + Backend "batch" reproduces bit-identical statistics at any
@@ -434,7 +426,7 @@ func runBlock(cfg Config, block uint64, lanes int) blockStats {
 	params := iontrap.Uniform(cfg.PhysError, cfg.MovePerCell)
 	seed := cfg.Seed ^ (block+1)*0x9e3779b97f4a7c15 ^ uint64(cfg.Level)<<60 ^ 0xb175c1ed
 	model := noise.NewBatchModel(params, seed)
-	return runBlockModel(cfg.Level, model, laneMask(lanes))
+	return runBlockModel(cfg.Level, model, pauliframe.LaneMask(lanes))
 }
 
 // runBlockModel runs the level-1 or level-2 gadget schedule once for

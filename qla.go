@@ -450,16 +450,20 @@ func RunChain(cfg ChainConfig) (ChainResult, error) {
 		// measurements are bit-identical either way.
 		eng = engine.New(engine.WithParallelism(cfg.Parallelism))
 	}
+	params := ExperimentParams{
+		"links":         cfg.Links,
+		"link-eps":      cfg.LinkEps,
+		"purify-rounds": cfg.PurifyRounds,
+		"swap-eps":      cfg.SwapEps,
+		"trials":        cfg.Trials,
+		"seed":          cfg.Seed,
+	}
+	if cfg.Backend != "" {
+		params["backend"] = cfg.Backend
+	}
 	res, err := eng.Run(context.Background(), Spec{
 		Experiment: "run-chain",
-		Params: ExperimentParams{
-			"links":         cfg.Links,
-			"link-eps":      cfg.LinkEps,
-			"purify-rounds": cfg.PurifyRounds,
-			"swap-eps":      cfg.SwapEps,
-			"trials":        cfg.Trials,
-			"seed":          cfg.Seed,
-		},
+		Params:     params,
 	})
 	if err != nil {
 		return ChainResult{}, err
