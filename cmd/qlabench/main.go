@@ -13,8 +13,14 @@
 //	qlabench -list
 //	qlabench -spec run.json
 //	qlabench -exp fig7 -json > fig7.json
+//	qlabench -sweep examples/sweep-ec-grid.json
+//	qlabench -sweep grid.json -csv > grid.csv
 //
-// Run qlabench -list for the experiment catalog.
+// Run qlabench -list for the experiment catalog. -sweep runs a JSON
+// SweepSpec (one base Spec fanned out over machine/parameter axes)
+// synchronously and renders the aggregated result as a table, CSV
+// (-csv) or JSON (-json); qlaserve runs the same SweepSpecs
+// asynchronously behind POST /v1/sweeps.
 package main
 
 import (
@@ -35,6 +41,8 @@ func main() {
 	backend := flag.String("backend", "", "override the Monte Carlo backend where selectable: \"batch\" (bit-sliced, default) or \"scalar\" (reference)")
 	parallelism := flag.Int("parallelism", 0, "Monte Carlo worker-pool width (0 = GOMAXPROCS; results are seed-deterministic at any width)")
 	specFile := flag.String("spec", "", "run one JSON Spec file instead of -exp (\"-\" reads standard input)")
+	sweepFile := flag.String("sweep", "", "run one JSON SweepSpec file (a base Spec fanned out over machine/parameter axes; \"-\" reads standard input)")
+	asCSV := flag.Bool("csv", false, "with -sweep: emit the aggregated result as CSV")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of the human report")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
@@ -46,6 +54,13 @@ func main() {
 
 	eng := qla.NewEngine(qla.WithParallelism(*parallelism))
 	ctx := context.Background()
+
+	if *sweepFile != "" {
+		if err := runSweep(ctx, eng, *sweepFile, *asJSON, *asCSV); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *specFile != "" {
 		spec, err := qla.ReadSpecFile(*specFile)
@@ -105,6 +120,38 @@ func overrides(e *qla.Experiment, trials int, seed uint64, backend string) qla.E
 		return nil
 	}
 	return p
+}
+
+// runSweep executes a SweepSpec file synchronously, with a progress
+// line on stderr for the human formats.
+func runSweep(ctx context.Context, eng *qla.Engine, path string, asJSON, asCSV bool) error {
+	ss, err := qla.ReadSweepFile(path)
+	if err != nil {
+		return err
+	}
+	var progress func(qla.SweepProgress)
+	if !asJSON && !asCSV {
+		progress = func(p qla.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points (%d cached, %d failed)", p.Done, p.Total, p.Cached, p.Failed)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := qla.RunSweep(ctx, eng, ss, progress)
+	if err != nil {
+		return err
+	}
+	switch {
+	case asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	case asCSV:
+		return res.WriteCSV(os.Stdout)
+	default:
+		return res.WriteTable(os.Stdout)
+	}
 }
 
 func runOne(ctx context.Context, eng *qla.Engine, spec qla.Spec, asJSON bool) error {

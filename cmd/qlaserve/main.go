@@ -6,15 +6,26 @@
 // worker budget (concurrent runs share cores instead of each
 // oversubscribing GOMAXPROCS).
 //
+// Long-running work goes through the async sweep surface: POST a
+// SweepSpec (one base Spec fanned out over a machine/parameter grid)
+// to /v1/sweeps, poll or stream the returned job, fetch the aggregated
+// result when done. Job IDs are sweep content addresses, so identical
+// submissions collapse, and -cache-dir persists per-point results
+// across restarts.
+//
 // Usage:
 //
-//	qlaserve -addr :8080
+//	qlaserve -addr :8080 -cache-dir /var/cache/qla
 //	curl -d '{"experiment":"figure7","params":{"trials":6400}}' localhost:8080/v1/run
+//	curl -d @sweep.json localhost:8080/v1/sweeps
+//	curl localhost:8080/v1/jobs/<id>
+//	curl -N localhost:8080/v1/jobs/<id>/events
+//	curl localhost:8080/v1/jobs/<id>/result
 //	curl localhost:8080/v1/experiments
 //	curl localhost:8080/v1/stats
 //
-// See the "Serving over HTTP" section of EXPERIMENTS.md for the
-// endpoint reference.
+// See the "Serving over HTTP" and "Batch sweeps & async jobs" sections
+// of EXPERIMENTS.md for the endpoint reference.
 package main
 
 import (
@@ -35,16 +46,26 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (negative = unbounded)")
+	cacheDir := flag.String("cache-dir", "", "directory for the result cache's file persistence tier (empty = memory only)")
 	workers := flag.Int("workers", 0, "global Monte Carlo worker budget shared across concurrent runs (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline (requests may override with ?timeout=)")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper bound on per-request deadlines")
+	maxJobs := flag.Int("max-jobs", 0, "bound on stored async sweep jobs (0 = 256)")
+	maxJobBytes := flag.Int64("max-job-bytes", 0, "byte budget for retained async job results (0 = 256 MiB, negative = unbounded)")
+	jobTTL := flag.Duration("job-ttl", 0, "retention of finished async jobs (0 = 1h)")
+	sweepTimeout := flag.Duration("sweep-timeout", 0, "upper bound on one sweep job's total runtime (0 = 30m)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
 		CacheBytes:     *cacheBytes,
+		CacheDir:       *cacheDir,
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		MaxJobs:        *maxJobs,
+		MaxJobBytes:    *maxJobBytes,
+		JobTTL:         *jobTTL,
+		SweepTimeout:   *sweepTimeout,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -59,8 +80,12 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
 	cfg := srv.Config()
-	log.Printf("qlaserve: listening on %s (workers=%d cache=%d bytes, timeout=%v/%v)",
-		*addr, cfg.Workers, cfg.CacheBytes, cfg.DefaultTimeout, cfg.MaxTimeout)
+	persist := cfg.CacheDir
+	if persist == "" {
+		persist = "memory-only"
+	}
+	log.Printf("qlaserve: listening on %s (workers=%d cache=%d bytes [%s], timeout=%v/%v, jobs=%d/%v, sweep-timeout=%v)",
+		*addr, cfg.Workers, cfg.CacheBytes, persist, cfg.DefaultTimeout, cfg.MaxTimeout, cfg.MaxJobs, cfg.JobTTL, cfg.SweepTimeout)
 	select {
 	case err := <-errc:
 		fatal(err)

@@ -7,12 +7,23 @@
 // eviction, and de-duplicates concurrent identical requests
 // (singleflight): N callers asking for the same key while it computes
 // share one execution and receive the same bytes.
+//
+// WithDir adds an optional file persistence tier: stored values are
+// also written through to one file per key, and a memory miss consults
+// the directory before computing, so content-addressed results — sweep
+// points included — survive a process restart. The disk tier is not
+// LRU-bounded (content addresses never go stale; the operator owns the
+// directory) and all disk failures degrade to recomputation, never to
+// request failures.
 package cache
 
 import (
 	"container/list"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -23,12 +34,14 @@ import (
 type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
+	dir      string // "" = no persistence tier
 	bytes    int64
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
 	inflight map[string]*flight
 
-	hits, misses, dedups, evictions uint64
+	hits, misses, dedups, evictions     uint64
+	diskHits, diskWrites, persistErrors uint64
 }
 
 type entry struct {
@@ -44,15 +57,41 @@ type flight struct {
 	err  error
 }
 
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithDir enables the file persistence tier rooted at dir: every
+// stored value is written through to dir/<key> (atomically, via a
+// temp-file rename) and a memory miss reads the file back before
+// computing, so entries written by an earlier process are served
+// without re-execution. Keys must be filesystem-safe names — the
+// serving layer's keys are hex content hashes — and unsafe keys simply
+// skip the tier.
+func WithDir(dir string) Option {
+	return func(c *Cache) { c.dir = dir }
+}
+
 // New builds a Cache bounded to maxBytes of stored values (keys charged
 // against the budget too). maxBytes <= 0 means unbounded.
-func New(maxBytes int64) *Cache {
-	return &Cache{
+func New(maxBytes int64, opts ...Option) *Cache {
+	c := &Cache{
 		maxBytes: maxBytes,
 		ll:       list.New(),
 		entries:  make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.dir != "" {
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			// An unusable directory disables the tier; the in-memory
+			// cache keeps working and Stats exposes the failure.
+			c.dir = ""
+			c.persistErrors++
+		}
+	}
+	return c
 }
 
 // GetOrCompute returns the cached bytes for key, or runs compute to
@@ -86,6 +125,24 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
+	c.mu.Unlock()
+
+	// Persistence tier: a value written by an earlier process (or
+	// evicted from memory since) replays without recomputation. The
+	// probe runs as the flight leader, so concurrent callers still
+	// collapse onto one disk read.
+	if val, ok := c.loadFile(key); ok {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.diskHits++
+		c.storeLocked(key, val)
+		c.mu.Unlock()
+		f.val = val
+		close(f.done)
+		return val, true, nil
+	}
+
+	c.mu.Lock()
 	c.misses++
 	c.mu.Unlock()
 
@@ -115,7 +172,63 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	c.mu.Unlock()
 	f.val, f.err = val, err
 	close(f.done)
+	// Persist only after releasing the followers: the value is already
+	// in memory, and a slow disk must not add latency to requests that
+	// collapsed onto this flight.
+	if err == nil {
+		c.writeFile(key, val)
+	}
 	return val, false, err
+}
+
+// safeKey reports whether key can name a file in the persistence
+// directory (hex hashes always can).
+func safeKey(key string) bool {
+	return key != "" && !strings.ContainsAny(key, "/\\") && key != "." && key != ".." && filepath.Base(key) == key
+}
+
+// loadFile reads the persisted value for key, if the tier is enabled
+// and holds one.
+func (c *Cache) loadFile(key string) ([]byte, bool) {
+	if c.dir == "" || !safeKey(key) {
+		return nil, false
+	}
+	val, err := os.ReadFile(filepath.Join(c.dir, key))
+	if err != nil {
+		return nil, false
+	}
+	return val, true
+}
+
+// writeFile persists val under key, atomically (temp file + rename) so
+// a crash mid-write never leaves a truncated entry to replay. Failures
+// only bump a counter: persistence is best-effort.
+func (c *Cache) writeFile(key string, val []byte) {
+	if c.dir == "" || !safeKey(key) {
+		return
+	}
+	err := func() error {
+		tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name())
+		if _, err := tmp.Write(val); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), filepath.Join(c.dir, key))
+	}()
+	c.mu.Lock()
+	if err != nil {
+		c.persistErrors++
+	} else {
+		c.diskWrites++
+	}
+	c.mu.Unlock()
 }
 
 // storeLocked inserts the value at the front of the LRU list and evicts
@@ -166,6 +279,14 @@ type Stats struct {
 	Bytes    int64 `json:"bytes"`
 	MaxBytes int64 `json:"max_bytes"`
 	Inflight int   `json:"inflight"`
+	// Persistent reports whether the file tier is enabled; DiskHits
+	// counts memory misses served from it, DiskWrites successful
+	// write-throughs, and PersistErrors best-effort failures (the
+	// request still succeeds).
+	Persistent    bool   `json:"persistent,omitempty"`
+	DiskHits      uint64 `json:"disk_hits,omitempty"`
+	DiskWrites    uint64 `json:"disk_writes,omitempty"`
+	PersistErrors uint64 `json:"persist_errors,omitempty"`
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -173,13 +294,17 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Dedups:    c.dedups,
-		Evictions: c.evictions,
-		Entries:   len(c.entries),
-		Bytes:     c.bytes,
-		MaxBytes:  c.maxBytes,
-		Inflight:  len(c.inflight),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Dedups:        c.dedups,
+		Evictions:     c.evictions,
+		Entries:       len(c.entries),
+		Bytes:         c.bytes,
+		MaxBytes:      c.maxBytes,
+		Inflight:      len(c.inflight),
+		Persistent:    c.dir != "",
+		DiskHits:      c.diskHits,
+		DiskWrites:    c.diskWrites,
+		PersistErrors: c.persistErrors,
 	}
 }

@@ -273,3 +273,105 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		t.Errorf("inflight leak: %+v", s)
 	}
 }
+
+// TestPersistenceWriteThroughAndReload: values written by one Cache are
+// served by a fresh Cache over the same directory — the restart
+// survival path — and disk hits count as hits, not recomputations.
+func TestPersistenceWriteThroughAndReload(t *testing.T) {
+	dir := t.TempDir()
+	c1 := New(0, WithDir(dir))
+	got, hit := mustGet(t, c1, "aaaa", "persisted")
+	if hit || string(got) != "persisted" {
+		t.Fatalf("first store: hit=%v val=%q", hit, got)
+	}
+	if s := c1.Stats(); !s.Persistent || s.DiskWrites != 1 || s.PersistErrors != 0 {
+		t.Fatalf("stats after write %+v", s)
+	}
+
+	// A new process over the same directory.
+	c2 := New(0, WithDir(dir))
+	var computed atomic.Int32
+	val, hit, err := c2.GetOrCompute(context.Background(), "aaaa", func() ([]byte, error) {
+		computed.Add(1)
+		return []byte("recomputed"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || string(val) != "persisted" || computed.Load() != 0 {
+		t.Fatalf("reload: hit=%v val=%q computed=%d", hit, val, computed.Load())
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("stats after reload %+v", s)
+	}
+	// Now resident in memory: the next call never touches disk.
+	if _, hit := mustGet(t, c2, "aaaa", "recomputed"); !hit {
+		t.Fatal("memory miss after disk reload")
+	}
+	if s := c2.Stats(); s.Hits != 1 || s.DiskHits != 1 {
+		t.Fatalf("stats after memory hit %+v", s)
+	}
+}
+
+// TestPersistenceSurvivesMemoryEviction: an LRU-evicted entry replays
+// from disk instead of recomputing.
+func TestPersistenceSurvivesMemoryEviction(t *testing.T) {
+	c := New(20, WithDir(t.TempDir())) // fits one 12-byte entry, not two
+	mustGet(t, c, "aaaa", "value-aa")
+	mustGet(t, c, "bbbb", "value-bb") // evicts aaaa from memory
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	val, hit, err := c.GetOrCompute(context.Background(), "aaaa", func() ([]byte, error) {
+		return []byte("recomputed"), nil
+	})
+	if err != nil || !hit || string(val) != "value-aa" {
+		t.Fatalf("evicted entry not replayed from disk: hit=%v val=%q err=%v", hit, val, err)
+	}
+}
+
+// TestPersistenceUnsafeKeySkipsTier: keys that cannot name a file
+// bypass persistence but still cache in memory.
+func TestPersistenceUnsafeKeySkipsTier(t *testing.T) {
+	c := New(0, WithDir(t.TempDir()))
+	mustGet(t, c, "../escape", "val")
+	if s := c.Stats(); s.DiskWrites != 0 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if _, hit := mustGet(t, c, "../escape", "val"); !hit {
+		t.Fatal("unsafe key not cached in memory")
+	}
+}
+
+// TestPersistenceErrorsNotWritten: failed computations leave no file
+// behind to replay.
+func TestPersistenceErrorsNotWritten(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0, WithDir(dir))
+	_, _, err := c.GetOrCompute(context.Background(), "bad1", func() ([]byte, error) {
+		return nil, errors.New("nope")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	c2 := New(0, WithDir(dir))
+	val, hit, err := c2.GetOrCompute(context.Background(), "bad1", func() ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	if err != nil || hit || string(val) != "fresh" {
+		t.Fatalf("hit=%v val=%q err=%v", hit, val, err)
+	}
+}
+
+// TestPersistenceUnusableDirDegrades: a directory that cannot be
+// created disables the tier; the cache itself keeps working.
+func TestPersistenceUnusableDirDegrades(t *testing.T) {
+	c := New(0, WithDir(string([]byte{0})))
+	if s := c.Stats(); s.Persistent || s.PersistErrors != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if got, _ := mustGet(t, c, "k", "v"); string(got) != "v" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -118,8 +118,16 @@ func MakeCanonical(spec Spec) (Canonical, error) {
 	if err != nil {
 		return Canonical{}, err
 	}
+	return Canonical{Spec: canon, JSON: raw, Hash: HashBytes(raw), exp: exp, tech: tech}, nil
+}
+
+// HashBytes returns the hex SHA-256 content address of raw — the
+// addressing primitive shared by Spec hashing, the sweep layer's
+// SweepSpec hashing (which doubles as the async job ID), and the result
+// cache's persistence tier.
+func HashBytes(raw []byte) string {
 	sum := sha256.Sum256(raw)
-	return Canonical{Spec: canon, JSON: raw, Hash: hex.EncodeToString(sum[:]), exp: exp, tech: tech}, nil
+	return hex.EncodeToString(sum[:])
 }
 
 // CanonicalJSON returns the byte-stable JSON encoding of the canonical

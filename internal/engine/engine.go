@@ -116,6 +116,10 @@ type RunContext struct {
 	Machine     MachineSpec
 	Tech        iontrap.Params
 	Parallelism int
+	// Engine is the engine executing this run. Experiments that fan out
+	// into sub-Specs (machine-sweep) run them through it so sub-runs
+	// share its scheduler budget instead of oversubscribing cores.
+	Engine *Engine
 }
 
 // Engine executes Specs against the experiment registry. The zero
@@ -163,6 +167,12 @@ func New(opts ...Option) *Engine {
 	}
 	return e
 }
+
+// HasScheduler reports whether runs acquire their worker width from a
+// shared budget. Fan-out layers use it to decide how many runs to keep
+// in flight: without a scheduler every concurrent run takes its full
+// width, so stacking them oversubscribes the machine.
+func (e *Engine) HasScheduler() bool { return e.sched != nil }
 
 // Run resolves the spec against the registry, validates and defaults
 // its parameters, and executes the experiment under ctx. Cancellation
@@ -220,6 +230,7 @@ func (e *Engine) run(ctx context.Context, exp *Experiment, canon Spec, tech iont
 		Machine:     canon.Machine,
 		Tech:        tech,
 		Parallelism: par,
+		Engine:      e,
 	}
 	started := time.Now()
 	data, err := runGuarded(ctx, exp, rc)

@@ -328,3 +328,75 @@ func TestRegisterPanicsOnDuplicate(t *testing.T) {
 		Run:  func(context.Context, *RunContext) (any, error) { return nil, nil },
 	})
 }
+
+// TestMachineSweepUnlinked: this package's own test binary does not
+// import internal/sweep, so the machine-sweep experiment must be
+// registered (catalog, canonicalization and goldens all work) but
+// refuse to run with a clear linking error rather than a silent no-op.
+func TestMachineSweepUnlinked(t *testing.T) {
+	e, ok := Lookup("machine-sweep")
+	if !ok {
+		t.Fatal("machine-sweep not registered")
+	}
+	if !e.UsesMachine {
+		t.Error("machine-sweep must honor Spec.Machine (it is the base machine)")
+	}
+	if _, err := Canonicalize(Spec{Experiment: "sweep"}); err != nil {
+		t.Errorf("machine-sweep default spec does not canonicalize: %v", err)
+	}
+	_, err := New().Run(context.Background(), Spec{Experiment: "machine-sweep"})
+	if err == nil || !strings.Contains(err.Error(), "not linked") {
+		t.Fatalf("err = %v, want a linking error", err)
+	}
+}
+
+func TestRegisterMachineSweepValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RegisterMachineSweep(nil) did not panic")
+		}
+	}()
+	RegisterMachineSweep(nil, nil)
+}
+
+// TestCoerceValueExported: the exported coercion matches what Run does
+// to parameters, kind by kind.
+func TestCoerceValueExported(t *testing.T) {
+	for _, tc := range []struct {
+		kind Kind
+		in   any
+		want any
+	}{
+		{Int, 2.0, 2},
+		{Uint, 7, uint64(7)},
+		{Float, 3, 3.0},
+		{Text, "expected", "expected"},
+		{Bool, true, true},
+	} {
+		got, err := CoerceValue(tc.kind, tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("CoerceValue(%v, %v) = %v, %v; want %v", tc.kind, tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := CoerceValue(Int, "nope"); err == nil {
+		t.Error("CoerceValue coerced a string to int")
+	}
+	if got, err := CoerceValue(Floats, []any{1, 2.5}); err != nil {
+		t.Errorf("CoerceValue floats: %v", err)
+	} else if f := got.([]float64); len(f) != 2 || f[1] != 2.5 {
+		t.Errorf("CoerceValue floats = %v", got)
+	}
+}
+
+// TestExperimentParamLookup covers the exported parameter-declaration
+// lookup the sweep layer validates axis fields against.
+func TestExperimentParamLookup(t *testing.T) {
+	fig7, _ := Lookup("figure7")
+	def, ok := fig7.Param("seed")
+	if !ok || def.Kind != Uint {
+		t.Errorf("figure7 seed: ok=%v def=%+v", ok, def)
+	}
+	if _, ok := fig7.Param("bogus"); ok {
+		t.Error("phantom parameter resolved")
+	}
+}

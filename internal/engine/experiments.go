@@ -673,6 +673,52 @@ func init() {
 		Report: reportMultichip,
 	})
 
+	Register(Experiment{
+		Name:        "plan-multichip",
+		UsesMachine: true,
+		Title:       "Multi-chip planning: custom photonic links + yield-aware floorplans",
+		Doc: "Extends the Section-6 multichip partitioning with a configurable heralded photonic-link model and defect-yield spare-tile provisioning (internal/layout): " +
+			"chips are re-partitioned until the provisioned floorplan (spares included) honors the edge limit.",
+		Params: []ParamDef{
+			{Name: "n-bits", Kind: Ints, Default: []int{128, 512, 1024, 2048}, Doc: "modulus widths to partition"},
+			{Name: "max-edge-cm", Kind: Float, Default: 33.0, Doc: "maximum chip edge in cm"},
+			{Name: "max-links", Kind: Int, Default: 0, Doc: "links available per boundary (0 = unlimited)"},
+			{Name: "attempt-hz", Kind: Float, Default: 1e6, Doc: "photonic-link entanglement-attempt repetition rate"},
+			{Name: "success-prob", Kind: Float, Default: 1e-3, Doc: "heralding probability per attempt"},
+			{Name: "raw-fidelity", Kind: Float, Default: 0.92, Doc: "fidelity of a heralded raw pair"},
+			{Name: "target-fidelity", Kind: Float, Default: 0.99, Doc: "required post-purification fidelity"},
+			{Name: "max-purify-rounds", Kind: Int, Default: 12, Doc: "purification-ladder depth bound"},
+			{Name: "cell-defect-prob", Kind: Float, Default: 0.0, Doc: "per-cell fabrication defect probability (0 = perfect fabrication, no spares)"},
+			{Name: "yield-target", Kind: Float, Default: 0.99, Doc: "probability each chip fields its required logical qubits"},
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			link := multichip.LinkParams{
+				AttemptHz:       rc.Params.Float("attempt-hz"),
+				SuccessProb:     rc.Params.Float("success-prob"),
+				RawFidelity:     rc.Params.Float("raw-fidelity"),
+				TargetFidelity:  rc.Params.Float("target-fidelity"),
+				MaxPurifyRounds: rc.Params.Int("max-purify-rounds"),
+			}
+			if err := link.Validate(); err != nil {
+				return nil, err
+			}
+			var rows []multichip.YieldPartition
+			for _, n := range rc.Params.Ints("n-bits") {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				pt, err := multichip.PlanProvisioned(n, rc.Params.Float("max-edge-cm"), rc.Params.Int("max-links"),
+					link, rc.Tech, rc.Params.Float("cell-defect-prob"), rc.Params.Float("yield-target"))
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, pt)
+			}
+			return rows, nil
+		},
+		Report: reportPlanMultichip,
+	})
+
 	// ARQ pipeline stages: the circuit front end as registry experiments,
 	// so cmd/arq drives the same front door as everything else.
 

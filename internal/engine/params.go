@@ -165,6 +165,11 @@ func paramNames(defs []ParamDef) string {
 	return strings.Join(names, ", ")
 }
 
+// CoerceValue converts v to the canonical Go type of kind k — the same
+// coercion Run applies to Spec parameters, exported so the sweep layer
+// canonicalizes axis values exactly as point canonicalization will.
+func CoerceValue(k Kind, v any) (any, error) { return coerce(k, v) }
+
 // coerce converts v to the canonical Go type of kind k.
 func coerce(k Kind, v any) (any, error) {
 	switch k {

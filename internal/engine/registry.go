@@ -44,12 +44,18 @@ type Experiment struct {
 
 // HasParam reports whether the experiment declares the named parameter.
 func (e *Experiment) HasParam(name string) bool {
+	_, ok := e.Param(name)
+	return ok
+}
+
+// Param returns the declaration of the named parameter.
+func (e *Experiment) Param(name string) (ParamDef, bool) {
 	for _, d := range e.Params {
 		if d.Name == name {
-			return true
+			return d, true
 		}
 	}
-	return false
+	return ParamDef{}, false
 }
 
 var (

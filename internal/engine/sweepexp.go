@@ -1,0 +1,68 @@
+package engine
+
+// The machine-sweep experiment fans one base experiment out over a
+// machine grid (param-set × level × bandwidth) — the evaluation shape
+// of the paper's Figures 8–10 and the memory-hierarchy follow-up
+// (quant-ph/0604070). Its implementation lives in internal/sweep, which
+// depends on this package, so the Run/Report pair arrives through
+// RegisterMachineSweep at that package's init: a dependency inversion
+// that keeps registration, parameter validation, canonicalization and
+// the golden Specs here without an import cycle. Anything that links
+// internal/sweep (the facade, the serving layer, the CLIs) gets a
+// working machine-sweep; a binary that does not gets a clear error
+// instead of a silent no-op.
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+var machineSweepHook struct {
+	run    func(ctx context.Context, rc *RunContext) (any, error)
+	report func(w io.Writer, res Result) error
+}
+
+// RegisterMachineSweep installs the machine-sweep implementation.
+// Called exactly once, from internal/sweep's init; a second call (or a
+// nil run function) panics, as Register does for malformed entries.
+func RegisterMachineSweep(run func(ctx context.Context, rc *RunContext) (any, error), report func(w io.Writer, res Result) error) {
+	if run == nil {
+		panic("engine: RegisterMachineSweep needs a run function")
+	}
+	if machineSweepHook.run != nil {
+		panic("engine: machine-sweep implementation already registered")
+	}
+	machineSweepHook.run = run
+	machineSweepHook.report = report
+}
+
+func init() {
+	Register(Experiment{
+		Name:        "machine-sweep",
+		UsesMachine: true,
+		Aliases:     []string{"sweep"},
+		Title:       "Machine-grid batch sweep over one experiment",
+		Doc: "Fans one base experiment out over a param-set × level × bandwidth machine grid and aggregates per-point results with status and timing (the quant-ph/0604070 evaluation shape). " +
+			"Spec.Machine supplies the base machine the axes override. The async job surface (POST /v1/sweeps) runs the same expansion with arbitrary axes.",
+		Params: []ParamDef{
+			{Name: "experiment", Kind: Text, Default: "ec-latency", Doc: "base experiment to fan out (must honor Spec.Machine; must not be machine-sweep itself)"},
+			{Name: "param-sets", Kind: Text, Default: "expected", Doc: "comma-separated technology parameter sets to sweep (empty skips the axis)"},
+			{Name: "levels", Kind: Ints, Default: []int{1, 2}, Doc: "recursion levels to sweep (empty list skips the axis)"},
+			{Name: "bandwidths", Kind: Ints, Default: []int{2, 4}, Doc: "channel bandwidths to sweep (empty list skips the axis)"},
+			{Name: "base-params", Kind: Text, Doc: "JSON object of base-experiment parameter overrides (optional; the text is hashed verbatim, so keep one spelling per sweep — or use POST /v1/sweeps, whose SweepSpec canonicalizes fully)"},
+		},
+		Run: func(ctx context.Context, rc *RunContext) (any, error) {
+			if machineSweepHook.run == nil {
+				return nil, fmt.Errorf("machine-sweep: implementation not linked (import qla/internal/sweep)")
+			}
+			return machineSweepHook.run(ctx, rc)
+		},
+		Report: func(w io.Writer, res Result) error {
+			if machineSweepHook.report == nil {
+				return reportJSON(w, res)
+			}
+			return machineSweepHook.report(w, res)
+		},
+	})
+}

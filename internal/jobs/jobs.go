@@ -1,0 +1,466 @@
+// Package jobs is the in-process async job manager of the QLA serving
+// layer. A sweep over a machine grid can run for minutes — far past any
+// sane HTTP request deadline — so the serving layer submits it here and
+// returns immediately: Submit hands back a job keyed by a
+// content-addressed ID (the canonical SweepSpec hash), the job runs
+// detached from the submitting request, progress counters
+// (done/total/cached/failed) stream to any number of subscribers (the
+// SSE endpoint), and the finished result bytes stay retrievable until a
+// TTL expires. The store is bounded: expired and oldest-finished jobs
+// are evicted to admit new work, and submission fails cleanly when
+// every stored job is still running. Because IDs are content
+// addresses, re-submitting identical work while a job lives — running
+// or finished — joins it instead of recomputing.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Finished reports whether the state is terminal.
+func (s State) Finished() bool { return s != StateRunning }
+
+// Progress carries a job's monotonic completion counters.
+type Progress struct {
+	Total  int `json:"total"`
+	Done   int `json:"done"`
+	Cached int `json:"cached"`
+	Failed int `json:"failed"`
+}
+
+// Config sizes a Manager. The zero value is usable: 256 stored jobs,
+// 256 MiB of retained result bytes, 1 h retention of finished jobs.
+type Config struct {
+	// MaxJobs bounds the job store, running and finished together.
+	MaxJobs int
+	// MaxResultBytes bounds the total result bytes retained across
+	// finished jobs (the per-point payloads duplicate what the result
+	// cache holds, so the store must carry its own budget; negative =
+	// unbounded). When a settling job pushes the total over budget,
+	// older finished jobs are evicted first; the newest result is
+	// always kept even if it alone exceeds the budget — dropping it
+	// would turn a completed sweep into an unretrievable one.
+	MaxResultBytes int64
+	// TTL is how long finished jobs stay retrievable.
+	TTL time.Duration
+}
+
+// Manager owns the job store. Construct with NewManager; one Manager is
+// safe for any number of concurrent submitters, pollers and
+// subscribers.
+type Manager struct {
+	cfg         Config
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	resultBytes int64
+
+	submitted, deduped, completed, failed, cancelled, evicted atomic.Uint64
+}
+
+// NewManager builds a Manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 256
+	}
+	if cfg.MaxResultBytes == 0 {
+		cfg.MaxResultBytes = 256 << 20
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = time.Hour
+	}
+	return &Manager{cfg: cfg, jobs: make(map[string]*Job)}
+}
+
+// Job is one asynchronous execution. All methods are safe for
+// concurrent use.
+type Job struct {
+	id      string
+	mgr     *Manager
+	created time.Time
+	cancel  context.CancelFunc
+
+	mu              sync.Mutex
+	state           State
+	cancelRequested bool
+	progress        Progress
+	result          []byte
+	charged         bool // result bytes counted against the store budget
+	err             error
+	finished        time.Time
+	subs            map[chan struct{}]struct{}
+}
+
+// Snapshot is a point-in-time view of a job, JSON-shaped for the
+// polling endpoint.
+type Snapshot struct {
+	ID             string    `json:"id"`
+	State          State     `json:"state"`
+	Progress       Progress  `json:"progress"`
+	Created        time.Time `json:"created"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	Error          string    `json:"error,omitempty"`
+}
+
+// Submit registers a job under id and starts run in its own goroutine,
+// detached from the submitter (a disconnecting client must not kill a
+// sweep other clients may be watching). If a job with the same id is
+// already running, or done within the TTL, that job is returned with
+// created=false and nothing new starts: IDs are content addresses, so
+// identical work collapses. A failed or cancelled job does not block
+// its address — re-submission evicts it and retries fresh. A full
+// store of running jobs rejects the submission.
+//
+// run receives a cancellable context (Cancel fires it) and a report
+// callback for progress updates; its returned bytes become the job
+// result. A nil error with the context cancelled still records the job
+// as done — the work finished despite the cancel racing it.
+func (m *Manager) Submit(id string, total int, run func(ctx context.Context, report func(Progress)) ([]byte, error)) (j *Job, created bool, err error) {
+	if id == "" {
+		return nil, false, fmt.Errorf("jobs: empty job ID")
+	}
+	now := time.Now()
+	m.mu.Lock()
+	m.evictExpiredLocked(now)
+	if j, ok := m.jobs[id]; ok {
+		j.mu.Lock()
+		alive := j.state == StateDone || (j.state == StateRunning && !j.cancelRequested)
+		j.mu.Unlock()
+		if alive {
+			m.mu.Unlock()
+			m.deduped.Add(1)
+			return j, false, nil
+		}
+		// A failed or cancelled job must not squat on its content
+		// address until the TTL: the whole point of re-submitting is to
+		// retry, so the dead job makes way for a fresh one. A
+		// cancel-requested job still draining counts as dead too — it
+		// is destined for StateCancelled, and joining it would turn the
+		// retry into a 410. Its goroutine settles harmlessly into the
+		// evicted Job object.
+		m.dropLocked(id, j)
+	}
+	if len(m.jobs) >= m.cfg.MaxJobs && !m.evictOldestFinishedLocked(nil) {
+		m.mu.Unlock()
+		return nil, false, fmt.Errorf("jobs: store full (%d jobs, all running)", m.cfg.MaxJobs)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j = &Job{
+		id:      id,
+		mgr:     m,
+		created: now,
+		cancel:  cancel,
+		state:   StateRunning,
+		progress: Progress{
+			Total: total,
+		},
+		subs: make(map[chan struct{}]struct{}),
+	}
+	m.jobs[id] = j
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	go j.execute(ctx, run)
+	return j, true, nil
+}
+
+// Get returns the job stored under id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpiredLocked(time.Now())
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// dropLocked removes a job from the store, refunding any result bytes
+// it had charged against the budget.
+func (m *Manager) dropLocked(id string, j *Job) {
+	delete(m.jobs, id)
+	j.mu.Lock()
+	if j.charged {
+		m.resultBytes -= int64(len(j.result))
+		j.charged = false
+	}
+	j.mu.Unlock()
+	m.evicted.Add(1)
+}
+
+// evictExpiredLocked drops finished jobs older than the TTL.
+func (m *Manager) evictExpiredLocked(now time.Time) {
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		expired := j.state.Finished() && now.Sub(j.finished) > m.cfg.TTL
+		j.mu.Unlock()
+		if expired {
+			m.dropLocked(id, j)
+		}
+	}
+}
+
+// evictOldestFinishedLocked drops the longest-finished job (other than
+// keep, which may be nil) to make room, reporting whether it found a
+// victim.
+func (m *Manager) evictOldestFinishedLocked(keep *Job) bool {
+	var (
+		victim    string
+		victimJob *Job
+		oldest    time.Time
+	)
+	for id, j := range m.jobs {
+		if j == keep {
+			continue
+		}
+		j.mu.Lock()
+		fin, at := j.state.Finished(), j.finished
+		j.mu.Unlock()
+		if fin && (victim == "" || at.Before(oldest)) {
+			victim, victimJob, oldest = id, j, at
+		}
+	}
+	if victim == "" {
+		return false
+	}
+	m.dropLocked(victim, victimJob)
+	return true
+}
+
+// noteResult charges a settled job's result bytes against the store
+// budget, evicting older finished jobs until it holds. The settling
+// job itself is exempt from eviction: even a result larger than the
+// whole budget is kept, because dropping it would turn a completed
+// sweep into an unretrievable one.
+func (m *Manager) noteResult(j *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.jobs[j.id]; !ok || cur != j {
+		return // evicted before settling finished accounting
+	}
+	j.mu.Lock()
+	n := int64(len(j.result))
+	if j.charged || n == 0 {
+		j.mu.Unlock()
+		return
+	}
+	j.charged = true
+	j.mu.Unlock()
+	m.resultBytes += n
+	max := m.cfg.MaxResultBytes
+	if max < 0 {
+		return
+	}
+	// When the settling result alone breaches the budget, no eviction
+	// can satisfy it — destroying the other jobs' still-valid results
+	// would gain nothing. Budget the others on their own instead, so
+	// retained memory stays bounded by MaxResultBytes plus the one
+	// oversized (and exempt) result.
+	overBudget := func() bool {
+		if n > max {
+			return m.resultBytes-n > max
+		}
+		return m.resultBytes > max
+	}
+	for overBudget() {
+		if !m.evictOldestFinishedLocked(j) {
+			return
+		}
+	}
+}
+
+// execute runs the job body and records the terminal state. A panic
+// escaping run must not strand a running job (pollers would wait
+// forever); it is converted to a failure.
+func (j *Job) execute(ctx context.Context, run func(ctx context.Context, report func(Progress)) ([]byte, error)) {
+	defer j.cancel() // release the context's resources once settled
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		j.settle(nil, fmt.Errorf("jobs: job %s panicked: %v", j.id, recover()))
+	}()
+	res, err := run(ctx, j.report)
+	completed = true
+	j.settle(res, err)
+}
+
+// settle records the terminal state, wakes subscribers and charges the
+// result against the manager's byte budget.
+func (j *Job) settle(res []byte, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		j.mgr.completed.Add(1)
+	case j.cancelRequested && errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err
+		j.mgr.cancelled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err
+		j.mgr.failed.Add(1)
+	}
+	j.wakeLocked()
+	j.mu.Unlock()
+	if err == nil {
+		j.mgr.noteResult(j)
+	}
+}
+
+// report is the progress callback handed to the job body. Updates are
+// kept monotonic (a stale report never rolls Done backwards) and every
+// update wakes the subscribers.
+func (j *Job) report(p Progress) {
+	j.mu.Lock()
+	if p.Done >= j.progress.Done {
+		j.progress = p
+	}
+	j.wakeLocked()
+	j.mu.Unlock()
+}
+
+// wakeLocked nudges every subscriber (coalescing: a subscriber that is
+// already flagged stays flagged).
+func (j *Job) wakeLocked() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ID returns the job's content-addressed identifier.
+func (j *Job) ID() string { return j.id }
+
+// Snapshot returns a point-in-time view of the job.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:       j.id,
+		State:    j.state,
+		Progress: j.progress,
+		Created:  j.created,
+	}
+	if j.state.Finished() {
+		s.ElapsedSeconds = j.finished.Sub(j.created).Seconds()
+	} else {
+		s.ElapsedSeconds = time.Since(j.created).Seconds()
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Result returns the stored result bytes together with the snapshot
+// that qualifies them; the bytes are non-nil only in StateDone.
+func (j *Job) Result() ([]byte, Snapshot) {
+	snap := j.Snapshot()
+	j.mu.Lock()
+	res := j.result
+	j.mu.Unlock()
+	if snap.State != StateDone {
+		return nil, snap
+	}
+	return res, snap
+}
+
+// Cancel requests cancellation of a running job (a no-op on a finished
+// one) and returns the resulting snapshot. The job reaches
+// StateCancelled only when its body returns the context's error.
+func (j *Job) Cancel() Snapshot {
+	j.mu.Lock()
+	if !j.state.Finished() {
+		j.cancelRequested = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return j.Snapshot()
+}
+
+// Subscribe registers a wake channel: it receives (coalesced) signals
+// whenever the job's progress or state changes. The caller reads the
+// current Snapshot after each wake. stop unregisters; it must be
+// called.
+func (j *Job) Subscribe() (wake <-chan struct{}, stop func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// Stats is a point-in-time snapshot of the manager's counters.
+type Stats struct {
+	// Submitted counts jobs actually started; Deduped counts
+	// submissions that joined an existing job instead.
+	Submitted uint64 `json:"submitted"`
+	Deduped   uint64 `json:"deduped"`
+	// Completed, Failed and Cancelled count terminal outcomes.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	// Evicted counts jobs dropped by TTL or store pressure.
+	Evicted uint64 `json:"evicted"`
+	// Running and Stored describe the current store; ResultBytes is the
+	// retained result total counted against MaxResultBytes.
+	Running     int   `json:"running"`
+	Stored      int   `json:"stored"`
+	ResultBytes int64 `json:"result_bytes"`
+	// MaxJobs, MaxResultBytes and TTLSeconds echo the configuration.
+	MaxJobs        int     `json:"max_jobs"`
+	MaxResultBytes int64   `json:"max_result_bytes"`
+	TTLSeconds     float64 `json:"ttl_seconds"`
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	stored := len(m.jobs)
+	resultBytes := m.resultBytes
+	running := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.state.Finished() {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	return Stats{
+		Submitted:      m.submitted.Load(),
+		Deduped:        m.deduped.Load(),
+		Completed:      m.completed.Load(),
+		Failed:         m.failed.Load(),
+		Cancelled:      m.cancelled.Load(),
+		Evicted:        m.evicted.Load(),
+		Running:        running,
+		Stored:         stored,
+		ResultBytes:    resultBytes,
+		MaxJobs:        m.cfg.MaxJobs,
+		MaxResultBytes: m.cfg.MaxResultBytes,
+		TTLSeconds:     m.cfg.TTL.Seconds(),
+	}
+}

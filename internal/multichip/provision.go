@@ -1,0 +1,92 @@
+package multichip
+
+// Yield-aware multi-chip planning. Section 6's redundancy argument —
+// "defects can be diagnosed and masked out in software" — means a real
+// chip must carry spare tiles beyond its logical requirement, and spare
+// tiles are real area: provisioning can push a chip past the edge limit
+// that sized the partition, forcing more chips. PlanProvisioned closes
+// that loop, combining the photonic-link partition model with
+// internal/layout's defect-yield provisioning.
+
+import (
+	"fmt"
+
+	"qla/internal/iontrap"
+	"qla/internal/layout"
+)
+
+// YieldPartition augments a Partition with defect-yield provisioning:
+// the spare tiles each chip carries so it fields its required logical
+// qubits with probability at least YieldTarget, and the provisioned
+// chip edge those spares cost.
+type YieldPartition struct {
+	Partition
+	// CellDefectProb is the per-cell fabrication defect probability
+	// (0 means perfect fabrication: no spares).
+	CellDefectProb float64 `json:"cell_defect_prob"`
+	// YieldTarget is the per-chip probability of fielding QubitsPerChip
+	// usable tiles.
+	YieldTarget float64 `json:"yield_target"`
+	// TileYield is the resulting probability that one tile is usable.
+	TileYield float64 `json:"tile_yield"`
+	// SpareTiles is the per-chip spare provision.
+	SpareTiles int `json:"spare_tiles"`
+	// ProvisionedQubitsPerChip is QubitsPerChip + SpareTiles.
+	ProvisionedQubitsPerChip int `json:"provisioned_qubits_per_chip"`
+	// ProvisionedEdgeCM is the chip edge including spares; it, not the
+	// bare ChipEdgeCM, is what honors the partition's edge limit.
+	ProvisionedEdgeCM float64 `json:"provisioned_edge_cm"`
+}
+
+// PlanProvisioned partitions like Plan and then provisions each chip
+// with the spare tiles the defect model demands, growing the chip count
+// until the provisioned floorplan honors the edge limit.
+func PlanProvisioned(nBits int, maxEdgeCM float64, maxLinks int, lp LinkParams, p iontrap.Params, cellDefectProb, yieldTarget float64) (YieldPartition, error) {
+	if cellDefectProb < 0 || cellDefectProb > 1 {
+		return YieldPartition{}, fmt.Errorf("multichip: cell defect probability %g outside [0,1]", cellDefectProb)
+	}
+	// Validate the yield target here, not just inside SparesNeeded: its
+	// tileYield==1 fast path would otherwise let a perfect-fabrication
+	// plan (the default) echo a nonsense target back in its results.
+	if yieldTarget <= 0 || yieldTarget >= 1 {
+		return YieldPartition{}, fmt.Errorf("multichip: yield target %g outside (0,1)", yieldTarget)
+	}
+	base, err := Plan(nBits, maxEdgeCM, maxLinks, lp, p)
+	if err != nil {
+		return YieldPartition{}, err
+	}
+	out := YieldPartition{
+		Partition:      base,
+		CellDefectProb: cellDefectProb,
+		YieldTarget:    yieldTarget,
+		TileYield:      layout.TileYield(cellDefectProb),
+	}
+	// Spares are per-chip area: if provisioning breaks the edge limit,
+	// shrink chips (more of them) until it holds again.
+	chips := base.Chips
+	for {
+		perChip := (base.LogicalQubits + chips - 1) / chips
+		spares, err := layout.SparesNeeded(perChip, out.TileYield, yieldTarget)
+		if err != nil {
+			return YieldPartition{}, err
+		}
+		provisioned, err := layout.NewFloorplan(perChip + spares)
+		if err != nil {
+			return YieldPartition{}, err
+		}
+		if provisioned.EdgeCM() <= maxEdgeCM || chips > base.LogicalQubits {
+			bare, err := layout.NewFloorplan(perChip)
+			if err != nil {
+				return YieldPartition{}, err
+			}
+			out.Chips = chips
+			out.QubitsPerChip = perChip
+			out.ChipEdgeCM = bare.EdgeCM()
+			out.SpareTiles = spares
+			out.ProvisionedQubitsPerChip = perChip + spares
+			out.ProvisionedEdgeCM = provisioned.EdgeCM()
+			return out, nil
+		}
+		chips++
+	}
+}

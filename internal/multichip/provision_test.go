@@ -1,0 +1,100 @@
+package multichip
+
+import (
+	"strings"
+	"testing"
+
+	"qla/internal/iontrap"
+)
+
+func TestPlanProvisionedPerfectFabrication(t *testing.T) {
+	lp := DefaultLinkParams()
+	p := iontrap.Expected()
+	base, err := Plan(512, 33, 0, lp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yp, err := PlanProvisioned(512, 33, 0, lp, p, 0, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yp.TileYield != 1 || yp.SpareTiles != 0 {
+		t.Errorf("perfect fabrication provisioned spares: %+v", yp)
+	}
+	if yp.Chips != base.Chips || yp.QubitsPerChip != base.QubitsPerChip {
+		t.Errorf("defect-free provisioning changed the partition: %+v vs %+v", yp.Partition, base)
+	}
+	if yp.ProvisionedEdgeCM != yp.ChipEdgeCM || yp.ProvisionedQubitsPerChip != yp.QubitsPerChip {
+		t.Errorf("provisioned quantities drifted with no spares: %+v", yp)
+	}
+}
+
+func TestPlanProvisionedAddsSpares(t *testing.T) {
+	lp := DefaultLinkParams()
+	p := iontrap.Expected()
+	yp, err := PlanProvisioned(512, 33, 0, lp, p, 1e-6, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yp.TileYield >= 1 || yp.TileYield <= 0 {
+		t.Fatalf("tile yield %g", yp.TileYield)
+	}
+	if yp.SpareTiles <= 0 {
+		t.Errorf("defective fabrication provisioned no spares: %+v", yp)
+	}
+	if yp.ProvisionedQubitsPerChip != yp.QubitsPerChip+yp.SpareTiles {
+		t.Errorf("provisioned qubits %d != %d + %d", yp.ProvisionedQubitsPerChip, yp.QubitsPerChip, yp.SpareTiles)
+	}
+	if yp.ProvisionedEdgeCM < yp.ChipEdgeCM {
+		t.Errorf("spares shrank the chip: %g < %g", yp.ProvisionedEdgeCM, yp.ChipEdgeCM)
+	}
+	if yp.ProvisionedEdgeCM > 33 {
+		t.Errorf("provisioned edge %g cm breaks the 33 cm limit", yp.ProvisionedEdgeCM)
+	}
+}
+
+// TestPlanProvisionedRepartitions: when spares would push a chip past
+// the edge limit, the plan absorbs them by using more chips. A tight
+// edge limit makes the effect visible at a modest defect probability.
+func TestPlanProvisionedRepartitions(t *testing.T) {
+	lp := DefaultLinkParams()
+	p := iontrap.Expected()
+	const edge = 12.0
+	base, err := Plan(512, edge, 0, lp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yp, err := PlanProvisioned(512, edge, 0, lp, p, 5e-6, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yp.ProvisionedEdgeCM > edge {
+		t.Errorf("provisioned edge %g cm breaks the %g cm limit", yp.ProvisionedEdgeCM, edge)
+	}
+	if yp.Chips < base.Chips {
+		t.Errorf("provisioning reduced the chip count: %d < %d", yp.Chips, base.Chips)
+	}
+	// The provisioned machine still fields every logical qubit.
+	if yp.Chips*yp.QubitsPerChip < yp.LogicalQubits {
+		t.Errorf("partition lost qubits: %d chips × %d < %d", yp.Chips, yp.QubitsPerChip, yp.LogicalQubits)
+	}
+}
+
+func TestPlanProvisionedValidation(t *testing.T) {
+	lp := DefaultLinkParams()
+	p := iontrap.Expected()
+	if _, err := PlanProvisioned(128, 33, 0, lp, p, -0.1, 0.99); err == nil || !strings.Contains(err.Error(), "defect probability") {
+		t.Errorf("negative defect prob: %v", err)
+	}
+	if _, err := PlanProvisioned(128, 33, 0, lp, p, 1e-6, 1.5); err == nil || !strings.Contains(err.Error(), "yield target") {
+		t.Errorf("bad yield target: %v", err)
+	}
+	if _, err := PlanProvisioned(128, 33, 0, lp, p, 1e-6, 0); err == nil {
+		t.Error("zero yield target accepted")
+	}
+	// The target is validated even when perfect fabrication would never
+	// consult it.
+	if _, err := PlanProvisioned(128, 33, 0, lp, p, 0, 5); err == nil || !strings.Contains(err.Error(), "yield target") {
+		t.Errorf("out-of-range yield target with zero defects: %v", err)
+	}
+}

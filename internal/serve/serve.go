@@ -26,6 +26,7 @@ import (
 
 	"qla/internal/cache"
 	"qla/internal/engine"
+	"qla/internal/jobs"
 	"qla/internal/sched"
 )
 
@@ -34,6 +35,11 @@ import (
 // Handler builds the mux from the same list.
 var Routes = []string{
 	"POST /v1/run",
+	"POST /v1/sweeps",
+	"GET /v1/jobs/{id}",
+	"GET /v1/jobs/{id}/events",
+	"GET /v1/jobs/{id}/result",
+	"DELETE /v1/jobs/{id}",
 	"GET /v1/experiments",
 	"GET /v1/stats",
 	"GET /healthz",
@@ -53,8 +59,21 @@ type Config struct {
 	// what ?timeout= may ask for.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
-	// MaxBodyBytes caps the POST /v1/run request body.
+	// MaxBodyBytes caps the POST /v1/run and POST /v1/sweeps request
+	// bodies.
 	MaxBodyBytes int64
+	// CacheDir enables the result cache's file persistence tier: run
+	// and sweep-point results survive a restart ("" = memory only).
+	CacheDir string
+	// MaxJobs, MaxJobBytes and JobTTL bound the async job store (0 =
+	// 256 jobs, 256 MiB of retained result bytes, finished jobs
+	// retained 1 h).
+	MaxJobs     int
+	MaxJobBytes int64
+	JobTTL      time.Duration
+	// SweepTimeout caps one sweep job's total runtime (0 = 30 min); a
+	// submission may ask for less with ?timeout=.
+	SweepTimeout time.Duration
 }
 
 // Server executes Specs over HTTP. Construct with New; one Server
@@ -64,14 +83,19 @@ type Server struct {
 	eng     *engine.Engine
 	cache   *cache.Cache
 	pool    *sched.Pool
+	jobs    *jobs.Manager
 	started time.Time
 
-	runRequests  atomic.Uint64
-	runsExecuted atomic.Uint64
+	runRequests   atomic.Uint64
+	runsExecuted  atomic.Uint64
+	sweepRequests atomic.Uint64
+	sweepPoints   atomic.Uint64
+	sweepCached   atomic.Uint64
+	sweepFailed   atomic.Uint64
 }
 
-// New builds a Server with its engine, cache and scheduler wired
-// together.
+// New builds a Server with its engine, cache, scheduler and job
+// manager wired together.
 func New(cfg Config) *Server {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 64 << 20
@@ -88,12 +112,26 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.SweepTimeout <= 0 {
+		cfg.SweepTimeout = 30 * time.Minute
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 256
+	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = time.Hour
+	}
 	pool := sched.New(cfg.Workers)
+	var copts []cache.Option
+	if cfg.CacheDir != "" {
+		copts = append(copts, cache.WithDir(cfg.CacheDir))
+	}
 	return &Server{
 		cfg:     cfg,
 		eng:     engine.New(engine.WithScheduler(pool)),
-		cache:   cache.New(cfg.CacheBytes),
+		cache:   cache.New(cfg.CacheBytes, copts...),
 		pool:    pool,
+		jobs:    jobs.NewManager(jobs.Config{MaxJobs: cfg.MaxJobs, MaxResultBytes: cfg.MaxJobBytes, TTL: cfg.JobTTL}),
 		started: time.Now(),
 	}
 }
@@ -104,10 +142,15 @@ func (s *Server) Config() Config { return s.cfg }
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
-		"POST /v1/run":        s.handleRun,
-		"GET /v1/experiments": s.handleExperiments,
-		"GET /v1/stats":       s.handleStats,
-		"GET /healthz":        s.handleHealthz,
+		"POST /v1/run":             s.handleRun,
+		"POST /v1/sweeps":          s.handleSweeps,
+		"GET /v1/jobs/{id}":        s.handleJob,
+		"GET /v1/jobs/{id}/events": s.handleJobEvents,
+		"GET /v1/jobs/{id}/result": s.handleJobResult,
+		"DELETE /v1/jobs/{id}":     s.handleJobCancel,
+		"GET /v1/experiments":      s.handleExperiments,
+		"GET /v1/stats":            s.handleStats,
+		"GET /healthz":             s.handleHealthz,
 	}
 	mux := http.NewServeMux()
 	for _, route := range Routes {
@@ -165,17 +208,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	timeout := s.cfg.DefaultTimeout
-	if q := r.URL.Query().Get("timeout"); q != "" {
-		d, err := time.ParseDuration(q)
-		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid timeout %q (want a positive Go duration, e.g. 30s)", q))
-			return
-		}
-		timeout = d
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
+	timeout, err := parseTimeout(r, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -269,6 +305,20 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// SweepStats aggregates the sweep workload's point-level counters.
+type SweepStats struct {
+	// Requests counts POST /v1/sweeps submissions (including ones that
+	// joined an existing job).
+	Requests uint64 `json:"requests"`
+	// Points, PointsCached and PointsFailed count grid points across
+	// every completed sweep job.
+	Points       uint64 `json:"points"`
+	PointsCached uint64 `json:"points_cached"`
+	PointsFailed uint64 `json:"points_failed"`
+	// PointCacheHitRatio is PointsCached/Points (0 when no points ran).
+	PointCacheHitRatio float64 `json:"point_cache_hit_ratio"`
+}
+
 // StatsBody is the GET /v1/stats payload.
 type StatsBody struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
@@ -277,11 +327,23 @@ type StatsBody struct {
 	RunsExecuted  uint64      `json:"runs_executed"`
 	Cache         cache.Stats `json:"cache"`
 	Scheduler     sched.Stats `json:"scheduler"`
+	Jobs          jobs.Stats  `json:"jobs"`
+	Sweeps        SweepStats  `json:"sweeps"`
 }
 
 // handleStats is GET /v1/stats: cache hit/miss/dedup counters, the
-// scheduler budget, and request totals.
+// scheduler budget, request totals, and the job-manager and sweep
+// workload counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sw := SweepStats{
+		Requests:     s.sweepRequests.Load(),
+		Points:       s.sweepPoints.Load(),
+		PointsCached: s.sweepCached.Load(),
+		PointsFailed: s.sweepFailed.Load(),
+	}
+	if sw.Points > 0 {
+		sw.PointCacheHitRatio = float64(sw.PointsCached) / float64(sw.Points)
+	}
 	writeJSON(w, http.StatusOK, StatsBody{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Experiments:   len(engine.Experiments()),
@@ -289,6 +351,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RunsExecuted:  s.runsExecuted.Load(),
 		Cache:         s.cache.Stats(),
 		Scheduler:     s.pool.Stats(),
+		Jobs:          s.jobs.Stats(),
+		Sweeps:        sw,
 	})
 }
 

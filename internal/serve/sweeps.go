@@ -1,0 +1,242 @@
+package serve
+
+// The async sweep surface: POST /v1/sweeps fans one base Spec out over
+// a machine/parameter grid behind the same cache and scheduler the
+// synchronous /v1/run path uses, and returns a job immediately. The
+// job ID is the canonical SweepSpec's content address, so identical
+// submissions — concurrent or repeated — collapse onto one job, and
+// every grid point is itself content-addressed: a re-submitted sweep
+// (after the job expires) replays its points from the result cache
+// rather than recomputing them. Progress is pollable (GET
+// /v1/jobs/{id}) and streamable as Server-Sent Events
+// (GET /v1/jobs/{id}/events).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"qla/internal/jobs"
+	"qla/internal/sweep"
+)
+
+// SubmitBody is the POST /v1/sweeps response payload.
+type SubmitBody struct {
+	// JobID is the sweep's content address; poll /v1/jobs/{id} with it.
+	JobID string `json:"job_id"`
+	// Existing reports that an identical sweep was already stored
+	// (running or finished) and this submission joined it.
+	Existing bool `json:"existing,omitempty"`
+	// Experiment is the canonical base experiment; Points the grid size.
+	Experiment string `json:"experiment"`
+	Points     int    `json:"points"`
+	// State and Progress snapshot the job at submission time.
+	State    jobs.State    `json:"state"`
+	Progress jobs.Progress `json:"progress"`
+}
+
+// parseTimeout resolves the ?timeout= query against a default and cap.
+func parseTimeout(r *http.Request, def, max time.Duration) (time.Duration, error) {
+	timeout := def
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("invalid timeout %q (want a positive Go duration, e.g. 30s)", q)
+		}
+		timeout = d
+	}
+	if timeout > max {
+		timeout = max
+	}
+	return timeout, nil
+}
+
+// handleSweeps is POST /v1/sweeps: decode the SweepSpec strictly,
+// expand it (full validation — every grid point canonicalizes, so a
+// sweep that submits is a sweep that runs), and submit it as an async
+// job keyed by the sweep's content address. The response is 202 for a
+// newly started job, 200 when the submission joined an existing one.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	s.sweepRequests.Add(1)
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, fmt.Errorf("reading sweep body: %w", err))
+		return
+	}
+	ss, err := sweep.DecodeSpec(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sw, err := sweep.Expand(ss)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout, err := parseTimeout(r, s.cfg.SweepTimeout, s.cfg.SweepTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	job, created, err := s.jobs.Submit(sw.Hash, len(sw.Points), func(ctx context.Context, report func(jobs.Progress)) ([]byte, error) {
+		runCtx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		runner := &sweep.Runner{Engine: s.eng, Cache: s.cache}
+		res, err := runner.Run(runCtx, sw, func(p sweep.Progress) {
+			report(jobs.Progress{Total: p.Total, Done: p.Done, Cached: p.Cached, Failed: p.Failed})
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.sweepPoints.Add(uint64(res.Total))
+		s.sweepCached.Add(uint64(res.Cached))
+		s.sweepFailed.Add(uint64(res.Failed))
+		return json.Marshal(res)
+	})
+	if err != nil {
+		// The bounded store is saturated with running jobs: ask the
+		// client to retry, nothing about the sweep itself is wrong.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	snap := job.Snapshot()
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	w.Header().Set("X-Sweep-Hash", sw.Hash)
+	status := http.StatusAccepted
+	if !created {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SubmitBody{
+		JobID:      job.ID(),
+		Existing:   !created,
+		Experiment: sw.Experiment,
+		Points:     len(sw.Points),
+		State:      snap.State,
+		Progress:   snap.Progress,
+	})
+}
+
+// jobForRequest resolves the {id} path segment, writing a 404 when the
+// job is unknown (or already evicted).
+func (s *Server) jobForRequest(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q (expired, evicted, or never submitted)", id))
+		return nil, false
+	}
+	return j, true
+}
+
+// handleJob is GET /v1/jobs/{id}: the polling surface — state and
+// progress counters.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobForRequest(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleJobResult is GET /v1/jobs/{id}/result: the aggregated sweep
+// Result bytes once the job is done; 409 while it runs, 410 after a
+// cancel, 500 with the job error after a failure.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobForRequest(w, r)
+	if !ok {
+		return
+	}
+	res, snap := j.Result()
+	switch snap.State {
+	case jobs.StateRunning:
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s still running (%d/%d points done); poll /v1/jobs/%s", snap.ID, snap.Progress.Done, snap.Progress.Total, snap.ID))
+	case jobs.StateCancelled:
+		writeError(w, http.StatusGone, fmt.Errorf("job %s was cancelled", snap.ID))
+	case jobs.StateFailed:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %s", snap.ID, snap.Error))
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Sweep-Hash", snap.ID)
+		w.Write(res)
+	}
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: request cancellation and
+// return the (possibly already terminal) snapshot.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobForRequest(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Cancel())
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: a Server-Sent Events
+// stream of progress snapshots. The first event is emitted
+// immediately; every progress change wakes the stream (coalesced —
+// intermediate counts may be skipped, but the sequence is monotonic,
+// Progress updates never roll backwards); the terminal event is named
+// "done" and carries the full job snapshot, after which the stream
+// closes. A disconnecting client only ends its own stream, never the
+// job.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobForRequest(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	wake, stop := j.Subscribe()
+	defer stop()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	var last *jobs.Progress
+	for {
+		snap := j.Snapshot()
+		if last == nil || snap.Progress != *last {
+			p := snap.Progress
+			last = &p
+			if err := writeEvent(w, "progress", p); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+		if snap.State.Finished() {
+			writeEvent(w, "done", snap)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE frame.
+func writeEvent(w io.Writer, event string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
+	return err
+}

@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"qla/internal/jobs"
+	"qla/internal/sweep"
+)
+
+// gridSweep is the acceptance-criteria sweep: 3 axes (param-set ×
+// level × bandwidth), 12 points, over the machine-aware EC-latency
+// analysis.
+const gridSweep = `{
+  "base": {"experiment": "ec-latency"},
+  "axes": [
+    {"field": "machine.param_set", "values": ["expected", "current"]},
+    {"field": "machine.level", "values": [1, 2]},
+    {"field": "machine.bandwidth", "values": [1, 2, 4]}
+  ]
+}`
+
+// fig7Sweep is a slower sweep (a few hundred ms) for tests that need
+// to observe a running job.
+func fig7Sweep(trials int) string {
+	return fmt.Sprintf(`{
+  "base": {"experiment": "figure7", "params": {"phys-errors": [0.004], "trials": %d, "seed": 3}},
+  "axes": [{"field": "params.seed", "values": [31, 32, 33]}]
+}`, trials)
+}
+
+func postSweep(t *testing.T, url, body string) (status int, sb SubmitBody, raw []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &sb); err != nil {
+			t.Fatalf("submit body not JSON: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode, sb, raw
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("body not JSON: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollJob polls /v1/jobs/{id} until the job reaches a terminal state.
+func pollJob(t *testing.T, base, id string) jobs.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var snap jobs.Snapshot
+		if status := getJSON(t, base+"/v1/jobs/"+id, &snap); status != http.StatusOK {
+			t.Fatalf("poll status %d", status)
+		}
+		if snap.State.Finished() {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", id, snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSweepSubmitPollResult is the acceptance-criteria test: a 3-axis
+// 12-point sweep submitted via POST /v1/sweeps completes; its per-point
+// results are byte-identical to the same Specs run one-by-one through
+// POST /v1/run (which reports them as cache hits); and re-submitting
+// the identical sweep joins the finished job instantly.
+func TestSweepSubmitPollResult(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	status, sb, raw := postSweep(t, ts.URL, gridSweep)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", status, raw)
+	}
+	if sb.Points != 12 || sb.Experiment != "ec-latency" || sb.Existing || sb.JobID == "" {
+		t.Fatalf("submit body %+v", sb)
+	}
+
+	snap := pollJob(t, ts.URL, sb.JobID)
+	if snap.State != jobs.StateDone || snap.Progress.Done != 12 || snap.Progress.Failed != 0 {
+		t.Fatalf("terminal snapshot %+v", snap)
+	}
+
+	var res sweep.Result
+	if status := getJSON(t, ts.URL+"/v1/jobs/"+sb.JobID+"/result", &res); status != http.StatusOK {
+		t.Fatalf("result status %d", status)
+	}
+	if res.Total != 12 || res.OK != 12 || res.Failed != 0 || res.SweepHash != sb.JobID {
+		t.Fatalf("sweep result: total=%d ok=%d failed=%d hash=%s", res.Total, res.OK, res.Failed, res.SweepHash)
+	}
+
+	// Per-point bit-identity with the synchronous path: running each
+	// point's canonical Spec through POST /v1/run must hit the cache the
+	// sweep populated and return exactly the bytes the sweep recorded.
+	ss, err := sweep.DecodeSpec([]byte(gridSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sweep.Expand(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range sw.Points {
+		status, xc, body := postRun(t, ts.URL, string(pt.Canonical.JSON))
+		if status != http.StatusOK {
+			t.Fatalf("point %d run status %d: %s", i, status, body)
+		}
+		if xc != "hit" {
+			t.Errorf("point %d missed the cache the sweep populated (X-Cache=%q)", i, xc)
+		}
+		if res.Points[i].SpecHash != pt.Canonical.Hash {
+			t.Errorf("point %d hash mismatch", i)
+		}
+		if !bytes.Equal(body, res.Points[i].Result) {
+			t.Errorf("point %d: /v1/run body differs from the sweep's recorded result", i)
+		}
+	}
+
+	// Identical re-submission joins the finished job: instant, no new
+	// execution.
+	status, sb2, _ := postSweep(t, ts.URL, gridSweep)
+	if status != http.StatusOK || !sb2.Existing || sb2.JobID != sb.JobID || sb2.State != jobs.StateDone {
+		t.Fatalf("re-submit: status=%d body=%+v", status, sb2)
+	}
+	if got := srv.jobs.Stats(); got.Submitted != 1 || got.Deduped != 1 {
+		t.Errorf("job stats %+v", got)
+	}
+}
+
+// TestSweepResubmitAfterExpiryServedFromCache: once the job itself has
+// expired, a re-submitted sweep runs as a fresh job whose points are
+// all served from the result cache.
+func TestSweepResubmitAfterExpiryServedFromCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobTTL: 30 * time.Millisecond})
+	_, sb, _ := postSweep(t, ts.URL, gridSweep)
+	pollJob(t, ts.URL, sb.JobID)
+	time.Sleep(70 * time.Millisecond) // expire the finished job
+
+	status, sb2, _ := postSweep(t, ts.URL, gridSweep)
+	if status != http.StatusAccepted || sb2.Existing {
+		t.Fatalf("expired sweep did not resubmit fresh: status=%d %+v", status, sb2)
+	}
+	pollJob(t, ts.URL, sb2.JobID)
+	var res sweep.Result
+	getJSON(t, ts.URL+"/v1/jobs/"+sb2.JobID+"/result", &res)
+	if res.Cached < res.Total*9/10 {
+		t.Errorf("re-submitted sweep served %d/%d from cache, want >= 90%%", res.Cached, res.Total)
+	}
+}
+
+// TestSweepPersistenceAcrossRestart: with a cache directory, a second
+// server process serves a re-submitted sweep's points from disk.
+func TestSweepPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{CacheDir: dir})
+	_, sb, _ := postSweep(t, ts1.URL, gridSweep)
+	pollJob(t, ts1.URL, sb.JobID)
+	ts1.Close()
+
+	srv2, ts2 := newTestServer(t, Config{CacheDir: dir})
+	_, sb2, _ := postSweep(t, ts2.URL, gridSweep)
+	pollJob(t, ts2.URL, sb2.JobID)
+	var res sweep.Result
+	getJSON(t, ts2.URL+"/v1/jobs/"+sb2.JobID+"/result", &res)
+	if res.Cached != res.Total {
+		t.Errorf("restarted server served %d/%d points from the persisted cache", res.Cached, res.Total)
+	}
+	if cs := srv2.CacheStats(); cs.DiskHits != uint64(res.Total) {
+		t.Errorf("cache stats %+v", cs)
+	}
+}
+
+// sseEvent is one parsed Server-Sent Event frame.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes an event stream until it closes or the deadline
+// passes.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var (
+		events []sseEvent
+		cur    sseEvent
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.name != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		}
+	}
+	return events
+}
+
+// TestSweepSSEMonotonicProgress: the events stream delivers monotonic
+// progress from the first snapshot to done == total, terminated by a
+// "done" event carrying the job snapshot.
+func TestSweepSSEMonotonicProgress(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, sb, _ := postSweep(t, ts.URL, fig7Sweep(40000))
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sb.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	events := readSSE(t, resp.Body) // the server closes the stream after "done"
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want at least progress+done: %+v", len(events), events)
+	}
+	last := -1
+	for i, ev := range events[:len(events)-1] {
+		if ev.name != "progress" {
+			t.Fatalf("event %d is %q, want progress", i, ev.name)
+		}
+		var p jobs.Progress
+		if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+			t.Fatalf("event %d data: %v", i, err)
+		}
+		if p.Total != 3 {
+			t.Errorf("event %d total %d", i, p.Total)
+		}
+		if p.Done < last {
+			t.Errorf("progress rolled back: %d after %d", p.Done, last)
+		}
+		last = p.Done
+	}
+	if last != 3 {
+		t.Errorf("final progress %d/3", last)
+	}
+	final := events[len(events)-1]
+	if final.name != "done" {
+		t.Fatalf("final event %q", final.name)
+	}
+	var snap jobs.Snapshot
+	if err := json.Unmarshal([]byte(final.data), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != jobs.StateDone || snap.Progress.Done != 3 {
+		t.Errorf("done snapshot %+v", snap)
+	}
+}
+
+// TestSweepCancel: DELETE /v1/jobs/{id} cancels a running sweep.
+func TestSweepCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, sb, _ := postSweep(t, ts.URL, fig7Sweep(120000))
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sb.JobID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	snap := pollJob(t, ts.URL, sb.JobID)
+	if snap.State != jobs.StateCancelled {
+		t.Fatalf("state after cancel: %+v", snap)
+	}
+	// The cancelled job has no result to fetch.
+	if status := getJSON(t, ts.URL+"/v1/jobs/"+sb.JobID+"/result", nil); status != http.StatusGone {
+		t.Errorf("result status %d, want 410", status)
+	}
+}
+
+// TestSweepErrorResponses: submission and job-surface client mistakes
+// map to typed statuses with the JSON error envelope.
+func TestSweepErrorResponses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name     string
+		body     string
+		status   int
+		contains string
+	}{
+		{"malformed JSON", `{"base":`, http.StatusBadRequest, "invalid sweep JSON"},
+		{"unknown field", `{"base":{"experiment":"ec-latency"},"bogus":1}`, http.StatusBadRequest, "bogus"},
+		{"trailing data", `{"base":{"experiment":"ec-latency"},"axes":[{"field":"machine.level","values":[1]}]} x`, http.StatusBadRequest, "trailing data"},
+		{"no axes", `{"base":{"experiment":"ec-latency"},"axes":[]}`, http.StatusBadRequest, "no axes"},
+		{"unknown axis field", `{"base":{"experiment":"ec-latency"},"axes":[{"field":"machine.warp","values":[1]}]}`, http.StatusBadRequest, "unknown axis field"},
+		{"bad base experiment", `{"base":{"experiment":"no-such"},"axes":[{"field":"machine.level","values":[1]}]}`, http.StatusBadRequest, "unknown experiment"},
+		{"duplicate point", `{"base":{"experiment":"ec-latency"},"axes":[{"field":"machine.level","values":[0,2]}]}`, http.StatusBadRequest, "same run"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, raw := postSweep(t, ts.URL, tc.body)
+			if status != tc.status {
+				t.Fatalf("status %d, want %d (%s)", status, tc.status, raw)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(raw, &eb); err != nil {
+				t.Fatalf("error envelope not JSON: %s", raw)
+			}
+			if !strings.Contains(eb.Error, tc.contains) {
+				t.Errorf("error %q does not contain %q", eb.Error, tc.contains)
+			}
+		})
+	}
+
+	t.Run("unknown job", func(t *testing.T) {
+		if status := getJSON(t, ts.URL+"/v1/jobs/nope", nil); status != http.StatusNotFound {
+			t.Errorf("status %d", status)
+		}
+		if status := getJSON(t, ts.URL+"/v1/jobs/nope/result", nil); status != http.StatusNotFound {
+			t.Errorf("result status %d", status)
+		}
+		if status := getJSON(t, ts.URL+"/v1/jobs/nope/events", nil); status != http.StatusNotFound {
+			t.Errorf("events status %d", status)
+		}
+	})
+
+	t.Run("result while running", func(t *testing.T) {
+		status, sb, _ := postSweep(t, ts.URL, fig7Sweep(120000))
+		if status != http.StatusAccepted {
+			t.Fatalf("submit status %d", status)
+		}
+		var snap jobs.Snapshot
+		getJSON(t, ts.URL+"/v1/jobs/"+sb.JobID, &snap)
+		if !snap.State.Finished() {
+			if status := getJSON(t, ts.URL+"/v1/jobs/"+sb.JobID+"/result", nil); status != http.StatusConflict {
+				t.Errorf("result status %d, want 409", status)
+			}
+		}
+		pollJob(t, ts.URL, sb.JobID)
+	})
+}
+
+// TestStatsIncludeJobsAndSweeps: /v1/stats carries the job-manager and
+// sweep counters, including the per-point cache-hit ratio.
+func TestStatsIncludeJobsAndSweeps(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobTTL: 20 * time.Millisecond})
+	_, sb, _ := postSweep(t, ts.URL, gridSweep)
+	pollJob(t, ts.URL, sb.JobID)
+	time.Sleep(50 * time.Millisecond)
+	_, sb2, _ := postSweep(t, ts.URL, gridSweep) // fresh job, cached points
+	pollJob(t, ts.URL, sb2.JobID)
+
+	var stats StatsBody
+	if status := getJSON(t, ts.URL+"/v1/stats", &stats); status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	if stats.Jobs.Submitted != 2 || stats.Jobs.Completed != 2 {
+		t.Errorf("job stats %+v", stats.Jobs)
+	}
+	if stats.Sweeps.Requests != 2 || stats.Sweeps.Points != 24 || stats.Sweeps.PointsCached != 12 {
+		t.Errorf("sweep stats %+v", stats.Sweeps)
+	}
+	if got := stats.Sweeps.PointCacheHitRatio; got < 0.49 || got > 0.51 {
+		t.Errorf("cache-hit ratio %f", got)
+	}
+}

@@ -1,0 +1,49 @@
+package sweep
+
+// Sweep-expansion overhead: the serving layer expands (and so fully
+// canonicalizes) every submitted SweepSpec before admitting it as a
+// job, so expansion sits on the request path. BENCH_PR5.json records a
+// snapshot; CI runs one iteration to keep the harness honest.
+
+import (
+	"fmt"
+	"testing"
+
+	"qla/internal/engine"
+)
+
+func benchGrid(levels int) Spec {
+	vals := make([]any, levels)
+	for i := range vals {
+		vals[i] = i + 1
+	}
+	return Spec{
+		Base: engine.Spec{Experiment: "ec-latency"},
+		Axes: []Axis{
+			{Field: "machine.param_set", Values: []any{"expected", "current"}},
+			{Field: "machine.level", Values: vals},
+			{Field: "machine.bandwidth", Values: []any{1, 2, 4}},
+		},
+	}
+}
+
+func BenchmarkSweepExpand(b *testing.B) {
+	for _, points := range []int{12, 96} {
+		spec := benchGrid(points / 6)
+		b.Run(fmt.Sprintf("points=%d", points), func(b *testing.B) {
+			b.ReportAllocs()
+			var sw *Sweep
+			for b.Loop() {
+				var err error
+				sw, err = Expand(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(sw.Points) != points {
+				b.Fatalf("expanded %d points", len(sw.Points))
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*points), "ns/point")
+		})
+	}
+}

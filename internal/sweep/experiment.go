@@ -1,0 +1,108 @@
+package sweep
+
+// The machine-sweep registry experiment: the synchronous face of this
+// package, so the param-set × level × bandwidth grid is also runnable
+// through Engine.Run, qlabench -exp machine-sweep, and POST /v1/run
+// (where the whole aggregated sweep Result is cached under the
+// machine-sweep Spec's own hash). The registration lives in
+// internal/engine (parameters, validation, goldens); only the Run and
+// Report bodies arrive from here, via engine.RegisterMachineSweep.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"qla/internal/engine"
+)
+
+func init() {
+	engine.RegisterMachineSweep(runMachineSweep, reportMachineSweep)
+}
+
+func runMachineSweep(ctx context.Context, rc *engine.RunContext) (any, error) {
+	baseName := rc.Params.Str("experiment")
+	baseExp, ok := engine.Lookup(baseName)
+	if !ok {
+		return nil, fmt.Errorf("machine-sweep: unknown base experiment %q", baseName)
+	}
+	if baseExp.Name == "machine-sweep" {
+		// A self-referential base would recurse through the registry
+		// (each nesting re-reads the same params) without bound.
+		return nil, fmt.Errorf("machine-sweep: cannot sweep machine-sweep itself")
+	}
+	base := engine.Spec{Experiment: baseExp.Name, Machine: rc.Machine}
+	if raw := rc.Params.Str("base-params"); raw != "" {
+		dec := json.NewDecoder(bytes.NewReader([]byte(raw)))
+		dec.DisallowUnknownFields()
+		var p engine.Params
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("machine-sweep: base-params: %w", err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("machine-sweep: base-params: trailing data after JSON object")
+		}
+		base.Params = p
+	}
+	var axes []Axis
+	if sets := splitComma(rc.Params.Str("param-sets")); len(sets) > 0 {
+		vals := make([]any, len(sets))
+		for i, s := range sets {
+			vals[i] = s
+		}
+		axes = append(axes, Axis{Field: "machine.param_set", Values: vals})
+	}
+	for _, ax := range []struct {
+		field string
+		vals  []int
+	}{
+		{"machine.level", rc.Params.Ints("levels")},
+		{"machine.bandwidth", rc.Params.Ints("bandwidths")},
+	} {
+		if len(ax.vals) == 0 {
+			continue
+		}
+		vals := make([]any, len(ax.vals))
+		for i, v := range ax.vals {
+			vals[i] = v
+		}
+		axes = append(axes, Axis{Field: ax.field, Values: vals})
+	}
+	sw, err := Expand(Spec{Base: base, Axes: axes})
+	if err != nil {
+		return nil, err
+	}
+	// Concurrency stays 0 (the scheduler-aware default): rc.Parallelism
+	// is the Monte Carlo worker width of ONE run, and using it to also
+	// multiply points in flight would oversubscribe unscheduled engines
+	// quadratically.
+	runner := &Runner{Engine: rc.Engine}
+	return runner.Run(ctx, sw, nil)
+}
+
+func reportMachineSweep(w io.Writer, res engine.Result) error {
+	data, ok := res.Data.(*Result)
+	if !ok {
+		raw, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", raw)
+		return err
+	}
+	return data.WriteTable(w)
+}
+
+// splitComma splits a comma-separated list, trimming blanks.
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package sweep
+
+// FuzzSweepDecode hardens the POST /v1/sweeps input path, mirroring
+// FuzzSpecDecode in internal/engine: arbitrary bytes through DecodeSpec
+// must produce a SweepSpec or an error, never a panic — and any input
+// that expands must expand *stably*: its canonical encoding must itself
+// decode strictly and re-expand to the same content address and the
+// same per-point hashes (otherwise the job ID would depend on how many
+// times a sweep bounced through the wire format).
+//
+//	go test ./internal/sweep -run '^$' -fuzz FuzzSweepDecode -fuzztime 30s
+
+import (
+	"testing"
+)
+
+func FuzzSweepDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{"base":{"experiment":"ec-latency"},"axes":[{"field":"machine.level","values":[1,2]}]}`,
+		`{"base":{"experiment":"ecc"},"axes":[{"field":"machine.param_set","values":["expected","current"]},{"field":"machine.bandwidth","values":[1,2,4]}]}`,
+		`{"base":{"experiment":"equation2","params":{"pth":0.001}},"axes":[{"field":"params.level","values":[1,2,3]}]}`,
+		`{"base":{"experiment":"run-chain","params":{"trials":10}},"axes":[{"field":"params.links","values":[2,3]}]}`,
+		`{"base":{"experiment":"figure7"},"axes":[{"field":"params.phys-errors","values":[[0.001],[0.002]]}]}`,
+		`{"base":{"experiment":"table1"},"axes":[{"field":"machine.level","values":[1]}]}`,
+		`{"base":{"experiment":"ec-latency"},"axes":[]}`,
+		`{"base":{"experiment":"ec-latency"},"axes":[{"field":"machine.level","values":[0,2]}]}`,
+		`{"axes":[{"field":"machine.level","values":[1]}]}`,
+		`{"base":{"experiment":"ec-latency"},"axes":[{"field":"machine.level","values":[1]}]} extra`,
+		`{"bogus":1}`,
+		`{"base":`,
+		`null`,
+		`[]`,
+		"\xff\xfe",
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := DecodeSpec(raw)
+		if err != nil {
+			return // malformed input must error, and it did
+		}
+		sw, err := Expand(s)
+		if err != nil {
+			return // decodes but fails validation: also fine
+		}
+		back, err := DecodeSpec(sw.JSON)
+		if err != nil {
+			t.Fatalf("canonical sweep JSON fails strict decode: %v\n%s", err, sw.JSON)
+		}
+		again, err := Expand(back)
+		if err != nil {
+			t.Fatalf("canonical sweep JSON fails to re-expand: %v\n%s", err, sw.JSON)
+		}
+		if again.Hash != sw.Hash {
+			t.Fatalf("sweep hash not stable across canonical round trip: %s vs %s\n%s", sw.Hash, again.Hash, sw.JSON)
+		}
+		if len(again.Points) != len(sw.Points) {
+			t.Fatalf("point count changed across round trip: %d vs %d", len(sw.Points), len(again.Points))
+		}
+		for i := range sw.Points {
+			if sw.Points[i].Canonical.Hash != again.Points[i].Canonical.Hash {
+				t.Fatalf("point %d hash not stable across canonical round trip", i)
+			}
+		}
+	})
+}

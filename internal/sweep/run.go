@@ -1,0 +1,240 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"qla/internal/cache"
+	"qla/internal/engine"
+)
+
+// cancelGrace is how long a cache-shared point computation may keep
+// running after its sweep's context is cancelled, for the sake of
+// singleflight followers collapsed onto it.
+const cancelGrace = 10 * time.Second
+
+// Runner executes an expanded Sweep's points.
+type Runner struct {
+	// Engine runs the points (required). Scheduler-equipped engines
+	// share their worker budget across points automatically: each
+	// point's run acquires its own grant, so a sweep never holds slots
+	// it is not using.
+	Engine *engine.Engine
+	// Cache, when non-nil, serves repeated points from their content
+	// address and stores fresh per-point Result bytes — the same cache
+	// the HTTP layer fronts /v1/run with, so sweep points and single
+	// runs share entries and a cached point's bytes replay verbatim.
+	Cache *cache.Cache
+	// Concurrency bounds how many points are in flight at once. 0 means
+	// GOMAXPROCS when the engine draws workers from a shared scheduler
+	// budget (the serving configuration), and 1 otherwise: on an
+	// unscheduled engine every concurrent Monte Carlo point would take
+	// its full GOMAXPROCS-wide pool, oversubscribing the machine
+	// quadratically.
+	Concurrency int
+}
+
+// Progress is a monotonic snapshot of a sweep run, delivered to the
+// Run callback after every point completes.
+type Progress struct {
+	Total  int `json:"total"`
+	Done   int `json:"done"`
+	Cached int `json:"cached"`
+	Failed int `json:"failed"`
+}
+
+// PointResult is the outcome of one grid point.
+type PointResult struct {
+	// Index is the point's position in the sweep's row-major order.
+	Index int `json:"index"`
+	// Coords are the axis values of the point (one per sweep field).
+	Coords []any `json:"coords"`
+	// SpecHash is the point Spec's content address.
+	SpecHash string `json:"spec_hash"`
+	// Status is "ok" or "error".
+	Status string `json:"status"`
+	// Cached reports whether the result replayed stored bytes.
+	Cached bool `json:"cached,omitempty"`
+	// Elapsed is the point's wall time (near zero on a cache hit).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Error carries the failure text when Status is "error".
+	Error string `json:"error,omitempty"`
+	// Result holds the marshaled engine Result bytes, verbatim — on a
+	// cache hit, byte-identical to the run that populated the entry.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Result aggregates a sweep run.
+type Result struct {
+	// Experiment is the canonical base experiment name.
+	Experiment string `json:"experiment"`
+	// SweepHash is the canonical SweepSpec's content address (the async
+	// job ID under which the serving layer ran it).
+	SweepHash string `json:"sweep_hash"`
+	// Fields is the coordinate schema: the axis fields in order.
+	Fields []string `json:"fields"`
+	// Total, OK, Cached and Failed count the points.
+	Total  int `json:"total"`
+	OK     int `json:"ok"`
+	Cached int `json:"cached"`
+	Failed int `json:"failed"`
+	// Elapsed is the whole sweep's wall time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Points holds every point in row-major sweep order.
+	Points []PointResult `json:"points"`
+}
+
+// Run executes every point of sw, honoring ctx: per-point failures are
+// recorded in the Result (Status "error") and the sweep continues, but
+// a cancelled or expired context aborts the whole run with its error.
+// progress, when non-nil, is called after each point completes with a
+// monotonic snapshot (never concurrently). The aggregated Result is
+// deterministic at any Concurrency: points land by index, and each
+// point's payload is bit-identical at any engine parallelism.
+func (r *Runner) Run(ctx context.Context, sw *Sweep, progress func(Progress)) (*Result, error) {
+	eng := r.Engine
+	if eng == nil {
+		eng = engine.New()
+	}
+	workers := r.Concurrency
+	if workers <= 0 {
+		if eng.HasScheduler() {
+			workers = runtime.GOMAXPROCS(0)
+		} else {
+			workers = 1
+		}
+	}
+	if workers > len(sw.Points) {
+		workers = len(sw.Points)
+	}
+
+	started := time.Now()
+	res := &Result{
+		Experiment: sw.Experiment,
+		SweepHash:  sw.Hash,
+		Fields:     sw.Fields,
+		Total:      len(sw.Points),
+		Points:     make([]PointResult, len(sw.Points)),
+	}
+
+	var (
+		mu   sync.Mutex // guards the counters and the progress callback
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	finish := func(pr PointResult) {
+		mu.Lock()
+		res.Points[pr.Index] = pr
+		if pr.Status == "ok" {
+			res.OK++
+		} else {
+			res.Failed++
+		}
+		if pr.Cached {
+			res.Cached++
+		}
+		if progress != nil {
+			progress(Progress{Total: res.Total, Done: res.OK + res.Failed, Cached: res.Cached, Failed: res.Failed})
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				finish(r.runPoint(ctx, eng, sw, i))
+			}
+		}()
+	}
+	for i := range sw.Points {
+		if ctx.Err() != nil {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// A deadline that fires after the last point already landed
+		// cleanly has cost nothing — don't throw away a fully computed
+		// sweep. Failed points disqualify the escape: when the deadline
+		// itself killed in-flight points, they are "complete" only as
+		// errors, and that run must report the deadline, not success.
+		// An explicit cancel stays a cancel even at 100%: the caller
+		// asked for the job's death, not its result.
+		clean := res.OK == res.Total
+		if !(clean && errors.Is(err, context.DeadlineExceeded)) {
+			return nil, err
+		}
+	}
+	res.Elapsed = time.Since(started)
+	return res, nil
+}
+
+// runPoint executes one point, through the cache when one is wired.
+func (r *Runner) runPoint(ctx context.Context, eng *engine.Engine, sw *Sweep, i int) PointResult {
+	pt := sw.Points[i]
+	pr := PointResult{
+		Index:    i,
+		Coords:   pt.Coords,
+		SpecHash: pt.Canonical.Hash,
+	}
+	started := time.Now()
+	var (
+		body []byte
+		hit  bool
+		err  error
+	)
+	if r.Cache != nil {
+		// Through a shared cache the computation may have singleflight
+		// followers from other callers (a concurrent /v1/run on the same
+		// Spec), so it must not die instantly with this sweep's context —
+		// the detachment serve.handleRun applies. But fully detached
+		// work would keep holding the shared scheduler budget until the
+		// sweep deadline after an explicit cancel, so cancellation
+		// propagates after a grace window: long enough for a collapsed
+		// follower's point to finish in the common case, short enough
+		// that a cancelled runaway sweep actually stops.
+		body, hit, err = r.Cache.GetOrCompute(ctx, pt.Canonical.Hash, func() ([]byte, error) {
+			runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+			defer cancel()
+			if deadline, ok := ctx.Deadline(); ok {
+				runCtx, cancel = context.WithDeadline(runCtx, deadline)
+				defer cancel()
+			}
+			stop := context.AfterFunc(ctx, func() {
+				timer := time.AfterFunc(cancelGrace, cancel)
+				// The compute's own deadline caps the timer's useful
+				// life; letting it fire against a finished context is a
+				// no-op, so no cleanup is needed beyond cancel itself.
+				_ = timer
+			})
+			defer stop()
+			out, err := eng.RunCanonical(runCtx, pt.Canonical)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(out)
+		})
+	} else {
+		var out engine.Result
+		if out, err = eng.RunCanonical(ctx, pt.Canonical); err == nil {
+			body, err = json.Marshal(out)
+		}
+	}
+	pr.Elapsed = time.Since(started)
+	pr.Cached = hit
+	if err != nil {
+		pr.Status = "error"
+		pr.Error = err.Error()
+		return pr
+	}
+	pr.Status = "ok"
+	pr.Result = body
+	return pr
+}

@@ -1,0 +1,97 @@
+package sweep
+
+// Compact human views of a sweep Result: an aligned table for
+// terminals and CSV for downstream analysis (the follow-up paper's
+// grids are exactly this shape). Both render one row per point with
+// its coordinates, status, cache provenance and timing; the full
+// per-point Result payloads stay in the JSON form.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteCSV renders the sweep as CSV: a header row of
+// index,<fields...>,status,cached,elapsed_ms,spec_hash,error followed
+// by one row per point in sweep order.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"index"}, r.Fields...)
+	header = append(header, "status", "cached", "elapsed_ms", "spec_hash", "error")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, pt := range r.Points {
+		row := []string{strconv.Itoa(pt.Index)}
+		for _, c := range pt.Coords {
+			row = append(row, coordString(c))
+		}
+		row = append(row,
+			pt.Status,
+			strconv.FormatBool(pt.Cached),
+			formatMS(pt.Elapsed),
+			pt.SpecHash,
+			pt.Error,
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable renders the sweep as an aligned text table with a summary
+// line.
+func (r *Result) WriteTable(w io.Writer) error {
+	fmt.Fprintf(w, "sweep %s over %s: %d points, %d ok (%d cached), %d failed, %.2fs\n",
+		shortHash(r.SweepHash), r.Experiment, r.Total, r.OK, r.Cached, r.Failed, r.Elapsed.Seconds())
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "idx")
+	for _, f := range r.Fields {
+		fmt.Fprintf(tw, "\t%s", f)
+	}
+	fmt.Fprint(tw, "\tstatus\tcached\tms\tspec\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(tw, "%d", pt.Index)
+		for _, c := range pt.Coords {
+			fmt.Fprintf(tw, "\t%s", coordString(c))
+		}
+		status := pt.Status
+		if pt.Error != "" {
+			status = "error: " + pt.Error
+		}
+		fmt.Fprintf(tw, "\t%s\t%v\t%s\t%s\n", status, pt.Cached, formatMS(pt.Elapsed), shortHash(pt.SpecHash))
+	}
+	return tw.Flush()
+}
+
+// coordString renders one coordinate compactly: strings bare (CSV and
+// the table add their own quoting where needed), everything else as
+// JSON so numbers and lists stay unambiguous.
+func coordString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(raw)
+}
+
+func formatMS(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

@@ -47,6 +47,7 @@ import (
 	"qla/internal/sched"
 	"qla/internal/shor"
 	"qla/internal/stabilizer"
+	"qla/internal/sweep"
 	"qla/internal/teleport"
 	"qla/internal/threshold"
 )
@@ -188,6 +189,58 @@ func CanonicalizeSpec(spec Spec) (Spec, error) { return engine.Canonicalize(spec
 // its canonical JSON. Equivalent spellings of the same run hash equal;
 // the qlaserve front end caches Result bytes under this key.
 func SpecHash(spec Spec) (string, error) { return engine.SpecHash(spec) }
+
+// Batch sweeps: one base Spec fanned out over a machine/parameter grid
+// (the quant-ph/0604070 evaluation shape). The same expansion powers
+// the `machine-sweep` registry experiment, `qlabench -sweep`, and
+// qlaserve's async job surface (POST /v1/sweeps).
+
+type (
+	// SweepSpec describes one sweep: a base Spec plus axes over machine
+	// fields and parameters.
+	SweepSpec = sweep.Spec
+	// SweepAxis is one grid dimension of a SweepSpec.
+	SweepAxis = sweep.Axis
+	// SweepResult aggregates a sweep run: per-point status, timing,
+	// cache provenance and Result payloads, with table/CSV views.
+	SweepResult = sweep.Result
+	// SweepProgress is the monotonic per-point progress snapshot
+	// delivered to RunSweep's callback.
+	SweepProgress = sweep.Progress
+)
+
+// DecodeSweepSpec parses a JSON SweepSpec strictly (unknown fields and
+// trailing data rejected; malformed input errors, never panics).
+func DecodeSweepSpec(raw []byte) (SweepSpec, error) { return sweep.DecodeSpec(raw) }
+
+// ReadSweepFile parses a JSON SweepSpec from a file path ("-" reads
+// standard input).
+func ReadSweepFile(path string) (SweepSpec, error) { return sweep.ReadFile(path) }
+
+// SweepHash returns the content address of a SweepSpec — the hex
+// SHA-256 of its canonical encoding, which doubles as the qlaserve job
+// ID. Expansion validates fully: a sweep that hashes is a sweep that
+// runs.
+func SweepHash(s SweepSpec) (string, error) {
+	sw, err := sweep.Expand(s)
+	if err != nil {
+		return "", err
+	}
+	return sw.Hash, nil
+}
+
+// RunSweep expands s and executes every grid point on eng, calling
+// progress (when non-nil) after each point completes. Per-point
+// failures are recorded in the SweepResult; only an invalid sweep or a
+// cancelled context fails the call.
+func RunSweep(ctx context.Context, eng *Engine, s SweepSpec, progress func(SweepProgress)) (*SweepResult, error) {
+	sw, err := sweep.Expand(s)
+	if err != nil {
+		return nil, err
+	}
+	r := &sweep.Runner{Engine: eng}
+	return r.Run(ctx, sw, progress)
+}
 
 // EngineScheduler allocates Monte Carlo worker slots from a budget
 // shared across concurrent Run calls.

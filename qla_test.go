@@ -144,6 +144,8 @@ var tinyParams = map[string]qla.ExperimentParams{
 	"shuttle":          {"separations": []int{12}},
 	"qft":              {"charge-widths": []int{32}},
 	"multichip":        {"n-bits": []int{128}},
+	"plan-multichip":   {"n-bits": []int{128}, "cell-defect-prob": 1e-6},
+	"machine-sweep":    {"levels": []int{2}, "bandwidths": []int{2}},
 	"arq-noisy":        {"trials": 50},
 }
 
@@ -298,6 +300,52 @@ func TestFacadeSpecHashing(t *testing.T) {
 	}
 	if _, err := qla.DecodeSpec([]byte(`{"experiment":"fig7","bogus":1}`)); err == nil {
 		t.Error("strict decoder accepted an unknown field")
+	}
+}
+
+// TestFacadeSweep covers the batch-sweep surface re-exported through
+// the facade: strict decoding, content addressing, and a grid run with
+// progress callbacks.
+func TestFacadeSweep(t *testing.T) {
+	raw := []byte(`{
+		"base": {"experiment": "ecc"},
+		"axes": [
+			{"field": "machine.param_set", "values": ["expected", "current"]},
+			{"field": "machine.level", "values": [1, 2]}
+		]
+	}`)
+	ss, err := qla.DecodeSweepSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := qla.SweepHash(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The alias spelling shares the content address with the canonical
+	// one, exactly as Spec hashing does.
+	canonical := ss
+	canonical.Base = qla.Spec{Experiment: "ec-latency"}
+	h2, err := qla.SweepHash(canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("alias sweep spelling hashes differently: %s vs %s", h1, h2)
+	}
+	var last qla.SweepProgress
+	res, err := qla.RunSweep(context.Background(), qla.NewEngine(), ss, func(p qla.SweepProgress) { last = p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 4 || res.OK != 4 || res.Experiment != "ec-latency" || res.SweepHash != h1 {
+		t.Fatalf("sweep result %+v", res)
+	}
+	if last.Done != 4 {
+		t.Errorf("final progress %+v", last)
+	}
+	if _, err := qla.DecodeSweepSpec([]byte(`{"base":{},"bogus":1}`)); err == nil {
+		t.Error("strict sweep decoder accepted an unknown field")
 	}
 }
 
