@@ -1,0 +1,78 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"qla"
+)
+
+func TestListExperimentsGroupsByFamily(t *testing.T) {
+	var sb strings.Builder
+	listExperiments(&sb)
+	out := sb.String()
+
+	// Every family heading present, in catalog order.
+	headings := []string{
+		"Paper reproductions (MICRO-38 tables and figures)",
+		"Extensions and ablations",
+		"ARQ pipeline stages",
+		"Batch sweeps",
+		"Cycle-level data movement",
+	}
+	last := -1
+	for _, h := range headings {
+		at := strings.Index(out, h+":")
+		if at < 0 {
+			t.Fatalf("catalog missing family heading %q:\n%s", h, out)
+		}
+		if at < last {
+			t.Errorf("family heading %q out of order", h)
+		}
+		last = at
+	}
+
+	// Every registered experiment appears exactly once, with its
+	// one-line title, inside its family's section.
+	sections := map[string]string{}
+	for i, h := range headings {
+		start := strings.Index(out, h+":")
+		end := len(out)
+		if i+1 < len(headings) {
+			end = strings.Index(out, headings[i+1]+":")
+		}
+		sections[h] = out[start:end]
+	}
+	famHeading := map[string]string{
+		"paper":      headings[0],
+		"extensions": headings[1],
+		"arq":        headings[2],
+		"sweep":      headings[3],
+		"cycle":      headings[4],
+	}
+	for _, e := range qla.Experiments() {
+		// Entry lines are "<mark> <name><padding>"; docs may mention
+		// other experiments' names, so match only line starts.
+		entry := regexp.MustCompile(`(?m)^[* ] ` + regexp.QuoteMeta(e.Name) + `\s`)
+		if n := len(entry.FindAllString(out, -1)); n != 1 {
+			t.Errorf("experiment %s listed %d times, want 1", e.Name, n)
+		}
+		h, ok := famHeading[e.Family]
+		if !ok {
+			t.Errorf("experiment %s has unmapped family %q", e.Name, e.Family)
+			continue
+		}
+		if !strings.Contains(sections[h], e.Name) {
+			t.Errorf("experiment %s not listed under %q", e.Name, h)
+		}
+		if e.Title == "" || !strings.Contains(sections[h], e.Title) {
+			t.Errorf("experiment %s missing its one-line title under %q", e.Name, h)
+		}
+	}
+
+	// Benchmark-set entries keep their marker.
+	if !strings.Contains(out, "* cycle-interconnect") {
+		t.Error("cycle-interconnect not marked as a benchmark-set entry")
+	}
+}

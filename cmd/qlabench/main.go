@@ -28,7 +28,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
+	"sort"
 	"strings"
 
 	"qla"
@@ -48,7 +51,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		listExperiments()
+		listExperiments(os.Stdout)
 		return
 	}
 
@@ -167,25 +170,63 @@ func runOne(ctx context.Context, eng *qla.Engine, spec qla.Spec, asJSON bool) er
 	return qla.ReportResult(os.Stdout, res)
 }
 
-func listExperiments() {
-	fmt.Println("Registered experiments (benchmark-set entries marked *):")
+func listExperiments(w io.Writer) {
+	fmt.Fprintln(w, "Registered experiments by family (benchmark-set entries marked *):")
+	groups := map[string][]*qla.Experiment{}
 	for _, e := range qla.Experiments() {
-		mark := " "
-		if e.Bench {
-			mark = "*"
+		groups[e.Family] = append(groups[e.Family], e)
+	}
+	order := []string{"paper", "extensions", "arq", "sweep", "cycle"}
+	var extras []string
+	for fam := range groups {
+		if !slices.Contains(order, fam) {
+			extras = append(extras, fam)
 		}
-		fmt.Printf("%s %-18s %s\n", mark, e.Name, e.Title)
-		if len(e.Aliases) > 0 {
-			fmt.Printf("  %-18s aliases: %s\n", "", strings.Join(e.Aliases, ", "))
+	}
+	sort.Strings(extras)
+	for _, fam := range append(order, extras...) {
+		exps := groups[fam]
+		if len(exps) == 0 {
+			continue
 		}
-		for _, d := range e.Params {
-			if d.Default == nil {
-				fmt.Printf("  %-18s -%s (%s, optional): %s\n", "", d.Name, d.Kind, d.Doc)
-			} else {
-				fmt.Printf("  %-18s -%s (%s, default %s): %s\n", "", d.Name, d.Kind, formatDefault(d.Default), d.Doc)
+		fmt.Fprintf(w, "\n%s:\n", familyTitle(fam))
+		for _, e := range exps {
+			mark := " "
+			if e.Bench {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "%s %-18s %s\n", mark, e.Name, e.Title)
+			if len(e.Aliases) > 0 {
+				fmt.Fprintf(w, "  %-18s aliases: %s\n", "", strings.Join(e.Aliases, ", "))
+			}
+			for _, d := range e.Params {
+				if d.Default == nil {
+					fmt.Fprintf(w, "  %-18s -%s (%s, optional): %s\n", "", d.Name, d.Kind, d.Doc)
+				} else {
+					fmt.Fprintf(w, "  %-18s -%s (%s, default %s): %s\n", "", d.Name, d.Kind, formatDefault(d.Default), d.Doc)
+				}
 			}
 		}
 	}
+}
+
+// familyTitle maps registry family keys to catalog headings.
+func familyTitle(family string) string {
+	switch family {
+	case "paper":
+		return "Paper reproductions (MICRO-38 tables and figures)"
+	case "extensions":
+		return "Extensions and ablations"
+	case "arq":
+		return "ARQ pipeline stages"
+	case "sweep":
+		return "Batch sweeps"
+	case "cycle":
+		return "Cycle-level data movement"
+	case "":
+		return "Other"
+	}
+	return family
 }
 
 // formatDefault keeps the catalog one entry per line: multi-line string

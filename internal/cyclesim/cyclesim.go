@@ -1,0 +1,291 @@
+// Package cyclesim is a deterministic discrete-event, cycle-level
+// simulator of logical data movement on the QLA tile grid — the model
+// behind the paper's central claim (Sections 4–5) that a
+// teleportation-based interconnect with dedicated EPR-generator ports
+// sustains logical-operation bandwidth where ballistic ion shuttling
+// does not.
+//
+// The machine is a W×H grid of logical-qubit tiles joined by channel
+// links with a fixed number of lanes per direction (the machine
+// bandwidth of Section 5). One cycle is one ballistic cell move
+// (Table 1's shortest operation, 0.01 µs under the expected
+// parameters); every other latency is expressed in those cycles. A
+// two-operand logical operation between tiles A and B executes in one
+// of two transport modes:
+//
+//   - Ballistic: the logical codeword's ions split out of tile A,
+//     shuttle hop by hop through the channel mesh (reserving a lane on
+//     every link they cross, paying junction-turn penalties at
+//     corners, and stalling for sympathetic recooling as motional
+//     heating accumulates), interact transversally at B, and shuttle
+//     home. The data qubit is locked for the whole round trip.
+//   - Teleport: tile A's EPR-generator port emits purified pair halves
+//     at its finite generation rate; the halves stream one-way through
+//     the mesh to B, are purified there, and the logical gate is then
+//     teleported. The data qubits are busy only for the transversal
+//     interaction and Pauli correction — Bell measurement and
+//     classical signalling overlap with other work, and the stream
+//     never returns.
+//
+// Both modes run on the same contention fabric: per-link lane
+// reservations with queueing, dimension-ordered or adaptive minimal
+// routing, and a sliding-window logical-op scheduler that replays an
+// operation stream (synthetic kernels now; parsed traces through the
+// same seam). The simulator is exactly deterministic: identical specs
+// produce bit-identical results at any engine parallelism.
+package cyclesim
+
+import (
+	"fmt"
+	"math"
+
+	"qla/internal/iontrap"
+	"qla/internal/layout"
+)
+
+// Mode selects the transport mechanism for logical operands.
+type Mode int
+
+const (
+	// Teleport moves quantum state over pre-distributed EPR pairs.
+	Teleport Mode = iota
+	// Ballistic shuttles the codeword ions through the channel mesh.
+	Ballistic
+)
+
+// String returns the spec-level mode name.
+func (m Mode) String() string {
+	switch m {
+	case Teleport:
+		return "teleport"
+	case Ballistic:
+		return "ballistic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Routing policies.
+const (
+	// RoutingDimension routes X-first then Y (at most one corner).
+	RoutingDimension = "dimension"
+	// RoutingAdaptive picks, at each junction, the productive direction
+	// whose next lane frees earliest (ties prefer X), trading extra
+	// corner turns for queueing time.
+	RoutingAdaptive = "adaptive"
+)
+
+// CodewordIons is the number of physical data ions per logical qubit
+// at one level of the [[7,1,3]] Steane code — the convoy length of a
+// ballistic logical move and the halves-per-pair multiplier of a
+// logical teleport.
+const CodewordIons = 7
+
+// DefaultCoolCells is the default ballistic recooling interval: after
+// this many cells of shuttling, the convoy pauses for one sympathetic
+// recooling step (the heating budget of Section 3).
+const DefaultCoolCells = 50
+
+// Latencies fixes every model latency in cycles (1 cycle = one
+// ballistic cell move). Derive them from a Table-1 parameter set with
+// DeriveLatencies.
+type Latencies struct {
+	// HopCycles is the channel transit time between adjacent tile
+	// centres (one tile pitch of cell moves).
+	HopCycles int64
+	// SplitCycles is charged when a convoy leaves or re-enters a trap
+	// region (ballistic only; EPR halves leave through dedicated
+	// generator ports).
+	SplitCycles int64
+	// CornerCycles is the junction-turn penalty, charged to latency
+	// and to the occupancy of the link entered after the turn.
+	CornerCycles int64
+	// GateCycles is the transversal two-qubit interaction.
+	GateCycles int64
+	// BellCycles is the Bell measurement of a teleport (two-qubit gate
+	// plus readout on the ancilla half — the data qubit is free).
+	BellCycles int64
+	// ClassicalCycles is the classical latency of teleport corrections.
+	ClassicalCycles int64
+	// CorrectionCycles is the conditional Pauli fix-up on data.
+	CorrectionCycles int64
+	// CoolCycles is the total recooling stall per hop of ballistic
+	// data movement (stops per hop × one cooling step).
+	CoolCycles int64
+	// EPRCycles is the generator-port interval between purified pair
+	// halves (the finite EPR generation rate).
+	EPRCycles int64
+	// PurifyCycles is the residual purification latency at the
+	// destination port after the stream lands.
+	PurifyCycles int64
+	// ConvoyFlits is the ballistic convoy length in ions.
+	ConvoyFlits int
+	// EPRFlits is the number of pair halves shipped per logical
+	// teleport (codeword ions × purified pairs per qubit).
+	EPRFlits int
+}
+
+// StreamCycles is the serialization length of one teleport EPR stream
+// at the generator port.
+func (l Latencies) StreamCycles() int64 { return int64(l.EPRFlits) * l.EPRCycles }
+
+// TeleportLockCycles is how long a teleport occupies the data qubits.
+func (l Latencies) TeleportLockCycles() int64 { return l.GateCycles + l.CorrectionCycles }
+
+// DeriveOptions overrides individual derived latencies; zero fields
+// keep the Table-1 derivation.
+type DeriveOptions struct {
+	// Level is the recursion level whose tile pitch sets the hop
+	// distance (0 means the paper's operating level 2).
+	Level int
+	// TileCells overrides the inter-tile hop distance in cells
+	// (default: the Level tile pitch derived from internal/layout).
+	TileCells int
+	// EPRCycles overrides the generator interval (default: the
+	// pipelined PairInterval of the Figure-9 link model, 0.1 µs).
+	EPRCycles int
+	// PurifyCycles overrides the destination purification latency
+	// (default: two purification rounds of gate+measure+classical).
+	PurifyCycles int
+	// EPRPairs is the purified halves shipped per codeword ion
+	// (default 2: one pair plus one purification sacrifice).
+	EPRPairs int
+	// CoolCells is the ballistic recooling interval in cells; 0 keeps
+	// DefaultCoolCells, negative disables recooling stalls.
+	CoolCells int
+}
+
+// HopCellsForLevel returns the mean inter-tile pitch in cells at one
+// recursion level. Level 2 is the layout package's tile; each level
+// scales the tile by 3 in x̂ and 7 in ŷ (a level-L logical qubit is a
+// 3×7 arrangement of level-(L-1) tiles), with channel widths fixed.
+func HopCellsForLevel(level int) int {
+	if level < 1 {
+		level = 2
+	}
+	w, h := float64(layout.TileW), float64(layout.TileH)
+	for l := 2; l < level; l++ {
+		w, h = w*3, h*7
+	}
+	for l := 2; l > level; l-- {
+		w, h = w/3, h/7
+	}
+	hop := int(math.Round(((w + layout.ChanW) + (h + layout.ChanH)) / 2))
+	if hop < 1 {
+		hop = 1
+	}
+	return hop
+}
+
+// DeriveLatencies converts a Table-1 parameter set into cycle counts.
+// The cycle is p.Time[OpMoveCell]; everything else rounds to it.
+func DeriveLatencies(p iontrap.Params, opt DeriveOptions) (Latencies, error) {
+	cycle := p.Time[iontrap.OpMoveCell]
+	if !(cycle > 0) {
+		return Latencies{}, fmt.Errorf("cyclesim: parameter set has non-positive cell-move time %g", cycle)
+	}
+	r := func(seconds float64) int64 {
+		return int64(math.Round(seconds / cycle))
+	}
+
+	hopCells := opt.TileCells
+	if hopCells == 0 {
+		hopCells = HopCellsForLevel(opt.Level)
+	}
+	if hopCells < 1 {
+		return Latencies{}, fmt.Errorf("cyclesim: tile-cells %d must be positive", hopCells)
+	}
+
+	eprCycles := int64(opt.EPRCycles)
+	if eprCycles == 0 {
+		// The pipelined EPR factory of the Figure-9 link model delivers
+		// a raw half every 0.1 µs.
+		eprCycles = r(0.1e-6)
+		if eprCycles < 1 {
+			eprCycles = 1
+		}
+	}
+	if eprCycles < 1 {
+		return Latencies{}, fmt.Errorf("cyclesim: epr-cycles %d must be positive", eprCycles)
+	}
+
+	classical := r(1e-6) // per-round classical control latency
+	purify := int64(opt.PurifyCycles)
+	if purify == 0 {
+		// Two BBPSSW rounds at the destination port: each is a
+		// two-qubit gate, a measurement, and a classical exchange.
+		purify = 2 * (r(p.Time[iontrap.OpDouble]) + r(p.Time[iontrap.OpMeasure]) + classical)
+	}
+	if purify < 0 {
+		return Latencies{}, fmt.Errorf("cyclesim: purify-cycles %d must be non-negative", purify)
+	}
+
+	pairs := opt.EPRPairs
+	if pairs == 0 {
+		pairs = 2
+	}
+	if pairs < 1 {
+		return Latencies{}, fmt.Errorf("cyclesim: epr-pairs %d must be positive", pairs)
+	}
+
+	coolCells := opt.CoolCells
+	if coolCells == 0 {
+		coolCells = DefaultCoolCells
+	}
+	var cool int64
+	if coolCells > 0 {
+		stops := int64(hopCells / coolCells)
+		cool = stops * r(p.Time[iontrap.OpCool])
+	}
+
+	return Latencies{
+		HopCycles:        int64(hopCells),
+		SplitCycles:      r(p.Time[iontrap.OpSplit]),
+		CornerCycles:     r(p.Time[iontrap.OpCorner]),
+		GateCycles:       r(p.Time[iontrap.OpDouble]),
+		BellCycles:       r(p.Time[iontrap.OpDouble]) + r(p.Time[iontrap.OpMeasure]),
+		ClassicalCycles:  classical,
+		CorrectionCycles: r(p.Time[iontrap.OpSingle]),
+		CoolCycles:       cool,
+		EPRCycles:        eprCycles,
+		PurifyCycles:     purify,
+		ConvoyFlits:      CodewordIons,
+		EPRFlits:         CodewordIons * pairs,
+	}, nil
+}
+
+// Config describes one cycle-level simulation.
+type Config struct {
+	// W, H are the tile-grid dimensions.
+	W, H int
+	// Bandwidth is the number of lanes per direction per link.
+	Bandwidth int
+	// Window is the number of logical ops concurrently in flight.
+	Window int
+	// Routing is RoutingDimension or RoutingAdaptive.
+	Routing string
+	// Lat fixes the model latencies.
+	Lat Latencies
+}
+
+func (c Config) validate() error {
+	if c.W < 1 || c.H < 1 {
+		return fmt.Errorf("cyclesim: grid %dx%d must be positive", c.W, c.H)
+	}
+	if c.W*c.H < 2 {
+		return fmt.Errorf("cyclesim: grid %dx%d has no tile pair to operate on", c.W, c.H)
+	}
+	if c.Bandwidth < 1 {
+		return fmt.Errorf("cyclesim: bandwidth %d must be positive", c.Bandwidth)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("cyclesim: window %d must be positive", c.Window)
+	}
+	if c.Routing != RoutingDimension && c.Routing != RoutingAdaptive {
+		return fmt.Errorf("cyclesim: unknown routing %q (want %s or %s)", c.Routing, RoutingDimension, RoutingAdaptive)
+	}
+	if c.Lat.HopCycles < 1 || c.Lat.ConvoyFlits < 1 || c.Lat.EPRFlits < 1 || c.Lat.EPRCycles < 1 {
+		return fmt.Errorf("cyclesim: latencies not derived (use DeriveLatencies)")
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package cyclesim
+
+// Engine registration glue: the cycle-* experiments are declared (with
+// their parameter schemas and golden Specs) in internal/engine, which
+// cannot import this package without a cycle; the Run/Report pairs are
+// installed here through engine.RegisterCycleExperiment, mirroring the
+// machine-sweep inversion. Any binary that imports this package gets
+// working cycle experiments.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+
+	"qla/internal/engine"
+)
+
+// InterconnectData is the payload of cycle-interconnect and
+// cycle-trace: both transport modes over one op stream.
+type InterconnectData struct {
+	GridW     int    `json:"grid_w"`
+	GridH     int    `json:"grid_h"`
+	Ops       int    `json:"ops"`
+	Window    int    `json:"window"`
+	Bandwidth int    `json:"bandwidth"`
+	Kernel    string `json:"kernel"`
+	Routing   string `json:"routing"`
+
+	Lat Latencies `json:"latencies"`
+
+	Teleport  Metrics `json:"teleport"`
+	Ballistic Metrics `json:"ballistic"`
+
+	// TeleportAdvantage is the ballistic makespan over the teleport
+	// makespan: above 1, the teleportation interconnect sustains
+	// higher effective logical-op bandwidth on this workload.
+	TeleportAdvantage float64 `json:"teleport_advantage"`
+}
+
+// HierarchyData is the payload of cycle-hierarchy.
+type HierarchyData struct {
+	Levels    int     `json:"levels"`
+	Accesses  int     `json:"accesses"`
+	MissRatio float64 `json:"miss_ratio"`
+	Window    int     `json:"window"`
+	Bandwidth int     `json:"bandwidth"`
+	Routing   string  `json:"routing"`
+
+	Lat    Latencies       `json:"latencies"`
+	Result HierarchyResult `json:"result"`
+}
+
+// fabricFromContext resolves the shared fabric parameters: bandwidth
+// and tile pitch from Spec.Machine, cycle latencies from the machine's
+// Table-1 parameter set plus the override params.
+func fabricFromContext(rc *engine.RunContext) (bandwidth int, routing string, lat Latencies, err error) {
+	bandwidth = rc.Machine.Bandwidth
+	if bandwidth == 0 {
+		bandwidth = 2
+	}
+	if bandwidth < 1 {
+		return 0, "", Latencies{}, fmt.Errorf("machine bandwidth %d must be positive", bandwidth)
+	}
+	routing = rc.Params.Str("routing")
+	lat, err = DeriveLatencies(rc.Tech, DeriveOptions{
+		Level:        rc.Machine.Level,
+		TileCells:    rc.Params.Int("tile-cells"),
+		EPRCycles:    rc.Params.Int("epr-cycles"),
+		PurifyCycles: rc.Params.Int("purify-cycles"),
+		EPRPairs:     rc.Params.Int("epr-pairs"),
+		CoolCells:    rc.Params.Int("cool-cells"),
+	})
+	return bandwidth, routing, lat, err
+}
+
+// runBothModes executes one op stream in both transport modes,
+// concurrently when par permits. Each mode holds independent state, so
+// the results are bit-identical at any parallelism.
+func runBothModes(cfg Config, ops []Op, par int) (tele Metrics, teleLat []int64, ball Metrics, ballLat []int64, err error) {
+	var teleErr, ballErr error
+	if par >= 2 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tele, teleLat, teleErr = Run(cfg, Teleport, ops)
+		}()
+		ball, ballLat, ballErr = Run(cfg, Ballistic, ops)
+		wg.Wait()
+	} else {
+		tele, teleLat, teleErr = Run(cfg, Teleport, ops)
+		ball, ballLat, ballErr = Run(cfg, Ballistic, ops)
+	}
+	if teleErr != nil {
+		return tele, teleLat, ball, ballLat, teleErr
+	}
+	return tele, teleLat, ball, ballLat, ballErr
+}
+
+func interconnectData(cfg Config, kernel string, ops []Op, par int) (InterconnectData, error) {
+	tele, _, ball, _, err := runBothModes(cfg, ops, par)
+	if err != nil {
+		return InterconnectData{}, err
+	}
+	data := InterconnectData{
+		GridW:     cfg.W,
+		GridH:     cfg.H,
+		Ops:       len(ops),
+		Window:    cfg.Window,
+		Bandwidth: cfg.Bandwidth,
+		Kernel:    kernel,
+		Routing:   cfg.Routing,
+		Lat:       cfg.Lat,
+		Teleport:  tele,
+		Ballistic: ball,
+	}
+	if tele.MakespanCycles > 0 {
+		data.TeleportAdvantage = float64(ball.MakespanCycles) / float64(tele.MakespanCycles)
+	}
+	return data, nil
+}
+
+func runInterconnect(ctx context.Context, rc *engine.RunContext) (any, error) {
+	grid := rc.Params.Int("grid")
+	if grid < 2 || grid > 64 {
+		return nil, fmt.Errorf("grid %d out of range [2,64]", grid)
+	}
+	nOps := rc.Params.Int("ops")
+	if nOps < 1 || nOps > 1<<20 {
+		return nil, fmt.Errorf("ops %d out of range [1,%d]", nOps, 1<<20)
+	}
+	window := rc.Params.Int("window")
+	if window < 1 || window > 1<<16 {
+		return nil, fmt.Errorf("window %d out of range [1,%d]", window, 1<<16)
+	}
+	bandwidth, routing, lat, err := fabricFromContext(rc)
+	if err != nil {
+		return nil, err
+	}
+	kernel := rc.Params.Str("kernel")
+	ops, err := MakeKernel(kernel, grid, grid, nOps, rc.Params.Uint("seed"))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := Config{W: grid, H: grid, Bandwidth: bandwidth, Window: window, Routing: routing, Lat: lat}
+	return interconnectData(cfg, kernel, ops, rc.Parallelism)
+}
+
+func runTrace(ctx context.Context, rc *engine.RunContext) (any, error) {
+	grid := rc.Params.Int("grid")
+	if grid < 2 || grid > 64 {
+		return nil, fmt.Errorf("grid %d out of range [2,64]", grid)
+	}
+	window := rc.Params.Int("window")
+	if window < 1 || window > 1<<16 {
+		return nil, fmt.Errorf("window %d out of range [1,%d]", window, 1<<16)
+	}
+	bandwidth, routing, lat, err := fabricFromContext(rc)
+	if err != nil {
+		return nil, err
+	}
+	ops, err := ParseTrace(rc.Params.Str("trace"), grid*grid)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := Config{W: grid, H: grid, Bandwidth: bandwidth, Window: window, Routing: routing, Lat: lat}
+	return interconnectData(cfg, "trace", ops, rc.Parallelism)
+}
+
+func runHierarchy(ctx context.Context, rc *engine.RunContext) (any, error) {
+	levels := rc.Params.Int("levels")
+	accesses := rc.Params.Int("accesses")
+	if accesses < 1 || accesses > 1<<20 {
+		return nil, fmt.Errorf("accesses %d out of range [1,%d]", accesses, 1<<20)
+	}
+	window := rc.Params.Int("window")
+	if window < 1 || window > 1<<16 {
+		return nil, fmt.Errorf("window %d out of range [1,%d]", window, 1<<16)
+	}
+	bandwidth, routing, lat, err := fabricFromContext(rc)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := HierarchyConfig{
+		Levels:    levels,
+		Accesses:  accesses,
+		MissRatio: rc.Params.Float("miss-ratio"),
+		Window:    window,
+		Bandwidth: bandwidth,
+		Routing:   routing,
+		Lat:       lat,
+		Seed:      rc.Params.Uint("seed"),
+	}
+	res, err := RunHierarchy(cfg, rc.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return HierarchyData{
+		Levels:    levels,
+		Accesses:  accesses,
+		MissRatio: cfg.MissRatio,
+		Window:    window,
+		Bandwidth: bandwidth,
+		Routing:   routing,
+		Lat:       lat,
+		Result:    res,
+	}, nil
+}
+
+func reportModeTable(w io.Writer, rows ...Metrics) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tmakespan\tops/kcycle\tmean lat\tmax lat\tlane wait\tqubit wait\tgen wait\tlink util\tcorners")
+	for _, m := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.0f\t%d\t%d\t%d\t%d\t%.3f\t%d\n",
+			m.Mode, m.MakespanCycles, m.OpsPerKilocycle, m.MeanLatencyCycles, m.MaxLatencyCycles,
+			m.LaneWaitCycles, m.QubitWaitCycles, m.GenWaitCycles, m.LinkUtilization, m.Corners)
+	}
+	tw.Flush()
+}
+
+// jsonReport renders a Result whose Data is no longer typed (decoded
+// from a cached JSON result), mirroring engine's fallback.
+func jsonReport(w io.Writer, res engine.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func reportInterconnect(w io.Writer, res engine.Result) error {
+	data, ok := res.Data.(InterconnectData)
+	if !ok {
+		return jsonReport(w, res)
+	}
+	fmt.Fprintf(w, "Cycle-level interconnect: %dx%d tiles, %d %s ops, window %d, bandwidth %d, %s routing\n",
+		data.GridW, data.GridH, data.Ops, data.Kernel, data.Window, data.Bandwidth, data.Routing)
+	fmt.Fprintf(w, "1 cycle = 1 cell move; hop %d cycles, EPR interval %d cycles, %d halves/teleport\n",
+		data.Lat.HopCycles, data.Lat.EPRCycles, data.Lat.EPRFlits)
+	reportModeTable(w, data.Teleport, data.Ballistic)
+	verdict := "ballistic shuttling wins on this workload"
+	if data.TeleportAdvantage > 1 {
+		verdict = "the teleportation interconnect sustains more bandwidth"
+	}
+	fmt.Fprintf(w, "teleport/ballistic effective-bandwidth ratio: %.2fx (%s)\n", data.TeleportAdvantage, verdict)
+	return nil
+}
+
+func reportHierarchy(w io.Writer, res engine.Result) error {
+	data, ok := res.Data.(HierarchyData)
+	if !ok {
+		return jsonReport(w, res)
+	}
+	fmt.Fprintf(w, "Cycle-level memory hierarchy: %d levels on a %d-tile line, %d accesses (miss ratio %.2f), window %d, bandwidth %d\n",
+		data.Levels, data.Result.GridW, data.Accesses, data.MissRatio, data.Window, data.Bandwidth)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "level\thops\taccesses\tteleport mean\tballistic mean")
+	for _, l := range data.Result.Levels {
+		fmt.Fprintf(tw, "L%d\t%d\t%d\t%.0f\t%.0f\n",
+			l.Level, l.HopsAway, l.Accesses, l.TeleportMeanCycles, l.BallisticMeanCycles)
+	}
+	tw.Flush()
+	reportModeTable(w, data.Result.Teleport, data.Result.Ballistic)
+	fmt.Fprintf(w, "AMAT: teleport %.0f cycles, ballistic %.0f cycles\n",
+		data.Result.Teleport.MeanLatencyCycles, data.Result.Ballistic.MeanLatencyCycles)
+	return nil
+}
+
+func init() {
+	engine.RegisterCycleExperiment(engine.CycleInterconnect, runInterconnect, reportInterconnect)
+	engine.RegisterCycleExperiment(engine.CycleHierarchy, runHierarchy, reportHierarchy)
+	engine.RegisterCycleExperiment(engine.CycleTrace, runTrace, reportInterconnect)
+}

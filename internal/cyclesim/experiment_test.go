@@ -1,0 +1,113 @@
+package cyclesim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	_ "qla/internal/cyclesim"
+	"qla/internal/engine"
+)
+
+func runSpec(t *testing.T, eng *engine.Engine, spec engine.Spec) engine.Result {
+	t.Helper()
+	res, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("running %s: %v", spec.Experiment, err)
+	}
+	return res
+}
+
+func payloadJSON(t *testing.T, res engine.Result) []byte {
+	t.Helper()
+	raw, err := json.Marshal(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDeterministicAcrossParallelism pins the engine contract the
+// Monte Carlo backends honor: the same Spec produces bit-identical
+// payloads at any WithParallelism setting and across repeated runs.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	specs := []engine.Spec{
+		{Experiment: "cycle-interconnect"},
+		{Experiment: "cycle-interconnect", Machine: engine.MachineSpec{Bandwidth: 1},
+			Params: engine.Params{"grid": 12, "ops": 512, "window": 128, "routing": "adaptive", "kernel": "bitrev"}},
+		{Experiment: "cycle-hierarchy"},
+		{Experiment: "cycle-trace"},
+	}
+	for _, spec := range specs {
+		serial := engine.New(engine.WithParallelism(1))
+		parallel := engine.New(engine.WithParallelism(8))
+		base := payloadJSON(t, runSpec(t, serial, spec))
+		for run := 0; run < 2; run++ {
+			if got := payloadJSON(t, runSpec(t, parallel, spec)); !bytes.Equal(base, got) {
+				t.Errorf("%s: payload differs between parallelism 1 and 8 (run %d)", spec.Experiment, run)
+			}
+		}
+		if got := payloadJSON(t, runSpec(t, serial, spec)); !bytes.Equal(base, got) {
+			t.Errorf("%s: payload differs across repeated serial runs", spec.Experiment)
+		}
+	}
+}
+
+// TestExperimentsLinked exercises each cycle experiment end to end
+// through the engine and sanity-checks the typed payloads and reports.
+func TestExperimentsLinked(t *testing.T) {
+	eng := engine.New(engine.WithParallelism(2))
+
+	res := runSpec(t, eng, engine.Spec{Experiment: "cycle-interconnect"})
+	var buf bytes.Buffer
+	if err := engine.Report(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "teleport/ballistic effective-bandwidth ratio") {
+		t.Errorf("interconnect report missing verdict:\n%s", buf.String())
+	}
+
+	res = runSpec(t, eng, engine.Spec{Experiment: "cycle-hierarchy"})
+	buf.Reset()
+	if err := engine.Report(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AMAT") {
+		t.Errorf("hierarchy report missing AMAT:\n%s", buf.String())
+	}
+
+	res = runSpec(t, eng, engine.Spec{Experiment: "cycle-trace"})
+	raw := payloadJSON(t, res)
+	var data struct {
+		Ops    int    `json:"ops"`
+		Kernel string `json:"kernel"`
+	}
+	if err := json.Unmarshal(raw, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data.Ops != 4 || data.Kernel != "trace" {
+		t.Errorf("cycle-trace default payload = %s", raw)
+	}
+}
+
+// TestInvalidParams pins typed validation errors surfacing through the
+// engine rather than panicking.
+func TestInvalidParams(t *testing.T) {
+	eng := engine.New()
+	for name, spec := range map[string]engine.Spec{
+		"bad kernel":     {Experiment: "cycle-interconnect", Params: engine.Params{"kernel": "nope"}},
+		"bad routing":    {Experiment: "cycle-interconnect", Params: engine.Params{"routing": "zigzag"}},
+		"huge grid":      {Experiment: "cycle-interconnect", Params: engine.Params{"grid": 1000}},
+		"negative tiles": {Experiment: "cycle-interconnect", Params: engine.Params{"tile-cells": -5}},
+		"bad levels":     {Experiment: "cycle-hierarchy", Params: engine.Params{"levels": 20}},
+		"bad miss":       {Experiment: "cycle-hierarchy", Params: engine.Params{"miss-ratio": 1.5}},
+		"bad trace":      {Experiment: "cycle-trace", Params: engine.Params{"trace": "h 0"}},
+		"unknown param":  {Experiment: "cycle-trace", Params: engine.Params{"wat": 1}},
+	} {
+		if _, err := eng.Run(context.Background(), spec); err == nil {
+			t.Errorf("%s: engine accepted invalid spec", name)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package cyclesim
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// HierarchyConfig describes a quant-ph/0604070-style memory-hierarchy
+// run: a compute region at one end of a line of tiles, with cache
+// levels at geometrically growing distances, all sharing the trunk
+// links nearest the compute tile.
+type HierarchyConfig struct {
+	// Levels is the number of cache levels; level i sits 2^i tiles
+	// from the compute tile.
+	Levels int
+	// Accesses is the length of the access stream.
+	Accesses int
+	// MissRatio is the per-level miss probability: an access hits
+	// level 1 with probability 1-m, level 2 with m(1-m), and so on;
+	// the last level catches the remainder.
+	MissRatio float64
+	// Window, Bandwidth, Routing and Lat parameterize the fabric as in
+	// Config.
+	Window    int
+	Bandwidth int
+	Routing   string
+	Lat       Latencies
+	// Seed drives the access-level draw.
+	Seed uint64
+}
+
+// HierarchyLevel is one cache level's slice of the run.
+type HierarchyLevel struct {
+	Level    int `json:"level"`
+	HopsAway int `json:"hops_away"`
+	Accesses int `json:"accesses"`
+	// Mean access latency in cycles, per transport mode.
+	TeleportMeanCycles  float64 `json:"teleport_mean_cycles"`
+	BallisticMeanCycles float64 `json:"ballistic_mean_cycles"`
+}
+
+// HierarchyResult aggregates both transport modes over one access
+// stream.
+type HierarchyResult struct {
+	// GridW is the line length in tiles (2^Levels + 1).
+	GridW  int              `json:"grid_w"`
+	Levels []HierarchyLevel `json:"levels"`
+	// Teleport and Ballistic are fabric metrics for the full stream;
+	// their MeanLatencyCycles is the AMAT of each mode.
+	Teleport  Metrics `json:"teleport"`
+	Ballistic Metrics `json:"ballistic"`
+}
+
+func (c HierarchyConfig) validate() error {
+	if c.Levels < 1 || c.Levels > 8 {
+		return fmt.Errorf("cyclesim: hierarchy levels %d out of range [1,8]", c.Levels)
+	}
+	if c.Accesses < 1 {
+		return fmt.Errorf("cyclesim: accesses %d must be positive", c.Accesses)
+	}
+	if !(c.MissRatio >= 0 && c.MissRatio < 1) {
+		return fmt.Errorf("cyclesim: miss-ratio %g out of range [0,1)", c.MissRatio)
+	}
+	return nil
+}
+
+// RunHierarchy replays one access stream through both transport modes
+// on the hierarchy line grid. The stream itself (which level each
+// access reaches) is shared, so the two modes differ only in
+// transport. par ≥ 2 runs the two modes concurrently; the modes hold
+// independent state, so results are bit-identical at any par.
+func RunHierarchy(cfg HierarchyConfig, par int) (HierarchyResult, error) {
+	if err := cfg.validate(); err != nil {
+		return HierarchyResult{}, err
+	}
+	gridW := 1<<cfg.Levels + 1
+	sim := Config{
+		W:         gridW,
+		H:         1,
+		Bandwidth: cfg.Bandwidth,
+		Window:    cfg.Window,
+		Routing:   cfg.Routing,
+		Lat:       cfg.Lat,
+	}
+
+	// Draw the access stream: every access is a transfer between the
+	// hit level's bank and the compute tile at x=0. Memory-side EPR
+	// generation (the bank streams halves toward compute) is the
+	// hierarchy paper's port placement.
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	ops := make([]Op, cfg.Accesses)
+	levelOf := make([]int, cfg.Accesses)
+	perLevel := make([]int, cfg.Levels+1)
+	for i := range ops {
+		level := cfg.Levels
+		for l := 1; l < cfg.Levels; l++ {
+			if rng.Float64() >= cfg.MissRatio {
+				level = l
+				break
+			}
+		}
+		levelOf[i] = level
+		perLevel[level]++
+		ops[i] = Op{Src: 1 << level, Dst: 0}
+	}
+
+	tele, teleLat, ball, ballLat, err := runBothModes(sim, ops, par)
+	if err != nil {
+		return HierarchyResult{}, err
+	}
+
+	res := HierarchyResult{GridW: gridW, Teleport: tele, Ballistic: ball}
+	sums := make([]struct{ tele, ball int64 }, cfg.Levels+1)
+	for i, l := range levelOf {
+		sums[l].tele += teleLat[i]
+		sums[l].ball += ballLat[i]
+	}
+	for l := 1; l <= cfg.Levels; l++ {
+		row := HierarchyLevel{Level: l, HopsAway: 1 << l, Accesses: perLevel[l]}
+		if perLevel[l] > 0 {
+			row.TeleportMeanCycles = float64(sums[l].tele) / float64(perLevel[l])
+			row.BallisticMeanCycles = float64(sums[l].ball) / float64(perLevel[l])
+		}
+		res.Levels = append(res.Levels, row)
+	}
+	return res, nil
+}

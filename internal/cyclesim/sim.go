@@ -1,0 +1,242 @@
+package cyclesim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"qla/internal/tilegrid"
+)
+
+// Op is one two-operand logical operation between tiles (row-major
+// tile indices).
+type Op struct {
+	Src, Dst int
+}
+
+// Metrics summarizes one simulated mode.
+type Metrics struct {
+	Mode string `json:"mode"`
+	Ops  int    `json:"ops"`
+
+	// MakespanCycles is the completion time of the last op.
+	MakespanCycles int64 `json:"makespan_cycles"`
+	// OpsPerKilocycle is the sustained effective logical-op bandwidth.
+	OpsPerKilocycle float64 `json:"ops_per_kilocycle"`
+
+	MeanLatencyCycles float64 `json:"mean_latency_cycles"`
+	MaxLatencyCycles  int64   `json:"max_latency_cycles"`
+
+	// LaneWaitCycles is total queueing delay at channel links.
+	LaneWaitCycles int64 `json:"lane_wait_cycles"`
+	// QubitWaitCycles is total serialization on busy logical qubits.
+	QubitWaitCycles int64 `json:"qubit_wait_cycles"`
+	// GenWaitCycles is total serialization at EPR-generator ports
+	// (teleport only).
+	GenWaitCycles int64 `json:"gen_wait_cycles"`
+
+	// LinkUtilization is reserved lane-cycles over total lane-cycle
+	// capacity across the makespan.
+	LinkUtilization float64 `json:"link_utilization"`
+	Corners         int64   `json:"corners"`
+	// EPRHalves counts pair halves shipped (teleport only).
+	EPRHalves int64 `json:"epr_halves"`
+	// Events counts discrete simulation events (issues, reservations,
+	// completions) — the benchmark's work unit.
+	Events int64 `json:"events"`
+}
+
+// issueHeap orders in-flight ops by completion time, then issue order.
+type issueEvent struct {
+	done int64
+	idx  int
+}
+
+type issueHeap []issueEvent
+
+func (h issueHeap) Len() int { return len(h) }
+func (h issueHeap) Less(i, j int) bool {
+	if h[i].done != h[j].done {
+		return h[i].done < h[j].done
+	}
+	return h[i].idx < h[j].idx
+}
+func (h issueHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *issueHeap) Push(x any)   { *h = append(*h, x.(issueEvent)) }
+func (h *issueHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// sim is one run's mutable state.
+type sim struct {
+	cfg  Config
+	rect tilegrid.Rect
+	fab  *fabric
+	mode Mode
+
+	// qubitFree serializes ops touching the same logical tile.
+	qubitFree []int64
+	// genFree serializes each tile's EPR-generator port.
+	genFree []int64
+
+	metrics Metrics
+}
+
+// Run replays ops through the grid in the given mode and returns the
+// aggregate metrics plus the per-op completion latency (issue to
+// completion), in op order.
+func Run(cfg Config, mode Mode, ops []Op) (Metrics, []int64, error) {
+	if err := cfg.validate(); err != nil {
+		return Metrics{}, nil, err
+	}
+	rect := tilegrid.Rect{W: cfg.W, H: cfg.H}
+	for i, op := range ops {
+		if op.Src < 0 || op.Src >= rect.Tiles() || op.Dst < 0 || op.Dst >= rect.Tiles() {
+			return Metrics{}, nil, fmt.Errorf("cyclesim: op %d references tile outside %dx%d grid", i, cfg.W, cfg.H)
+		}
+		if op.Src == op.Dst {
+			return Metrics{}, nil, fmt.Errorf("cyclesim: op %d is a self-operation on tile %d", i, op.Src)
+		}
+	}
+
+	s := &sim{
+		cfg:       cfg,
+		rect:      rect,
+		fab:       newFabric(rect, cfg.Bandwidth, cfg.Lat.HopCycles),
+		mode:      mode,
+		qubitFree: make([]int64, rect.Tiles()),
+		genFree:   make([]int64, rect.Tiles()),
+	}
+	s.metrics.Mode = mode.String()
+	s.metrics.Ops = len(ops)
+
+	latencies := make([]int64, len(ops))
+	var inflight issueHeap
+	next := 0
+	issue := func(t int64) {
+		op := ops[next]
+		done := s.execute(op, t)
+		latencies[next] = done - t
+		if done > s.metrics.MakespanCycles {
+			s.metrics.MakespanCycles = done
+		}
+		if latencies[next] > s.metrics.MaxLatencyCycles {
+			s.metrics.MaxLatencyCycles = latencies[next]
+		}
+		heap.Push(&inflight, issueEvent{done: done, idx: next})
+		s.metrics.Events += 2 // issue + completion
+		next++
+	}
+	// Fill the window at t=0, then issue one op per completion: the
+	// scheduler keeps Window logical ops in flight, in stream order.
+	for next < len(ops) && next < cfg.Window {
+		issue(0)
+	}
+	for next < len(ops) {
+		ev := heap.Pop(&inflight).(issueEvent)
+		issue(ev.done)
+	}
+
+	var sum int64
+	for _, l := range latencies {
+		sum += l
+	}
+	if len(ops) > 0 {
+		s.metrics.MeanLatencyCycles = float64(sum) / float64(len(ops))
+	}
+	if s.metrics.MakespanCycles > 0 {
+		s.metrics.OpsPerKilocycle = 1000 * float64(len(ops)) / float64(s.metrics.MakespanCycles)
+		capacity := int64(rect.DirectedLinks()) * int64(cfg.Bandwidth) * s.metrics.MakespanCycles
+		if capacity > 0 {
+			s.metrics.LinkUtilization = float64(s.fab.laneCycles) / float64(capacity)
+		}
+	}
+	s.metrics.LaneWaitCycles = s.fab.laneWaits
+	s.metrics.Events += s.fab.reserves
+	return s.metrics, latencies, nil
+}
+
+// execute runs one logical op issued at t and returns its completion
+// time.
+func (s *sim) execute(op Op, t int64) int64 {
+	if s.mode == Ballistic {
+		return s.executeBallistic(op, t)
+	}
+	return s.executeTeleport(op, t)
+}
+
+// executeBallistic: split the convoy out of the source trap, shuttle
+// to the destination (lane reservations, corner stalls, recooling),
+// interact transversally, shuttle home. The source qubit is locked
+// until the convoy is home; the destination for the interaction.
+func (s *sim) executeBallistic(op Op, t int64) int64 {
+	lat := s.cfg.Lat
+	src, dst := s.rect.Coord(op.Src), s.rect.Coord(op.Dst)
+	adaptive := s.cfg.Routing == RoutingAdaptive
+
+	start := s.waitQubit(op.Src, t)
+	depart := start + lat.SplitCycles
+	// Per-link occupancy: head transit plus convoy tail plus recooling
+	// stalls mid-channel.
+	headOcc := lat.HopCycles + int64(lat.ConvoyFlits) + lat.CoolCycles
+	arrive, corners := s.fab.route(src, dst, depart, headOcc, lat.CornerCycles, lat.CoolCycles, adaptive)
+	s.metrics.Corners += corners
+
+	gateStart := s.waitQubit(op.Dst, arrive)
+	gateEnd := gateStart + lat.GateCycles
+	s.qubitFree[op.Dst] = gateEnd
+
+	returnDepart := gateEnd + lat.SplitCycles
+	home, corners2 := s.fab.route(dst, src, returnDepart, headOcc, lat.CornerCycles, lat.CoolCycles, adaptive)
+	s.metrics.Corners += corners2
+	s.qubitFree[op.Src] = home
+	return home
+}
+
+// executeTeleport: the source generator port streams EPR halves to the
+// destination; after purification the gate is teleported. Data qubits
+// are locked only for the transversal interaction and correction —
+// Bell measurement and classical signalling happen on ancillas.
+func (s *sim) executeTeleport(op Op, t int64) int64 {
+	lat := s.cfg.Lat
+	src, dst := s.rect.Coord(op.Src), s.rect.Coord(op.Dst)
+	adaptive := s.cfg.Routing == RoutingAdaptive
+
+	// Finite generation rate: the port serializes its streams.
+	stream := lat.StreamCycles()
+	gen := t
+	if s.genFree[op.Src] > gen {
+		gen = s.genFree[op.Src]
+	}
+	s.metrics.GenWaitCycles += gen - t
+	s.genFree[op.Src] = gen + stream
+	s.metrics.EPRHalves += int64(lat.EPRFlits)
+
+	// The stream occupies each link for head transit plus its tail.
+	headArrive, corners := s.fab.route(src, dst, gen, lat.HopCycles+stream, lat.CornerCycles, 0, adaptive)
+	s.metrics.Corners += corners
+	ready := headArrive + stream + lat.PurifyCycles
+
+	// Teleported gate: both data qubits join for the transversal
+	// interaction; measurement and signalling overlap other work.
+	es := s.waitQubit2(op.Src, op.Dst, ready)
+	lock := es + lat.TeleportLockCycles()
+	s.qubitFree[op.Src] = lock
+	s.qubitFree[op.Dst] = lock
+	return es + lat.GateCycles + lat.BellCycles + lat.ClassicalCycles + lat.CorrectionCycles
+}
+
+func (s *sim) waitQubit(q int, t int64) int64 {
+	if s.qubitFree[q] > t {
+		s.metrics.QubitWaitCycles += s.qubitFree[q] - t
+		t = s.qubitFree[q]
+	}
+	return t
+}
+
+func (s *sim) waitQubit2(a, b int, t int64) int64 {
+	return s.waitQubit(b, s.waitQubit(a, t))
+}

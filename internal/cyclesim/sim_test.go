@@ -1,0 +1,275 @@
+package cyclesim
+
+import (
+	"reflect"
+	"testing"
+
+	"qla/internal/iontrap"
+)
+
+func testLatencies(t testing.TB) Latencies {
+	t.Helper()
+	lat, err := DeriveLatencies(iontrap.Expected(), DeriveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+func TestDeriveLatenciesExpected(t *testing.T) {
+	lat := testLatencies(t)
+	// Table 1 expected parameters: cell move 0.01 µs, split/corner
+	// 10 µs, two-qubit gate 10 µs, measure 100 µs, cool 1 µs. Tile
+	// pitch (47+159)/2 = 103 cells.
+	want := Latencies{
+		HopCycles:        103,
+		SplitCycles:      1000,
+		CornerCycles:     1000,
+		GateCycles:       1000,
+		BellCycles:       11000,
+		ClassicalCycles:  100,
+		CorrectionCycles: 100,
+		CoolCycles:       200, // 103/50 = 2 stops x 100 cycles
+		EPRCycles:        10,
+		PurifyCycles:     22200,
+		ConvoyFlits:      7,
+		EPRFlits:         14,
+	}
+	if lat != want {
+		t.Errorf("derived latencies = %+v, want %+v", lat, want)
+	}
+}
+
+func TestHopCellsForLevel(t *testing.T) {
+	if HopCellsForLevel(2) != 103 {
+		t.Errorf("level 2 hop = %d, want 103", HopCellsForLevel(2))
+	}
+	if HopCellsForLevel(0) != 103 {
+		t.Errorf("level 0 (default) hop = %d, want 103", HopCellsForLevel(0))
+	}
+	if l1, l3 := HopCellsForLevel(1), HopCellsForLevel(3); !(l1 < 103 && 103 < l3) {
+		t.Errorf("hop cells not monotone in level: L1=%d L2=103 L3=%d", l1, l3)
+	}
+}
+
+// TestCrossover asserts the paper's qualitative claim: ballistic
+// shuttling wins in small, latency-bound configurations, but beyond a
+// grid size / contention level the teleportation interconnect sustains
+// higher effective logical-op bandwidth (acceptance criterion).
+func TestCrossover(t *testing.T) {
+	lat := testLatencies(t)
+
+	// Small grid, shallow window, ample bandwidth: per-op latency
+	// dominates, and teleportation's Bell-measurement overhead loses.
+	small := Config{W: 4, H: 4, Bandwidth: 2, Window: 4, Routing: RoutingDimension, Lat: lat}
+	ops, err := MakeKernel(KernelRandom, 4, 4, 128, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele, _, err := Run(small, Teleport, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, _, err := Run(small, Ballistic, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ball.OpsPerKilocycle > tele.OpsPerKilocycle) {
+		t.Errorf("small grid: ballistic %.3f ops/kcycle should beat teleport %.3f",
+			ball.OpsPerKilocycle, tele.OpsPerKilocycle)
+	}
+
+	// Large grid, deep window, single-lane channels: contention and
+	// round-trip qubit locking throttle ballistic movement while EPR
+	// streams pipeline.
+	large := Config{W: 16, H: 16, Bandwidth: 1, Window: 512, Routing: RoutingDimension, Lat: lat}
+	ops, err = MakeKernel(KernelRandom, 16, 16, 2048, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele, _, err = Run(large, Teleport, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, _, err = Run(large, Ballistic, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tele.OpsPerKilocycle > 2*ball.OpsPerKilocycle) {
+		t.Errorf("large contended grid: teleport %.3f ops/kcycle should sustain >2x ballistic %.3f",
+			tele.OpsPerKilocycle, ball.OpsPerKilocycle)
+	}
+}
+
+func TestRunDeterministicAcrossRepeats(t *testing.T) {
+	lat := testLatencies(t)
+	cfg := Config{W: 8, H: 8, Bandwidth: 2, Window: 16, Routing: RoutingAdaptive, Lat: lat}
+	ops, err := MakeKernel(KernelRandom, 8, 8, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{Teleport, Ballistic} {
+		m1, l1, err := Run(cfg, mode, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, l2, err := Run(cfg, mode, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != m2 {
+			t.Errorf("%s metrics differ across repeats:\n%+v\n%+v", mode, m1, m2)
+		}
+		if !reflect.DeepEqual(l1, l2) {
+			t.Errorf("%s per-op latencies differ across repeats", mode)
+		}
+	}
+}
+
+func TestBandwidthRelievesContention(t *testing.T) {
+	lat := testLatencies(t)
+	ops, err := MakeKernel(KernelRandom, 12, 12, 1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for _, bw := range []int{1, 2, 4} {
+		cfg := Config{W: 12, H: 12, Bandwidth: bw, Window: 256, Routing: RoutingDimension, Lat: lat}
+		m, _, err := Run(cfg, Ballistic, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && m.MakespanCycles > prev {
+			t.Errorf("bandwidth %d makespan %d exceeds narrower channel's %d", bw, m.MakespanCycles, prev)
+		}
+		prev = m.MakespanCycles
+	}
+}
+
+func TestAdaptiveRoutingValid(t *testing.T) {
+	lat := testLatencies(t)
+	ops, err := MakeKernel(KernelBitrev, 8, 8, 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, routing := range []string{RoutingDimension, RoutingAdaptive} {
+		cfg := Config{W: 8, H: 8, Bandwidth: 1, Window: 64, Routing: routing, Lat: lat}
+		m, lats, err := Run(cfg, Teleport, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.MakespanCycles <= 0 || len(lats) != len(ops) {
+			t.Errorf("%s routing produced empty run: %+v", routing, m)
+		}
+		for i, l := range lats {
+			if l <= 0 {
+				t.Fatalf("%s routing: op %d has non-positive latency %d", routing, i, l)
+			}
+		}
+	}
+	// Dimension-ordered minimal routes turn at most one corner per
+	// transfer in teleport mode (one-way streams).
+	cfg := Config{W: 8, H: 8, Bandwidth: 4, Window: 8, Routing: RoutingDimension, Lat: lat}
+	m, _, err := Run(cfg, Teleport, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Corners > int64(len(ops)) {
+		t.Errorf("dimension routing turned %d corners on %d one-way transfers", m.Corners, len(ops))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	lat := testLatencies(t)
+	good := Config{W: 4, H: 4, Bandwidth: 1, Window: 1, Routing: RoutingDimension, Lat: lat}
+	cases := []struct {
+		name string
+		cfg  Config
+		ops  []Op
+	}{
+		{"zero grid", Config{W: 0, H: 4, Bandwidth: 1, Window: 1, Routing: RoutingDimension, Lat: lat}, []Op{{0, 1}}},
+		{"one tile", Config{W: 1, H: 1, Bandwidth: 1, Window: 1, Routing: RoutingDimension, Lat: lat}, []Op{{0, 0}}},
+		{"bad routing", Config{W: 4, H: 4, Bandwidth: 1, Window: 1, Routing: "zigzag", Lat: lat}, []Op{{0, 1}}},
+		{"no bandwidth", Config{W: 4, H: 4, Bandwidth: 0, Window: 1, Routing: RoutingDimension, Lat: lat}, []Op{{0, 1}}},
+		{"underived latencies", Config{W: 4, H: 4, Bandwidth: 1, Window: 1, Routing: RoutingDimension}, []Op{{0, 1}}},
+		{"op out of grid", good, []Op{{0, 99}}},
+		{"self op", good, []Op{{3, 3}}},
+	}
+	for _, c := range cases {
+		if _, _, err := Run(c.cfg, Ballistic, c.ops); err == nil {
+			t.Errorf("%s: Run accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	lat := testLatencies(t)
+	cfg := HierarchyConfig{
+		Levels: 3, Accesses: 512, MissRatio: 0.35,
+		Window: 8, Bandwidth: 2, Routing: RoutingDimension, Lat: lat, Seed: 7,
+	}
+	res, err := RunHierarchy(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridW != 9 {
+		t.Errorf("grid width = %d, want 9 (2^3+1)", res.GridW)
+	}
+	total := 0
+	for _, l := range res.Levels {
+		total += l.Accesses
+	}
+	if total != cfg.Accesses {
+		t.Errorf("level accesses sum to %d, want %d", total, cfg.Accesses)
+	}
+	// The near level must be hit most often at miss ratio 0.35, and
+	// ballistic mean access latency must grow with distance.
+	if res.Levels[0].Accesses <= res.Levels[2].Accesses {
+		t.Errorf("L1 (%d accesses) should dominate L3 (%d)", res.Levels[0].Accesses, res.Levels[2].Accesses)
+	}
+	if !(res.Levels[0].BallisticMeanCycles < res.Levels[2].BallisticMeanCycles) {
+		t.Errorf("ballistic latency not increasing with level: L1=%.0f L3=%.0f",
+			res.Levels[0].BallisticMeanCycles, res.Levels[2].BallisticMeanCycles)
+	}
+	// Shared access stream: both modes replay identical ops.
+	if res.Teleport.Ops != cfg.Accesses || res.Ballistic.Ops != cfg.Accesses {
+		t.Errorf("modes ran %d/%d ops, want %d each", res.Teleport.Ops, res.Ballistic.Ops, cfg.Accesses)
+	}
+
+	// Parallel execution of the two modes is bit-identical.
+	par, err := RunHierarchy(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, par) {
+		t.Error("hierarchy results differ between par=1 and par=8")
+	}
+}
+
+func BenchmarkCycleInterconnect(b *testing.B) {
+	lat := testLatencies(b)
+	cfg := Config{W: 8, H: 8, Bandwidth: 2, Window: 16, Routing: RoutingDimension, Lat: lat}
+	ops, err := MakeKernel(KernelRandom, 8, 8, 256, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events, cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []Mode{Teleport, Ballistic} {
+			m, _, err := Run(cfg, mode, ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += m.Events
+			cycles += m.MakespanCycles
+		}
+	}
+	elapsed := b.Elapsed()
+	if elapsed > 0 {
+		b.ReportMetric(float64(events)/elapsed.Seconds(), "events/s")
+	}
+	if cycles > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(cycles), "ns/cycle")
+	}
+}

@@ -1,0 +1,146 @@
+package engine
+
+// The cycle-* experiment family runs the cycle-level data-movement
+// simulator of internal/cyclesim, which depends on this package (it
+// consumes RunContext machines and Table-1 parameter sets), so — as
+// with machine-sweep — the Run/Report pairs arrive through
+// RegisterCycleExperiment at that package's init. Registration,
+// parameter schemas, canonicalization and the golden Specs stay here;
+// a binary that links internal/cyclesim (the facade, the serving
+// layer, the CLIs) gets working cycle experiments, and one that does
+// not gets a clear error instead of a silent no-op.
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// Cycle experiment names.
+const (
+	CycleInterconnect = "cycle-interconnect"
+	CycleHierarchy    = "cycle-hierarchy"
+	CycleTrace        = "cycle-trace"
+)
+
+type cycleImpl struct {
+	run    func(ctx context.Context, rc *RunContext) (any, error)
+	report func(w io.Writer, res Result) error
+}
+
+var cycleHooks = map[string]*cycleImpl{
+	CycleInterconnect: {},
+	CycleHierarchy:    {},
+	CycleTrace:        {},
+}
+
+// RegisterCycleExperiment installs one cycle experiment's
+// implementation. Called from internal/cyclesim's init, once per name;
+// unknown names, duplicate installs and nil run functions panic, as
+// Register does for malformed entries.
+func RegisterCycleExperiment(name string, run func(ctx context.Context, rc *RunContext) (any, error), report func(w io.Writer, res Result) error) {
+	hook, ok := cycleHooks[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: RegisterCycleExperiment: unknown experiment %q", name))
+	}
+	if run == nil {
+		panic(fmt.Sprintf("engine: RegisterCycleExperiment(%s) needs a run function", name))
+	}
+	if hook.run != nil {
+		panic(fmt.Sprintf("engine: cycle experiment %s already registered", name))
+	}
+	hook.run = run
+	hook.report = report
+}
+
+func cycleRun(name string) func(ctx context.Context, rc *RunContext) (any, error) {
+	return func(ctx context.Context, rc *RunContext) (any, error) {
+		if cycleHooks[name].run == nil {
+			return nil, fmt.Errorf("%s: implementation not linked (import qla/internal/cyclesim)", name)
+		}
+		return cycleHooks[name].run(ctx, rc)
+	}
+}
+
+func cycleReport(name string) func(w io.Writer, res Result) error {
+	return func(w io.Writer, res Result) error {
+		if cycleHooks[name].report == nil {
+			return reportJSON(w, res)
+		}
+		return cycleHooks[name].report(w, res)
+	}
+}
+
+// cycleFabricParams are the latency/fabric knobs shared by every cycle
+// experiment. Spec.Machine supplies the rest: the Table-1 parameter
+// set sets the cycle latencies, machine.bandwidth the lanes per link
+// direction, and machine.level the tile pitch the hop distance derives
+// from.
+func cycleFabricParams() []ParamDef {
+	return []ParamDef{
+		{Name: "routing", Kind: Text, Default: "dimension", OneOf: []string{"dimension", "adaptive"}, Doc: "mesh routing policy: \"dimension\" (X then Y, at most one corner) or \"adaptive\" (earliest-free productive direction)"},
+		{Name: "tile-cells", Kind: Int, Default: 0, Doc: "inter-tile hop distance in cells (0 derives the machine level's tile pitch from internal/layout)"},
+		{Name: "epr-cycles", Kind: Int, Default: 0, Doc: "EPR-generator interval between pair halves, in cycles (0 derives the pipelined 0.1 µs factory rate)"},
+		{Name: "epr-pairs", Kind: Int, Default: 2, Doc: "purified pair halves shipped per codeword ion (purification sacrifice included)"},
+		{Name: "purify-cycles", Kind: Int, Default: 0, Doc: "residual purification latency at the destination port, in cycles (0 derives two BBPSSW rounds)"},
+		{Name: "cool-cells", Kind: Int, Default: 0, Doc: "ballistic recooling interval in cells (0 keeps the default 50; negative disables recooling stalls)"},
+		{Name: "seed", Kind: Uint, Default: 7, Doc: "workload generation seed"},
+	}
+}
+
+func init() {
+	Register(Experiment{
+		Name:        CycleInterconnect,
+		Family:      "cycle",
+		UsesMachine: true,
+		Title:       "Cycle-level interconnect: teleportation vs. ballistic shuttling under contention",
+		Doc: "Replays a synthetic logical-op kernel through the cycle-level tile-grid simulator in both transport modes and compares sustained logical-op bandwidth, latency and link contention — the data-movement tradeoff behind the paper's Sections 4–5 " +
+			"(teleportation interconnect with dedicated EPR-generator ports vs. ballistic codeword shuttling). One cycle is one ballistic cell move of the machine's Table-1 parameter set.",
+		Params: append([]ParamDef{
+			{Name: "grid", Kind: Int, Default: 8, Doc: "tiles per side of the square logical-qubit grid"},
+			{Name: "ops", Kind: Int, Default: 256, Doc: "logical operations replayed"},
+			{Name: "window", Kind: Int, Default: 16, Doc: "logical ops the scheduler keeps in flight"},
+			{Name: "kernel", Kind: Text, Default: "random", OneOf: []string{"random", "neighbor", "transversal", "bitrev"}, Doc: "synthetic workload kernel"},
+		}, cycleFabricParams()...),
+		Bench:    true,
+		Parallel: true,
+		Run:      cycleRun(CycleInterconnect),
+		Report:   cycleReport(CycleInterconnect),
+	})
+
+	Register(Experiment{
+		Name:        CycleHierarchy,
+		Family:      "cycle",
+		UsesMachine: true,
+		Title:       "Cycle-level memory hierarchy: cache levels over the teleportation interconnect",
+		Doc: "Places cache levels at geometrically growing distances on a line of tiles (level i at 2^i hops) and replays a miss-chain access stream through both transport modes, reporting per-level mean access latency and the AMAT of each mode — " +
+			"the cache-level × bandwidth evaluation shape of the memory-hierarchy follow-up (quant-ph/0604070).",
+		Params: append([]ParamDef{
+			{Name: "levels", Kind: Int, Default: 3, Doc: "cache levels (level i sits 2^i tiles from compute)"},
+			{Name: "accesses", Kind: Int, Default: 512, Doc: "memory accesses replayed"},
+			{Name: "miss-ratio", Kind: Float, Default: 0.35, Doc: "per-level miss probability of the access stream"},
+			{Name: "window", Kind: Int, Default: 8, Doc: "accesses the scheduler keeps in flight"},
+		}, cycleFabricParams()...),
+		Bench:    true,
+		Parallel: true,
+		Run:      cycleRun(CycleHierarchy),
+		Report:   cycleReport(CycleHierarchy),
+	})
+
+	Register(Experiment{
+		Name:        CycleTrace,
+		Family:      "cycle",
+		UsesMachine: true,
+		Title:       "Cycle-level trace replay (circuit-trace seam)",
+		Doc: "Replays an explicit logical-operation trace (\"cx SRC DST\" lines over row-major tile indices) through the cycle-level simulator in both transport modes. " +
+			"This is the seam for compiled circuit traces; netsim's workload generators emit the same shape.",
+		Params: append([]ParamDef{
+			{Name: "trace", Kind: Text, Default: "cx 0 5\ncx 3 6\ncx 12 9\ncx 15 10", Doc: "logical-op trace, one \"cx SRC DST\" per line ('#' comments allowed)"},
+			{Name: "grid", Kind: Int, Default: 4, Doc: "tiles per side of the square logical-qubit grid"},
+			{Name: "window", Kind: Int, Default: 4, Doc: "logical ops the scheduler keeps in flight"},
+		}, cycleFabricParams()...),
+		Parallel: true,
+		Run:      cycleRun(CycleTrace),
+		Report:   cycleReport(CycleTrace),
+	})
+}

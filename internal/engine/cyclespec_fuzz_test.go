@@ -1,0 +1,85 @@
+package engine
+
+// FuzzCycleSpecDecode narrows FuzzSpecDecode's contract onto the
+// cycle-* experiment family: arbitrary Specs naming a cycle experiment
+// must decode strictly or error (never panic), and any input that
+// hashes must hash stably across its canonical round trip. The family
+// registers here (internal/engine/cycleexp.go) with its Run injected
+// by internal/cyclesim, so parameter coercion and canonicalization —
+// what this fuzzer drives — are fully linked in this test binary.
+//
+//	go test ./internal/engine -run '^$' -fuzz FuzzCycleSpecDecode -fuzztime 30s
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func FuzzCycleSpecDecode(f *testing.F) {
+	// Seed with the cycle goldens plus shapes near the validation
+	// edges of the cycle parameter schemas.
+	entries, err := os.ReadDir(specDir)
+	if err != nil {
+		f.Fatalf("reading %s (regenerate goldens with -update): %v", specDir, err)
+	}
+	seeded := 0
+	for _, ent := range entries {
+		if !strings.HasPrefix(ent.Name(), "cycle-") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(specDir, ent.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		seeded++
+	}
+	if seeded != 3 {
+		f.Fatalf("found %d cycle-* goldens, want 3 (regenerate with -update)", seeded)
+	}
+	for _, seed := range []string{
+		`{"experiment":"cycle-interconnect"}`,
+		`{"experiment":"cycle-interconnect","machine":{"bandwidth":4},"params":{"grid":16,"kernel":"bitrev"}}`,
+		`{"experiment":"cycle-interconnect","params":{"kernel":"nope"}}`,
+		`{"experiment":"cycle-interconnect","params":{"routing":"adaptive","epr-cycles":100}}`,
+		`{"experiment":"cycle-interconnect","params":{"tile-cells":-1}}`,
+		`{"experiment":"cycle-interconnect","params":{"seed":18446744073709551615}}`,
+		`{"experiment":"cycle-interconnect","params":{"ops":1e99}}`,
+		`{"experiment":"cycle-hierarchy","params":{"levels":8,"miss-ratio":0.99}}`,
+		`{"experiment":"cycle-hierarchy","params":{"miss-ratio":"half"}}`,
+		`{"experiment":"cycle-trace","params":{"trace":"cx 0 1\n# comment\ncx 2 3"}}`,
+		`{"experiment":"cycle-trace","params":{"trace":""}}`,
+		`{"experiment":"cycle-trace","params":{"unknown":1}}`,
+		`{"experiment":"cycle-interconnect","machine":{"level":-2}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		spec, err := DecodeSpec(raw)
+		if err != nil {
+			return // malformed input must error, and it did
+		}
+		hash, err := SpecHash(spec)
+		if err != nil {
+			return // decodes but fails validation: also fine
+		}
+		cj, err := CanonicalJSON(spec)
+		if err != nil {
+			t.Fatalf("SpecHash succeeded but CanonicalJSON failed: %v", err)
+		}
+		back, err := DecodeSpec(cj)
+		if err != nil {
+			t.Fatalf("canonical JSON fails strict decode: %v\n%s", err, cj)
+		}
+		hash2, err := SpecHash(back)
+		if err != nil {
+			t.Fatalf("canonical JSON fails to re-hash: %v\n%s", err, cj)
+		}
+		if hash != hash2 {
+			t.Fatalf("hash not stable across canonical round trip: %s vs %s\n%s", hash, hash2, cj)
+		}
+	})
+}

@@ -184,10 +184,11 @@ func parseJob(rc *RunContext) (*arq.Job, error) {
 
 func init() {
 	Register(Experiment{
-		Name:  "table1",
-		Title: "Table 1: physical operation times and failure rates",
-		Doc:   "Reproduces Table 1's two technology parameter columns (current vs expected ion-trap failure rates).",
-		Bench: true,
+		Name:   "table1",
+		Family: "paper",
+		Title:  "Table 1: physical operation times and failure rates",
+		Doc:    "Reproduces Table 1's two technology parameter columns (current vs expected ion-trap failure rates).",
+		Bench:  true,
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
 			return Table1Data{Current: iontrap.Current(), Expected: iontrap.Expected()}, nil
 		},
@@ -196,6 +197,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "ec-latency",
+		Family:      "paper",
 		UsesMachine: true,
 		Aliases:     []string{"ecc", "eclatency"},
 		Title:       "Equation 1: error-correction latency (Section 4.1.1)",
@@ -209,6 +211,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "equation2",
+		Family:      "paper",
 		UsesMachine: true,
 		Aliases:     []string{"eq2"},
 		Title:       "Equation 2: Gottesman local-architecture failure estimate",
@@ -250,6 +253,7 @@ func init() {
 
 	Register(Experiment{
 		Name:     "figure7",
+		Family:   "paper",
 		Parallel: true,
 		Aliases:  []string{"fig7"},
 		Title:    "Figure 7: logical one-qubit gate failure vs component failure rate",
@@ -292,6 +296,7 @@ func init() {
 
 	Register(Experiment{
 		Name:     "syndrome-rates",
+		Family:   "paper",
 		Parallel: true,
 		Aliases:  []string{"syndrome"},
 		Title:    "Non-trivial syndrome rates at expected parameters (Section 4.1.1)",
@@ -314,6 +319,7 @@ func init() {
 
 	Register(Experiment{
 		Name:    "figure9",
+		Family:  "paper",
 		Aliases: []string{"fig9"},
 		Title:   "Figure 9: connection time vs total distance by island separation",
 		Doc:     "Sweeps the calibrated repeater-channel model over total distance for each Figure-9 island separation, with the d=100/d=350 crossover (paper: ~6000 cells) and the best separation at the sweep endpoints.",
@@ -337,6 +343,7 @@ func init() {
 
 	Register(Experiment{
 		Name:    "scheduler-sweep",
+		Family:  "paper",
 		Aliases: []string{"sched"},
 		Title:   "Section 5: EPR scheduler bandwidth sweep",
 		Doc:     "Schedules the canonical Toffoli workload at each candidate channel bandwidth (paper: bandwidth 2 fully overlaps communication with error correction at ~23% utilization).",
@@ -358,10 +365,11 @@ func init() {
 	})
 
 	Register(Experiment{
-		Name:  "table2",
-		Title: "Table 2: Shor's algorithm on the QLA",
-		Doc:   "Regenerates Table 2 (Shor sizing for N = 128, 512, 1024, 2048) under the expected parameters, printed beside the paper's reported values.",
-		Bench: true,
+		Name:   "table2",
+		Family: "paper",
+		Title:  "Table 2: Shor's algorithm on the QLA",
+		Doc:    "Regenerates Table 2 (Shor sizing for N = 128, 512, 1024, 2048) under the expected parameters, printed beside the paper's reported values.",
+		Bench:  true,
 		Run: func(ctx context.Context, rc *RunContext) (any, error) {
 			return shor.Table2()
 		},
@@ -370,6 +378,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "shor",
+		Family:      "paper",
 		UsesMachine: true,
 		Aliases:     []string{"shor128"},
 		Title:       "Factoring on the QLA (Section 5 narrative)",
@@ -404,6 +413,7 @@ func init() {
 
 	Register(Experiment{
 		Name:    "compare-adders",
+		Family:  "extensions",
 		Aliases: []string{"adders"},
 		Title:   "Adder ablation: Toffoli critical path, ripple vs QCLA",
 		Doc:     "Builds, verifies and measures the Cuccaro ripple-carry baseline against the DKRS carry-lookahead adder at each width, plus the VBE modular-adder comparison (the paper's QCLA choice).",
@@ -446,6 +456,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "code-ablation",
+		Family:      "extensions",
 		UsesMachine: true,
 		Aliases:     []string{"codes"},
 		Title:       "Code ablation: syndrome-extraction bill per full round",
@@ -482,6 +493,7 @@ func init() {
 
 	Register(Experiment{
 		Name:     "chain-validation",
+		Family:   "extensions",
 		Parallel: true,
 		Aliases:  []string{"chainmc"},
 		Title:    "Repeater-chain Monte Carlo vs Werner model",
@@ -527,6 +539,7 @@ func init() {
 
 	Register(Experiment{
 		Name:     "run-chain",
+		Family:   "extensions",
 		Parallel: true,
 		Title:    "Repeater-chain Monte Carlo: one configuration",
 		Doc:      "Executes the repeater protocol gate by gate for one chain configuration and compares against the Werner-model prediction. Honors engine parallelism with bit-identical results at any width; the batch and scalar backends are bit-identical at the same seed.",
@@ -556,6 +569,7 @@ func init() {
 
 	Register(Experiment{
 		Name:     "compare-comm",
+		Family:   "extensions",
 		Parallel: true,
 		Aliases:  []string{"comm"},
 		Title:    "Communication strategies: naive end-to-end vs repeater chain",
@@ -583,6 +597,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "shuttle",
+		Family:      "paper",
 		UsesMachine: true,
 		Title:       "QCCD substrate: executed transversal gate vs analytic budget",
 		Doc:         "Runs full inter-block transversal gates on the discrete-event QCCD simulator at each island separation and compares against the analytic movement budget (Figures 2-4 substrate).",
@@ -609,9 +624,10 @@ func init() {
 	})
 
 	Register(Experiment{
-		Name:  "qft",
-		Title: "QFT: banded circuit vs the paper's EC-step charge",
-		Doc:   "Verifies the banded transform against the DFT matrix at small widths, measures the Coppersmith banding error, and compares banded gate counts to the 2N·(log2(2N)+2) model charge.",
+		Name:   "qft",
+		Family: "extensions",
+		Title:  "QFT: banded circuit vs the paper's EC-step charge",
+		Doc:    "Verifies the banded transform against the DFT matrix at small widths, measures the Coppersmith banding error, and compares banded gate counts to the 2N·(log2(2N)+2) model charge.",
 		Params: []ParamDef{
 			{Name: "charge-widths", Kind: Ints, Default: []int{32, 128, 512, 1024}, Doc: "modulus widths for the gate-count comparison"},
 		},
@@ -646,6 +662,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "multichip",
+		Family:      "extensions",
 		UsesMachine: true,
 		Title:       "Multi-chip partitioning (Section 6)",
 		Doc:         "Partitions N-bit factorization machines across chips bounded by a maximum edge and sizes the photonic links per boundary (paper: 'a multi-chip solution is desirable' beyond N=128).",
@@ -675,6 +692,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "plan-multichip",
+		Family:      "extensions",
 		UsesMachine: true,
 		Title:       "Multi-chip planning: custom photonic links + yield-aware floorplans",
 		Doc: "Extends the Section-6 multichip partitioning with a configurable heralded photonic-link model and defect-yield spare-tile provisioning (internal/layout): " +
@@ -726,6 +744,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "arq-estimate",
+		Family:      "arq",
 		UsesMachine: true,
 		Title:       "ARQ: architecture-level execution estimate",
 		Doc:         "Maps a .qc circuit onto a QLA machine and reports the execution estimate (EC-step depth, communication overlap, failure budget, area).",
@@ -748,6 +767,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "arq-run",
+		Family:      "arq",
 		UsesMachine: true,
 		Title:       "ARQ: exact stabilizer execution",
 		Doc:         "Runs a .qc circuit exactly on the stabilizer backend and returns the measurement outcomes in program order.",
@@ -767,6 +787,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "arq-noisy",
+		Family:      "arq",
 		UsesMachine: true,
 		Title:       "ARQ: noisy Pauli-frame Monte Carlo",
 		Doc:         "Runs a .qc circuit through the Pauli-frame backend under the machine's technology parameters and reports measurement-flip statistics.",
@@ -787,6 +808,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "arq-pulses",
+		Family:      "arq",
 		UsesMachine: true,
 		Title:       "ARQ: lowered pulse schedule",
 		Doc:         "Lowers a .qc circuit to the timed pulse-schedule text format.",
@@ -809,6 +831,7 @@ func init() {
 
 	Register(Experiment{
 		Name:        "arq-control",
+		Family:      "arq",
 		UsesMachine: true,
 		Title:       "ARQ: classical control budget (Section 6)",
 		Doc:         "Computes laser, photodetector and control-event-rate requirements for a circuit's pulse schedule, with SIMD laser grouping.",

@@ -15,6 +15,13 @@ import (
 type Experiment struct {
 	// Name is the canonical registry key (lower-case, hyphenated).
 	Name string
+	// Family groups related experiments for catalog displays
+	// (qlabench -list, the serving catalog): "paper" for direct
+	// table/figure reproductions, "extensions" for ablations and
+	// follow-up analyses, "arq" for the ARQ pipeline stages, "sweep"
+	// for the batch-sweep meta-experiment, "cycle" for the cycle-level
+	// data-movement family.
+	Family string
 	// Aliases are alternative lookup names (legacy CLI spellings).
 	Aliases []string
 	// Title is the one-line human heading printed above reports.

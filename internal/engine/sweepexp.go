@@ -40,6 +40,7 @@ func RegisterMachineSweep(run func(ctx context.Context, rc *RunContext) (any, er
 func init() {
 	Register(Experiment{
 		Name:        "machine-sweep",
+		Family:      "sweep",
 		UsesMachine: true,
 		Aliases:     []string{"sweep"},
 		Title:       "Machine-grid batch sweep over one experiment",

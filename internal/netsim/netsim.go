@@ -16,12 +16,13 @@ package netsim
 import (
 	"fmt"
 	"sort"
+
+	"qla/internal/tilegrid"
 )
 
-// Node is an island position on the interconnect grid.
-type Node struct {
-	X, Y int
-}
+// Node is an island position on the interconnect grid — the shared
+// tilegrid coordinate type (see internal/tilegrid).
+type Node = tilegrid.Coord
 
 // Network is a rectangular island grid with capacitated channels. Each
 // undirected neighbour pair is joined by Bandwidth lanes per direction per
@@ -79,19 +80,12 @@ func (n *Network) Utilization() float64 {
 	return float64(n.UsedLanes()) / float64(cap)
 }
 
-func (n *Network) inGrid(v Node) bool {
-	return v.X >= 0 && v.X < n.W && v.Y >= 0 && v.Y < n.H
-}
+func (n *Network) rect() tilegrid.Rect { return tilegrid.Rect{W: n.W, H: n.H} }
+
+func (n *Network) inGrid(v Node) bool { return n.rect().Contains(v) }
 
 func (n *Network) neighbors(v Node, buf []Node) []Node {
-	buf = buf[:0]
-	for _, d := range [4]Node{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
-		w := Node{v.X + d.X, v.Y + d.Y}
-		if n.inGrid(w) {
-			buf = append(buf, w)
-		}
-	}
-	return buf
+	return n.rect().Neighbors(v, buf[:0])
 }
 
 func (n *Network) free(a, b Node) bool {
@@ -255,14 +249,4 @@ func (n *Network) ScheduleWindow(reqs []Request, maxBeats int) WindowResult {
 	return win
 }
 
-func manhattan(r Request) int {
-	dx := r.Src.X - r.Dst.X
-	if dx < 0 {
-		dx = -dx
-	}
-	dy := r.Src.Y - r.Dst.Y
-	if dy < 0 {
-		dy = -dy
-	}
-	return dx + dy
-}
+func manhattan(r Request) int { return tilegrid.Manhattan(r.Src, r.Dst) }

@@ -30,19 +30,19 @@ func TestNewValidation(t *testing.T) {
 
 func TestFindPathBasics(t *testing.T) {
 	n, _ := New(5, 5, 1)
-	p := n.FindPath(Node{0, 0}, Node{3, 0})
+	p := n.FindPath(Node{X: 0, Y: 0}, Node{X: 3, Y: 0})
 	if len(p) != 4 {
 		t.Fatalf("path length %d, want 4 nodes", len(p))
 	}
-	if p[0] != (Node{0, 0}) || p[len(p)-1] != (Node{3, 0}) {
+	if p[0] != (Node{X: 0, Y: 0}) || p[len(p)-1] != (Node{X: 3, Y: 0}) {
 		t.Error("path endpoints wrong")
 	}
 	// Self path.
-	if p := n.FindPath(Node{2, 2}, Node{2, 2}); len(p) != 1 {
+	if p := n.FindPath(Node{X: 2, Y: 2}, Node{X: 2, Y: 2}); len(p) != 1 {
 		t.Error("self path should be the single node")
 	}
 	// Out-of-grid.
-	if p := n.FindPath(Node{-1, 0}, Node{0, 0}); p != nil {
+	if p := n.FindPath(Node{X: -1, Y: 0}, Node{X: 0, Y: 0}); p != nil {
 		t.Error("out-of-grid src should fail")
 	}
 }
@@ -51,16 +51,16 @@ func TestCapacityRespected(t *testing.T) {
 	// A 2x1 grid has a single undirected adjacency; with bandwidth 1 the
 	// directed lane (0,0)->(1,0) fits one path only.
 	n, _ := New(2, 1, 1)
-	r1 := n.ScheduleGreedy([]Request{{ID: 0, Src: Node{0, 0}, Dst: Node{1, 0}}})
+	r1 := n.ScheduleGreedy([]Request{{ID: 0, Src: Node{X: 0, Y: 0}, Dst: Node{X: 1, Y: 0}}})
 	if len(r1.Scheduled) != 1 {
 		t.Fatal("first request should schedule")
 	}
-	r2 := n.ScheduleGreedy([]Request{{ID: 1, Src: Node{0, 0}, Dst: Node{1, 0}}})
+	r2 := n.ScheduleGreedy([]Request{{ID: 1, Src: Node{X: 0, Y: 0}, Dst: Node{X: 1, Y: 0}}})
 	if len(r2.Scheduled) != 0 || len(r2.Failed) != 1 {
 		t.Error("second request should exhaust the lane and fail")
 	}
 	// The reverse direction is independent capacity.
-	r3 := n.ScheduleGreedy([]Request{{ID: 2, Src: Node{1, 0}, Dst: Node{0, 0}}})
+	r3 := n.ScheduleGreedy([]Request{{ID: 2, Src: Node{X: 1, Y: 0}, Dst: Node{X: 0, Y: 0}}})
 	if len(r3.Scheduled) != 1 {
 		t.Error("reverse lane should still be free")
 	}
@@ -69,11 +69,11 @@ func TestCapacityRespected(t *testing.T) {
 func TestPathsRouteAroundCongestion(t *testing.T) {
 	// Block the straight east lane; the scheduler should detour.
 	n, _ := New(3, 2, 1)
-	first := n.ScheduleGreedy([]Request{{ID: 0, Src: Node{0, 0}, Dst: Node{2, 0}}})
+	first := n.ScheduleGreedy([]Request{{ID: 0, Src: Node{X: 0, Y: 0}, Dst: Node{X: 2, Y: 0}}})
 	if len(first.Scheduled) != 1 {
 		t.Fatal("first path should schedule")
 	}
-	second := n.ScheduleGreedy([]Request{{ID: 1, Src: Node{0, 0}, Dst: Node{2, 0}}})
+	second := n.ScheduleGreedy([]Request{{ID: 1, Src: Node{X: 0, Y: 0}, Dst: Node{X: 2, Y: 0}}})
 	if len(second.Scheduled) != 1 {
 		t.Fatal("second path should detour through row 1")
 	}
@@ -84,7 +84,7 @@ func TestPathsRouteAroundCongestion(t *testing.T) {
 
 func TestUtilizationAccounting(t *testing.T) {
 	n, _ := New(2, 1, 2)
-	n.ScheduleGreedy([]Request{{ID: 0, Src: Node{0, 0}, Dst: Node{1, 0}}})
+	n.ScheduleGreedy([]Request{{ID: 0, Src: Node{X: 0, Y: 0}, Dst: Node{X: 1, Y: 0}}})
 	// 1 lane used of 4 (2 directed edges × bandwidth 2).
 	if got := n.Utilization(); got != 0.25 {
 		t.Errorf("utilization = %g, want 0.25", got)
@@ -99,10 +99,10 @@ func TestAlternateDestinations(t *testing.T) {
 	// Saturate the only lane into the destination, then check the request
 	// succeeds via its alternate.
 	n, _ := New(3, 1, 1)
-	n.ScheduleGreedy([]Request{{ID: 0, Src: Node{1, 0}, Dst: Node{2, 0}}})
+	n.ScheduleGreedy([]Request{{ID: 0, Src: Node{X: 1, Y: 0}, Dst: Node{X: 2, Y: 0}}})
 	res := n.ScheduleGreedy([]Request{{
-		ID: 1, Src: Node{1, 0}, Dst: Node{2, 0},
-		AltDst: []Node{{0, 0}},
+		ID: 1, Src: Node{X: 1, Y: 0}, Dst: Node{X: 2, Y: 0},
+		AltDst: []Node{{X: 0, Y: 0}},
 	}})
 	if len(res.Scheduled) != 1 {
 		t.Fatal("request should schedule via alternate destination")
@@ -118,9 +118,9 @@ func TestAlternateDestinations(t *testing.T) {
 func TestScheduleWindowCarriesFailures(t *testing.T) {
 	n, _ := New(2, 1, 1)
 	reqs := []Request{
-		{ID: 0, Src: Node{0, 0}, Dst: Node{1, 0}},
-		{ID: 1, Src: Node{0, 0}, Dst: Node{1, 0}},
-		{ID: 2, Src: Node{0, 0}, Dst: Node{1, 0}},
+		{ID: 0, Src: Node{X: 0, Y: 0}, Dst: Node{X: 1, Y: 0}},
+		{ID: 1, Src: Node{X: 0, Y: 0}, Dst: Node{X: 1, Y: 0}},
+		{ID: 2, Src: Node{X: 0, Y: 0}, Dst: Node{X: 1, Y: 0}},
 	}
 	win := n.ScheduleWindow(reqs, 5)
 	if !win.AllScheduled {

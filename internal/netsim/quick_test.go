@@ -20,8 +20,8 @@ func TestQuickSchedulerSoundness(t *testing.T) {
 		for i := 0; i < nReq; i++ {
 			reqs = append(reqs, Request{
 				ID:  i,
-				Src: Node{r.IntN(w), r.IntN(h)},
-				Dst: Node{r.IntN(w), r.IntN(h)},
+				Src: Node{X: r.IntN(w), Y: r.IntN(h)},
+				Dst: Node{X: r.IntN(w), Y: r.IntN(h)},
 			})
 		}
 		net, err := New(w, h, b)
@@ -87,8 +87,8 @@ func TestQuickUtilizationBounds(t *testing.T) {
 		for i := 0; i < 1+int(reqRaw)%30; i++ {
 			net.ScheduleGreedy([]Request{{
 				ID:  i,
-				Src: Node{r.IntN(8), r.IntN(8)},
-				Dst: Node{r.IntN(8), r.IntN(8)},
+				Src: Node{X: r.IntN(8), Y: r.IntN(8)},
+				Dst: Node{X: r.IntN(8), Y: r.IntN(8)},
 			}})
 			u := net.Utilization()
 			if u < prev || u < 0 || u > 1 {

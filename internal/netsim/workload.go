@@ -40,8 +40,8 @@ func ToffoliRequests(w, h, toffolis int, rng *rand.Rand) ([]Request, error) {
 		operands := [ToffoliOperands]Node{member(), member(), member()}
 		addReq := func(src, dst Node) {
 			var alts []Node
-			for _, d := range [4]Node{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
-				alt := Node{dst.X + d.X, dst.Y + d.Y}
+			for _, d := range [4]Node{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}} {
+				alt := Node{X: dst.X + d.X, Y: dst.Y + d.Y}
 				if alt.X >= 0 && alt.X < w && alt.Y >= 0 && alt.Y < h && alt != src {
 					alts = append(alts, alt)
 				}

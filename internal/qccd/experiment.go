@@ -57,7 +57,7 @@ func InterBlockTransversalGate(ionsPerBlock, channelCells int, p iontrap.Params)
 		}
 		// One cooling ion per pair, parked below the cell the incoming
 		// A ion will occupy, so recooling needs no extra movement.
-		if coolers[i], err = s.AddIon(Cooling, Pos{blockB[i].X - 1, blockB[i].Y + 1}); err != nil {
+		if coolers[i], err = s.AddIon(Cooling, Pos{X: blockB[i].X - 1, Y: blockB[i].Y + 1}); err != nil {
 			return TransversalReport{}, err
 		}
 	}
@@ -67,7 +67,7 @@ func InterBlockTransversalGate(ionsPerBlock, channelCells int, p iontrap.Params)
 	// Leg 1: every A ion shuttles to the cell left of its B partner.
 	for i, id := range idsA {
 		home[i] = s.Ion(id).Pos
-		dst := Pos{blockB[i].X - 1, blockB[i].Y}
+		dst := Pos{X: blockB[i].X - 1, Y: blockB[i].Y}
 		res, err := s.Shuttle(id, dst)
 		if err != nil {
 			return TransversalReport{}, fmt.Errorf("qccd: leg 1 ion %d: %w", i, err)

@@ -48,7 +48,7 @@ func TestTwoTurnDesignRule(t *testing.T) {
 	traps := g.TrapPositions()
 	for i := 0; i < 7; i++ {
 		from := traps[i]
-		to := Pos{traps[7+i].X - 1, traps[7+i].Y}
+		to := Pos{X: traps[7+i].X - 1, Y: traps[7+i].Y}
 		corners, err := s.RouteCorners(from, to)
 		if err != nil {
 			t.Fatalf("pair %d: %v", i, err)

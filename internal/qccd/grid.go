@@ -18,6 +18,8 @@ package qccd
 import (
 	"fmt"
 	"strings"
+
+	"qla/internal/tilegrid"
 )
 
 // CellKind classifies one 20 µm cell of the substrate.
@@ -134,20 +136,10 @@ func Parse(s string) (*Grid, error) {
 	return g, nil
 }
 
-// Pos is a cell coordinate.
-type Pos struct{ X, Y int }
-
-// Adjacent reports whether two positions are 4-neighbours.
-func (p Pos) Adjacent(q Pos) bool {
-	dx, dy := p.X-q.X, p.Y-q.Y
-	if dx < 0 {
-		dx = -dx
-	}
-	if dy < 0 {
-		dy = -dy
-	}
-	return dx+dy == 1
-}
+// Pos is a cell coordinate — the shared tilegrid coordinate type, so
+// qccd cell positions, netsim island nodes and cyclesim tiles agree on
+// geometry (Adjacent, Manhattan) and wire format.
+type Pos = tilegrid.Coord
 
 // TrapRowGrid builds the canonical single-block test geometry: a row of
 // nTraps trap cells at y=1 separated by channel cells, with full
@@ -187,7 +179,7 @@ func (g *Grid) TrapPositions() []Pos {
 	for y := 0; y < g.h; y++ {
 		for x := 0; x < g.w; x++ {
 			if g.At(x, y) == Trap {
-				out = append(out, Pos{x, y})
+				out = append(out, Pos{X: x, Y: y})
 			}
 		}
 	}

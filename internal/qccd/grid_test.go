@@ -93,10 +93,10 @@ func TestTwoBlockGrid(t *testing.T) {
 }
 
 func TestAdjacent(t *testing.T) {
-	if !(Pos{1, 1}).Adjacent(Pos{1, 2}) || !(Pos{1, 1}).Adjacent(Pos{0, 1}) {
+	if !(Pos{X: 1, Y: 1}).Adjacent(Pos{X: 1, Y: 2}) || !(Pos{X: 1, Y: 1}).Adjacent(Pos{X: 0, Y: 1}) {
 		t.Fatal("4-neighbours not adjacent")
 	}
-	if (Pos{1, 1}).Adjacent(Pos{2, 2}) || (Pos{1, 1}).Adjacent(Pos{1, 1}) {
+	if (Pos{X: 1, Y: 1}).Adjacent(Pos{X: 2, Y: 2}) || (Pos{X: 1, Y: 1}).Adjacent(Pos{X: 1, Y: 1}) {
 		t.Fatal("diagonal or self adjacency")
 	}
 }

@@ -58,7 +58,7 @@ func TestQuickOccupancyInvariant(t *testing.T) {
 		for y := 0; y < g.H(); y++ {
 			for x := 0; x < g.W(); x++ {
 				if g.Passable(x, y) {
-					passable = append(passable, Pos{x, y})
+					passable = append(passable, Pos{X: x, Y: y})
 				}
 			}
 		}
@@ -99,11 +99,11 @@ func TestQuickClocksMonotone(t *testing.T) {
 		r := rand.New(rand.NewPCG(seed, seed^0x7777))
 		g := TrapRowGrid(4)
 		s := NewSim(g, p)
-		a, err := s.AddIon(Data, Pos{2, 2})
+		a, err := s.AddIon(Data, Pos{X: 2, Y: 2})
 		if err != nil {
 			return false
 		}
-		c, err := s.AddIon(Cooling, Pos{2, 1})
+		c, err := s.AddIon(Cooling, Pos{X: 2, Y: 1})
 		if err != nil {
 			return false
 		}
@@ -113,7 +113,7 @@ func TestQuickClocksMonotone(t *testing.T) {
 			switch r.IntN(4) {
 			case 0:
 				x := 2 + 2*r.IntN(3)
-				if _, err := s.Shuttle(a, Pos{x, 2}); err != nil {
+				if _, err := s.Shuttle(a, Pos{X: x, Y: 2}); err != nil {
 					continue
 				}
 			case 1:

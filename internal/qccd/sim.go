@@ -168,7 +168,7 @@ func (s *Sim) Barrier() float64 {
 
 // --- routing ------------------------------------------------------------
 
-var dirs = []Pos{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+var dirs = []Pos{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
 
 type routeNode struct {
 	pos  Pos
@@ -227,7 +227,7 @@ func (s *Sim) Route(from, to Pos, mover int) ([]Pos, int, error) {
 			break
 		}
 		for di, d := range dirs {
-			np := Pos{cur.pos.X + d.X, cur.pos.Y + d.Y}
+			np := Pos{X: cur.pos.X + d.X, Y: cur.pos.Y + d.Y}
 			if !s.grid.Passable(np.X, np.Y) {
 				continue
 			}
@@ -359,7 +359,7 @@ func (s *Sim) tryReserve(id int, path []Pos, start, tSplit, tMove, tCorner float
 	prevDir := Pos{}
 	first := true
 	for i := 1; i < len(path); i++ {
-		d := Pos{path[i].X - path[i-1].X, path[i].Y - path[i-1].Y}
+		d := Pos{X: path[i].X - path[i-1].X, Y: path[i].Y - path[i-1].Y}
 		dwell := tMove
 		if !first && d != prevDir {
 			dwell += tCorner

@@ -27,7 +27,7 @@ func TestAddIonRules(t *testing.T) {
 	if _, err := s.AddIon(Data, traps[0]); !errors.Is(err, ErrOccupied) {
 		t.Fatalf("double occupancy: %v", err)
 	}
-	if _, err := s.AddIon(Data, Pos{0, 0}); err == nil {
+	if _, err := s.AddIon(Data, Pos{X: 0, Y: 0}); err == nil {
 		t.Fatal("ion placed on a wall")
 	}
 }
@@ -35,7 +35,7 @@ func TestAddIonRules(t *testing.T) {
 func TestRouteStraightLine(t *testing.T) {
 	g := TrapRowGrid(3) // traps at x=2,4,6 on y=2
 	s := NewSim(g, testParams())
-	path, corners, err := s.Route(Pos{2, 2}, Pos{6, 2}, -1)
+	path, corners, err := s.Route(Pos{X: 2, Y: 2}, Pos{X: 6, Y: 2}, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,13 +51,13 @@ func TestRouteAroundParkedIon(t *testing.T) {
 	g := TrapRowGrid(3)
 	s := NewSim(g, testParams())
 	// Park an ion in the middle of the direct route.
-	mustAdd(t, s, Data, Pos{4, 2})
-	path, corners, err := s.Route(Pos{2, 2}, Pos{6, 2}, -1)
+	mustAdd(t, s, Data, Pos{X: 4, Y: 2})
+	path, corners, err := s.Route(Pos{X: 2, Y: 2}, Pos{X: 6, Y: 2}, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range path {
-		if p == (Pos{4, 2}) {
+		if p == (Pos{X: 4, Y: 2}) {
 			t.Fatal("route passes through a parked ion")
 		}
 	}
@@ -72,7 +72,7 @@ func TestRouteBlocked(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewSim(g, testParams())
-	if _, _, err := s.Route(Pos{1, 1}, Pos{3, 1}, -1); !errors.Is(err, ErrBlocked) {
+	if _, _, err := s.Route(Pos{X: 1, Y: 1}, Pos{X: 3, Y: 1}, -1); !errors.Is(err, ErrBlocked) {
 		t.Fatalf("expected ErrBlocked, got %v", err)
 	}
 }
@@ -81,8 +81,8 @@ func TestShuttleTimesMatchTable1(t *testing.T) {
 	p := testParams()
 	g := TrapRowGrid(3)
 	s := NewSim(g, p)
-	id := mustAdd(t, s, Data, Pos{2, 2})
-	res, err := s.Shuttle(id, Pos{6, 2})
+	id := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
+	res, err := s.Shuttle(id, Pos{X: 6, Y: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestShuttleTimesMatchTable1(t *testing.T) {
 	if res.Cells != 4 || res.Corners != 0 || res.Stalled {
 		t.Fatalf("result %+v", res)
 	}
-	if got := s.Ion(id).Pos; got != (Pos{6, 2}) {
+	if got := s.Ion(id).Pos; got != (Pos{X: 6, Y: 2}) {
 		t.Fatalf("ion at %v", got)
 	}
 }
@@ -102,9 +102,9 @@ func TestShuttleCornerCharged(t *testing.T) {
 	p := testParams()
 	g := TrapRowGrid(3)
 	s := NewSim(g, p)
-	id := mustAdd(t, s, Data, Pos{2, 2})
+	id := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
 	// Move up one row then right: at least one corner.
-	res, err := s.Shuttle(id, Pos{6, 1})
+	res, err := s.Shuttle(id, Pos{X: 6, Y: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,20 +122,20 @@ func TestShuttleConflictStalls(t *testing.T) {
 	p := testParams()
 	g := TrapRowGrid(4)
 	s := NewSim(g, p)
-	a := mustAdd(t, s, Data, Pos{2, 2})
-	b := mustAdd(t, s, Data, Pos{2, 1})
+	a := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
+	b := mustAdd(t, s, Data, Pos{X: 2, Y: 1})
 	// Both ions cross the same corridor cells in the same time window;
 	// the second must stall or detour. Send a long, then b across a's
 	// reserved row.
-	if _, err := s.Shuttle(a, Pos{8, 2}); err != nil {
+	if _, err := s.Shuttle(a, Pos{X: 8, Y: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Shuttle(b, Pos{2, 3}); err != nil {
+	if _, err := s.Shuttle(b, Pos{X: 2, Y: 3}); err != nil {
 		t.Fatal(err)
 	}
 	// Now force b through the corridor a just used, while a's
 	// reservations are historical (b's clock is earlier than a's end).
-	res, err := s.Shuttle(b, Pos{6, 3})
+	res, err := s.Shuttle(b, Pos{X: 6, Y: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,14 +155,14 @@ func TestHeadOnConflictGeneratesStall(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewSim(g, p)
-	a := mustAdd(t, s, Data, Pos{1, 1})
-	if _, err := s.Shuttle(a, Pos{4, 1}); err != nil {
+	a := mustAdd(t, s, Data, Pos{X: 1, Y: 1})
+	if _, err := s.Shuttle(a, Pos{X: 4, Y: 1}); err != nil {
 		t.Fatal(err)
 	}
-	b := mustAdd(t, s, Data, Pos{1, 1})
+	b := mustAdd(t, s, Data, Pos{X: 1, Y: 1})
 	// b follows immediately through cells a reserved; b must stall
 	// until a's transit clears (its clock starts at 0).
-	res, err := s.Shuttle(b, Pos{3, 1})
+	res, err := s.Shuttle(b, Pos{X: 3, Y: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,12 +177,12 @@ func TestHeadOnConflictGeneratesStall(t *testing.T) {
 func TestGate2RequiresAdjacency(t *testing.T) {
 	g := TrapRowGrid(3)
 	s := NewSim(g, testParams())
-	a := mustAdd(t, s, Data, Pos{2, 2})
-	b := mustAdd(t, s, Data, Pos{6, 2})
+	a := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
+	b := mustAdd(t, s, Data, Pos{X: 6, Y: 2})
 	if _, err := s.Gate2(a, b); !errors.Is(err, ErrNotAdjacent) {
 		t.Fatalf("expected ErrNotAdjacent, got %v", err)
 	}
-	if _, err := s.Shuttle(b, Pos{3, 2}); err != nil {
+	if _, err := s.Shuttle(b, Pos{X: 3, Y: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Gate2(a, b); err != nil {
@@ -198,16 +198,16 @@ func TestHeatingAndCooling(t *testing.T) {
 	g := TrapRowGrid(4)
 	s := NewSim(g, p)
 	s.SetHeatModel(HeatModel{PerCell: 10, PerCorner: 0, MaxGateHeat: 5})
-	id := mustAdd(t, s, Data, Pos{2, 2})
-	cooler := mustAdd(t, s, Cooling, Pos{2, 1})
-	if _, err := s.Shuttle(id, Pos{4, 2}); err != nil {
+	id := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
+	cooler := mustAdd(t, s, Cooling, Pos{X: 2, Y: 1})
+	if _, err := s.Shuttle(id, Pos{X: 4, Y: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Gate1(id); !errors.Is(err, ErrTooHot) {
 		t.Fatalf("hot gate accepted: %v", err)
 	}
 	// Shuttle back next to the cooler and recool.
-	if _, err := s.Shuttle(id, Pos{2, 2}); err != nil {
+	if _, err := s.Shuttle(id, Pos{X: 2, Y: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Cool(id, cooler); err != nil {
@@ -224,12 +224,12 @@ func TestHeatingAndCooling(t *testing.T) {
 func TestCoolRules(t *testing.T) {
 	g := TrapRowGrid(3)
 	s := NewSim(g, testParams())
-	a := mustAdd(t, s, Data, Pos{2, 2})
-	b := mustAdd(t, s, Data, Pos{3, 2})
+	a := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
+	b := mustAdd(t, s, Data, Pos{X: 3, Y: 2})
 	if _, err := s.Cool(a, b); err == nil {
 		t.Fatal("cooling against a data ion accepted")
 	}
-	c := mustAdd(t, s, Cooling, Pos{6, 2})
+	c := mustAdd(t, s, Cooling, Pos{X: 6, Y: 2})
 	if _, err := s.Cool(a, c); !errors.Is(err, ErrNotAdjacent) {
 		t.Fatalf("distant cooling accepted: %v", err)
 	}
@@ -238,11 +238,11 @@ func TestCoolRules(t *testing.T) {
 func TestMeasureOnlyDataIons(t *testing.T) {
 	g := TrapRowGrid(2)
 	s := NewSim(g, testParams())
-	c := mustAdd(t, s, Cooling, Pos{2, 2})
+	c := mustAdd(t, s, Cooling, Pos{X: 2, Y: 2})
 	if _, err := s.Measure(c); err == nil {
 		t.Fatal("measured a cooling ion")
 	}
-	d := mustAdd(t, s, Data, Pos{4, 2})
+	d := mustAdd(t, s, Data, Pos{X: 4, Y: 2})
 	if _, err := s.Measure(d); err != nil {
 		t.Fatal(err)
 	}
@@ -254,9 +254,9 @@ func TestMeasureOnlyDataIons(t *testing.T) {
 func TestBarrierAlignsClocks(t *testing.T) {
 	g := TrapRowGrid(3)
 	s := NewSim(g, testParams())
-	a := mustAdd(t, s, Data, Pos{2, 2})
-	b := mustAdd(t, s, Data, Pos{4, 2})
-	if _, err := s.Shuttle(a, Pos{6, 2}); err != nil {
+	a := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
+	b := mustAdd(t, s, Data, Pos{X: 4, Y: 2})
+	if _, err := s.Shuttle(a, Pos{X: 6, Y: 2}); err != nil {
 		t.Fatal(err)
 	}
 	m := s.Barrier()
@@ -271,9 +271,9 @@ func TestBarrierAlignsClocks(t *testing.T) {
 func TestShuttleToOccupiedCell(t *testing.T) {
 	g := TrapRowGrid(2)
 	s := NewSim(g, testParams())
-	a := mustAdd(t, s, Data, Pos{2, 2})
-	mustAdd(t, s, Data, Pos{4, 2})
-	if _, err := s.Shuttle(a, Pos{4, 2}); err == nil {
+	a := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
+	mustAdd(t, s, Data, Pos{X: 4, Y: 2})
+	if _, err := s.Shuttle(a, Pos{X: 4, Y: 2}); err == nil {
 		t.Fatal("shuttle onto an occupied cell accepted")
 	}
 }
@@ -281,8 +281,8 @@ func TestShuttleToOccupiedCell(t *testing.T) {
 func TestShuttleNoOpWhenAlreadyThere(t *testing.T) {
 	g := TrapRowGrid(2)
 	s := NewSim(g, testParams())
-	a := mustAdd(t, s, Data, Pos{2, 2})
-	res, err := s.Shuttle(a, Pos{2, 2})
+	a := mustAdd(t, s, Data, Pos{X: 2, Y: 2})
+	res, err := s.Shuttle(a, Pos{X: 2, Y: 2})
 	if err != nil || res.Cells != 0 || res.End != 0 {
 		t.Fatalf("no-op shuttle: %+v %v", res, err)
 	}
@@ -298,8 +298,8 @@ func BenchmarkShuttleAcrossBlock(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := NewSim(g, p)
-		id, _ := s.AddIon(Data, Pos{2, 2})
-		if _, err := s.Shuttle(id, Pos{16, 2}); err != nil {
+		id, _ := s.AddIon(Data, Pos{X: 2, Y: 2})
+		if _, err := s.Shuttle(id, Pos{X: 16, Y: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}

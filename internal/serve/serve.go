@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"qla/internal/cache"
+	_ "qla/internal/cyclesim" // installs the cycle-* experiment family
 	"qla/internal/engine"
 	"qla/internal/jobs"
 	"qla/internal/sched"
@@ -268,6 +269,7 @@ type ParamInfo struct {
 // ExperimentInfo documents one registry entry over the wire.
 type ExperimentInfo struct {
 	Name        string      `json:"name"`
+	Family      string      `json:"family,omitempty"`
 	Aliases     []string    `json:"aliases,omitempty"`
 	Title       string      `json:"title"`
 	Doc         string      `json:"doc"`
@@ -285,6 +287,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	for _, e := range exps {
 		info := ExperimentInfo{
 			Name:        e.Name,
+			Family:      e.Family,
 			Aliases:     e.Aliases,
 			Title:       e.Title,
 			Doc:         e.Doc,

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -199,6 +201,71 @@ func TestSweepPersistenceAcrossRestart(t *testing.T) {
 	}
 	if cs := srv2.CacheStats(); cs.DiskHits != uint64(res.Total) {
 		t.Errorf("cache stats %+v", cs)
+	}
+}
+
+// TestSweepCycleBandwidthGrid: the shipped cycle-interconnect example
+// sweep — 3 axes (bandwidth × EPR generation rate × grid size), 27
+// points — completes via POST /v1/sweeps; each point's canonical Spec
+// is then a cache hit through POST /v1/run; and a re-submission after
+// job expiry is served entirely from the per-point result cache.
+func TestSweepCycleBandwidthGrid(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "examples", "sweep-cycle-bandwidth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	_, ts := newTestServer(t, Config{JobTTL: 30 * time.Millisecond})
+	status, sb, resp := postSweep(t, ts.URL, body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", status, resp)
+	}
+	if sb.Points != 27 || sb.Experiment != "cycle-interconnect" {
+		t.Fatalf("submit body %+v", sb)
+	}
+	snap := pollJob(t, ts.URL, sb.JobID)
+	if snap.State != jobs.StateDone || snap.Progress.Done != 27 || snap.Progress.Failed != 0 {
+		t.Fatalf("terminal snapshot %+v", snap)
+	}
+	var res sweep.Result
+	if status := getJSON(t, ts.URL+"/v1/jobs/"+sb.JobID+"/result", &res); status != http.StatusOK {
+		t.Fatalf("result status %d", status)
+	}
+	if res.Total != 27 || res.OK != 27 || res.Failed != 0 {
+		t.Fatalf("sweep result: total=%d ok=%d failed=%d", res.Total, res.OK, res.Failed)
+	}
+
+	// Every point the sweep ran is now a synchronous cache hit.
+	ss, err := sweep.DecodeSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sweep.Expand(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range sw.Points {
+		status, xc, body := postRun(t, ts.URL, string(pt.Canonical.JSON))
+		if status != http.StatusOK {
+			t.Fatalf("point %d run status %d: %s", i, status, body)
+		}
+		if xc != "hit" {
+			t.Errorf("point %d missed the cache the sweep populated (X-Cache=%q)", i, xc)
+		}
+	}
+
+	// After the job expires, an identical sweep runs fresh but every
+	// point is served from the result cache.
+	time.Sleep(70 * time.Millisecond)
+	status, sb2, _ := postSweep(t, ts.URL, body)
+	if status != http.StatusAccepted || sb2.Existing {
+		t.Fatalf("expired sweep did not resubmit fresh: status=%d %+v", status, sb2)
+	}
+	pollJob(t, ts.URL, sb2.JobID)
+	var res2 sweep.Result
+	getJSON(t, ts.URL+"/v1/jobs/"+sb2.JobID+"/result", &res2)
+	if res2.Cached != res2.Total {
+		t.Errorf("re-submitted cycle sweep served %d/%d points from cache", res2.Cached, res2.Total)
 	}
 }
 

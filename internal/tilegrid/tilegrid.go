@@ -1,0 +1,77 @@
+// Package tilegrid holds the rectangular-grid geometry shared by every
+// layer of the QLA model that walks a 2-D mesh: the QCCD cell map
+// (internal/qccd), the island interconnect scheduler (internal/netsim),
+// and the cycle-level data-movement simulator (internal/cyclesim). The
+// paper's substrate is uniformly a grid — of 20 µm cells at the bottom,
+// of logical-qubit tiles at the top — so coordinates, 4-adjacency and
+// Manhattan distance are defined once here and aliased or embedded by
+// the consumers.
+package tilegrid
+
+// Coord is a position on a rectangular grid: a cell for qccd, an island
+// for netsim, a logical-qubit tile for cyclesim. The exported field
+// names (and the absence of JSON tags) are part of the wire format of
+// every payload that embeds one.
+type Coord struct {
+	X, Y int
+}
+
+// Dirs4 lists the four mesh directions in the canonical order +X, -X,
+// +Y, -Y. Routing code indexes lanes by position in this list.
+var Dirs4 = [4]Coord{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// Add returns c translated by d.
+func (c Coord) Add(d Coord) Coord { return Coord{c.X + d.X, c.Y + d.Y} }
+
+// Adjacent reports whether two coordinates are 4-neighbours.
+func (c Coord) Adjacent(o Coord) bool { return Manhattan(c, o) == 1 }
+
+// Manhattan returns the L1 distance between two coordinates — the hop
+// count of any minimal mesh route.
+func Manhattan(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Rect is a W×H grid of coordinates (0,0)..(W-1,H-1).
+type Rect struct {
+	W, H int
+}
+
+// Contains reports whether c lies on the grid.
+func (r Rect) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < r.W && c.Y >= 0 && c.Y < r.H
+}
+
+// Tiles returns the number of grid positions.
+func (r Rect) Tiles() int { return r.W * r.H }
+
+// Index returns the row-major index of c. The caller guarantees
+// r.Contains(c).
+func (r Rect) Index(c Coord) int { return c.Y*r.W + c.X }
+
+// Coord inverts Index.
+func (r Rect) Coord(i int) Coord { return Coord{i % r.W, i / r.W} }
+
+// DirectedLinks returns the number of directed nearest-neighbour links:
+// each undirected adjacency contributes one link per direction.
+func (r Rect) DirectedLinks() int {
+	return 2 * ((r.W-1)*r.H + r.W*(r.H-1))
+}
+
+// Neighbors appends c's in-grid 4-neighbours to buf (in Dirs4 order)
+// and returns the extended slice.
+func (r Rect) Neighbors(c Coord, buf []Coord) []Coord {
+	for _, d := range Dirs4 {
+		if n := c.Add(d); r.Contains(n) {
+			buf = append(buf, n)
+		}
+	}
+	return buf
+}

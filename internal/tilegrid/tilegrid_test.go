@@ -1,0 +1,65 @@
+package tilegrid
+
+import "testing"
+
+func TestManhattanAndAdjacency(t *testing.T) {
+	a, b := Coord{1, 2}, Coord{4, 0}
+	if got := Manhattan(a, b); got != 5 {
+		t.Errorf("Manhattan(%v,%v) = %d, want 5", a, b, got)
+	}
+	if !a.Adjacent(Coord{1, 3}) || !a.Adjacent(Coord{0, 2}) {
+		t.Error("4-neighbours not adjacent")
+	}
+	if a.Adjacent(a) || a.Adjacent(Coord{2, 3}) {
+		t.Error("self or diagonal reported adjacent")
+	}
+}
+
+func TestRectIndexRoundTrip(t *testing.T) {
+	r := Rect{W: 5, H: 3}
+	if r.Tiles() != 15 {
+		t.Fatalf("Tiles = %d, want 15", r.Tiles())
+	}
+	for i := 0; i < r.Tiles(); i++ {
+		c := r.Coord(i)
+		if !r.Contains(c) {
+			t.Fatalf("Coord(%d) = %v outside %v", i, c, r)
+		}
+		if back := r.Index(c); back != i {
+			t.Fatalf("Index(Coord(%d)) = %d", i, back)
+		}
+	}
+	for _, c := range []Coord{{-1, 0}, {5, 0}, {0, 3}, {0, -1}} {
+		if r.Contains(c) {
+			t.Errorf("Contains(%v) = true on %v", c, r)
+		}
+	}
+}
+
+func TestRectNeighbors(t *testing.T) {
+	r := Rect{W: 3, H: 3}
+	corner := r.Neighbors(Coord{0, 0}, nil)
+	if len(corner) != 2 {
+		t.Errorf("corner has %d neighbours, want 2: %v", len(corner), corner)
+	}
+	center := r.Neighbors(Coord{1, 1}, nil)
+	want := []Coord{{2, 1}, {0, 1}, {1, 2}, {1, 0}} // Dirs4 order
+	if len(center) != len(want) {
+		t.Fatalf("center has %d neighbours, want 4", len(center))
+	}
+	for i, c := range center {
+		if c != want[i] {
+			t.Errorf("neighbour %d = %v, want %v (Dirs4 order)", i, c, want[i])
+		}
+	}
+}
+
+func TestDirectedLinks(t *testing.T) {
+	// 2x2: 4 undirected adjacencies -> 8 directed links.
+	if got := (Rect{W: 2, H: 2}).DirectedLinks(); got != 8 {
+		t.Errorf("2x2 DirectedLinks = %d, want 8", got)
+	}
+	if got := (Rect{W: 4, H: 1}).DirectedLinks(); got != 6 {
+		t.Errorf("4x1 DirectedLinks = %d, want 6", got)
+	}
+}

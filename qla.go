@@ -37,6 +37,7 @@ import (
 	"qla/internal/commsim"
 	"qla/internal/control"
 	"qla/internal/core"
+	_ "qla/internal/cyclesim" // installs the cycle-* experiment family
 	"qla/internal/engine"
 	"qla/internal/ft"
 	"qla/internal/iontrap"
