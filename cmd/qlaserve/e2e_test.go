@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashRecovery is the durability acceptance test, end to end
+// against the real binary: kill -9 a qlaserve mid-sweep, restart it
+// over the same -journal-dir and -cache-dir, and the sweep is
+// re-admitted and completes with the already-finished points served
+// from the persisted cache instead of recomputed.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server process")
+	}
+	bin := buildServer(t)
+	work := t.TempDir()
+	cacheDir := filepath.Join(work, "cache")
+	journalDir := filepath.Join(work, "journal")
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	args := []string{
+		"-addr", addr,
+		"-cache-dir", cacheDir,
+		"-journal-dir", journalDir,
+		"-workers", "1", // slow the sweep down so the kill lands mid-run
+	}
+	proc1 := startServer(t, bin, args)
+	waitHealthy(t, base)
+
+	// 16 points × ~200 ms on one worker: seconds of runtime to kill into.
+	sweep := `{
+	  "base": {"experiment": "figure7", "params": {"phys-errors": [0.004], "trials": 60000, "seed": 3}},
+	  "axes": [{"field": "params.seed", "values": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}]
+	}`
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb struct {
+		JobID  string `json:"job_id"`
+		Points int    `json:"points"`
+	}
+	decodeAndClose(t, resp, &sb)
+	if resp.StatusCode != http.StatusAccepted || sb.Points != 16 {
+		t.Fatalf("submit: status %d body %+v", resp.StatusCode, sb)
+	}
+
+	// Let part of the sweep finish, then pull the plug.
+	doneBeforeKill := waitProgress(t, base, sb.JobID, 5)
+	if err := proc1.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	proc1.Wait()
+
+	proc2 := startServer(t, bin, args)
+	defer func() {
+		proc2.Process.Signal(syscall.SIGTERM)
+		proc2.Wait()
+	}()
+	waitHealthy(t, base)
+
+	// The job must exist without any re-submission: the journal replay
+	// re-admitted it at startup.
+	snap := pollDone(t, base, sb.JobID)
+	if snap.State != "done" {
+		t.Fatalf("replayed job state %q (error %q)", snap.State, snap.Error)
+	}
+
+	var res struct {
+		Total  int `json:"total"`
+		OK     int `json:"ok"`
+		Cached int `json:"cached"`
+		Failed int `json:"failed"`
+	}
+	getJSON(t, base+"/v1/jobs/"+sb.JobID+"/result", &res)
+	if res.OK != res.Total || res.Failed != 0 {
+		t.Fatalf("recovered sweep incomplete: %+v", res)
+	}
+	// Everything finished before the kill must replay from the disk
+	// cache; allow one torn in-flight point.
+	want := doneBeforeKill * 9 / 10
+	if res.Cached < want {
+		t.Fatalf("only %d/%d points cached after recovery (%d done before kill, want >= %d)",
+			res.Cached, res.Total, doneBeforeKill, want)
+	}
+	t.Logf("recovery: %d done before kill, %d/%d served from cache", doneBeforeKill, res.Cached, res.Total)
+
+	// A clean SIGTERM on the recovered server leaves nothing to replay.
+	proc2.Process.Signal(syscall.SIGTERM)
+	if err := proc2.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exit: %v", err)
+	}
+	left, _ := filepath.Glob(filepath.Join(journalDir, "*.wal"))
+	if len(left) != 0 {
+		t.Fatalf("journal not drained after completed job: %v", left)
+	}
+}
+
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "qlaserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func startServer(t *testing.T, bin string, args []string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+type jobSnap struct {
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Progress struct {
+		Total  int `json:"total"`
+		Done   int `json:"done"`
+		Cached int `json:"cached"`
+	} `json:"progress"`
+}
+
+// waitProgress polls until at least min points are done and returns
+// the observed count.
+func waitProgress(t *testing.T, base, id string, min int) int {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var snap jobSnap
+		getJSON(t, base+"/v1/jobs/"+id, &snap)
+		if snap.Progress.Done >= min {
+			return snap.Progress.Done
+		}
+		if snap.State != "running" && snap.State != "queued" {
+			t.Fatalf("job settled early: %+v", snap)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached %d done points: %+v", min, snap)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func pollDone(t *testing.T, base, id string) jobSnap {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var snap jobSnap
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			t.Fatal("job missing after restart: journal replay did not re-admit it")
+		}
+		decodeAndClose(t, resp, &snap)
+		switch snap.State {
+		case "done", "failed", "cancelled":
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job never finished: %+v", snap)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeAndClose(t, resp, out)
+}
+
+func decodeAndClose(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, raw)
+	}
+}

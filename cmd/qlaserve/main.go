@@ -54,6 +54,11 @@ func main() {
 	maxJobBytes := flag.Int64("max-job-bytes", 0, "byte budget for retained async job results (0 = 256 MiB, negative = unbounded)")
 	jobTTL := flag.Duration("job-ttl", 0, "retention of finished async jobs (0 = 1h)")
 	sweepTimeout := flag.Duration("sweep-timeout", 0, "upper bound on one sweep job's total runtime (0 = 30m)")
+	journalDir := flag.String("journal-dir", "", "directory for the write-ahead job journal: unfinished sweeps are re-admitted after a restart (empty = jobs die with the process)")
+	pointRetries := flag.Int("point-retries", 0, "extra attempts a failed sweep point gets (0 = 2, negative = none)")
+	pointTimeout := flag.Duration("point-timeout", 0, "per-attempt deadline of one sweep point (0 = 5m)")
+	maxQueue := flag.Int("max-queue", 0, "scheduler queue bound before uncacheable work is shed with 503 + Retry-After (0 = 4×workers, negative = unbounded)")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to drain before exiting")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -66,7 +71,19 @@ func main() {
 		MaxJobBytes:    *maxJobBytes,
 		JobTTL:         *jobTTL,
 		SweepTimeout:   *sweepTimeout,
+		JournalDir:     *journalDir,
+		PointRetries:   *pointRetries,
+		PointTimeout:   *pointTimeout,
+		MaxQueue:       *maxQueue,
 	})
+	// Crash recovery: re-admit journaled sweeps the previous process
+	// did not finish, before the listener opens — their points replay
+	// from the content-addressed cache, so only lost work recomputes.
+	if n, err := srv.ReplayJournal(); err != nil {
+		log.Printf("qlaserve: journal replay: %v", err)
+	} else if n > 0 {
+		log.Printf("qlaserve: re-admitted %d journaled sweep job(s)", n)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -90,12 +107,19 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	case sig := <-sigc:
-		log.Printf("qlaserve: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Graceful shutdown: stop accepting, drain in-flight requests
+		// for up to -shutdown-grace, flush and close the journal (open
+		// entries replay on the next start), then exit 0.
+		log.Printf("qlaserve: %v, draining in-flight requests (grace %v)", sig, *shutdownGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			fatal(err)
+			log.Printf("qlaserve: drain incomplete: %v", err)
 		}
+		if err := srv.Close(); err != nil {
+			log.Printf("qlaserve: closing journal: %v", err)
+		}
+		log.Printf("qlaserve: shutdown complete")
 	}
 }
 

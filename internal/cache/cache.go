@@ -14,17 +14,22 @@
 // points included — survive a process restart. The disk tier is not
 // LRU-bounded (content addresses never go stale; the operator owns the
 // directory) and all disk failures degrade to recomputation, never to
-// request failures.
+// request failures. A persistently failing disk (full, unmounted,
+// yanked) downgrades the tier to memory-only after a few consecutive
+// persist errors — logged once per episode, visible in Stats — and a
+// periodic probe write re-enables it when the disk recovers.
 package cache
 
 import (
 	"container/list"
 	"context"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Cache is a byte-budgeted LRU keyed by content hash, safe for
@@ -40,8 +45,19 @@ type Cache struct {
 	entries  map[string]*list.Element
 	inflight map[string]*flight
 
+	// Disk-tier degradation: after degradeAfter consecutive persist
+	// errors the tier downgrades to memory-only (writes skipped) until
+	// a probe write — one attempt per probeInterval — succeeds again.
+	degradeAfter  int
+	probeInterval time.Duration
+	consecErrs    int
+	degraded      bool
+	nextProbe     time.Time
+	logf          func(format string, args ...any)
+
 	hits, misses, dedups, evictions     uint64
 	diskHits, diskWrites, persistErrors uint64
+	degradeEvents, skippedWrites        uint64
 }
 
 type entry struct {
@@ -71,14 +87,32 @@ func WithDir(dir string) Option {
 	return func(c *Cache) { c.dir = dir }
 }
 
+// WithDegrade tunes the disk tier's graceful degradation: after
+// consecutive persist errors the tier downgrades to memory-only, and
+// probe sets how often a single probe write is allowed to test whether
+// the disk recovered. Zero values keep the defaults (3 errors, 30s).
+func WithDegrade(consecutive int, probe time.Duration) Option {
+	return func(c *Cache) {
+		if consecutive > 0 {
+			c.degradeAfter = consecutive
+		}
+		if probe > 0 {
+			c.probeInterval = probe
+		}
+	}
+}
+
 // New builds a Cache bounded to maxBytes of stored values (keys charged
 // against the budget too). maxBytes <= 0 means unbounded.
 func New(maxBytes int64, opts ...Option) *Cache {
 	c := &Cache{
-		maxBytes: maxBytes,
-		ll:       list.New(),
-		entries:  make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
+		maxBytes:      maxBytes,
+		ll:            list.New(),
+		entries:       make(map[string]*list.Element),
+		inflight:      make(map[string]*flight),
+		degradeAfter:  3,
+		probeInterval: 30 * time.Second,
+		logf:          log.Printf,
 	}
 	for _, o := range opts {
 		o(c)
@@ -202,11 +236,26 @@ func (c *Cache) loadFile(key string) ([]byte, bool) {
 
 // writeFile persists val under key, atomically (temp file + rename) so
 // a crash mid-write never leaves a truncated entry to replay. Failures
-// only bump a counter: persistence is best-effort.
+// only bump a counter: persistence is best-effort. Repeated failures
+// degrade the tier to memory-only — writes are skipped instead of
+// hammering a dead disk on every store — with one probe write allowed
+// per probe interval to detect recovery.
 func (c *Cache) writeFile(key string, val []byte) {
 	if c.dir == "" || !safeKey(key) {
 		return
 	}
+	c.mu.Lock()
+	if c.degraded {
+		if now := time.Now(); now.Before(c.nextProbe) {
+			c.skippedWrites++
+			c.mu.Unlock()
+			return
+		}
+		// Claim the probe slot before releasing the lock so concurrent
+		// writers don't stampede the disk together.
+		c.nextProbe = time.Now().Add(c.probeInterval)
+	}
+	c.mu.Unlock()
 	err := func() error {
 		tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
 		if err != nil {
@@ -225,10 +274,44 @@ func (c *Cache) writeFile(key string, val []byte) {
 	c.mu.Lock()
 	if err != nil {
 		c.persistErrors++
+		c.consecErrs++
+		if !c.degraded && c.consecErrs >= c.degradeAfter {
+			c.degraded = true
+			c.degradeEvents++
+			c.nextProbe = time.Now().Add(c.probeInterval)
+			// Logged once per episode: the steady state is silent skips.
+			c.logf("cache: disk tier degraded to memory-only after %d consecutive persist errors (last: %v); probing every %v",
+				c.consecErrs, err, c.probeInterval)
+		}
 	} else {
+		if c.degraded {
+			c.logf("cache: disk tier restored after successful probe write")
+		}
+		c.degraded = false
+		c.consecErrs = 0
 		c.diskWrites++
 	}
 	c.mu.Unlock()
+}
+
+// Contains reports whether key would be served without computing:
+// stored says the value is in memory or on disk, inflight that an
+// identical computation is running (a caller would join it). It is a
+// pure probe — no counters move and nothing is promoted — sized for
+// the serving layer's load-shed check, which must not 503 requests the
+// cache can answer.
+func (c *Cache) Contains(key string) (stored, inflight bool) {
+	c.mu.Lock()
+	_, stored = c.entries[key]
+	_, inflight = c.inflight[key]
+	dir := c.dir
+	c.mu.Unlock()
+	if !stored && dir != "" && safeKey(key) {
+		if _, err := os.Stat(filepath.Join(dir, key)); err == nil {
+			stored = true
+		}
+	}
+	return stored, inflight
 }
 
 // storeLocked inserts the value at the front of the LRU list and evicts
@@ -287,6 +370,12 @@ type Stats struct {
 	DiskHits      uint64 `json:"disk_hits,omitempty"`
 	DiskWrites    uint64 `json:"disk_writes,omitempty"`
 	PersistErrors uint64 `json:"persist_errors,omitempty"`
+	// Degraded reports the disk tier is currently downgraded to
+	// memory-only; DegradeEvents counts downgrade episodes and
+	// SkippedWrites the writes not attempted while degraded.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeEvents uint64 `json:"degrade_events,omitempty"`
+	SkippedWrites uint64 `json:"skipped_writes,omitempty"`
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -306,5 +395,8 @@ func (c *Cache) Stats() Stats {
 		DiskHits:      c.diskHits,
 		DiskWrites:    c.diskWrites,
 		PersistErrors: c.persistErrors,
+		Degraded:      c.degraded,
+		DegradeEvents: c.degradeEvents,
+		SkippedWrites: c.skippedWrites,
 	}
 }

@@ -1,0 +1,169 @@
+// Package faultinject is a test-only chaos seam for the QLA serving
+// stack. The sweep runner (and anything else that executes
+// content-addressed work) accepts an optional hook invoked with the
+// spec hash before each execution attempt; an Injector built from a
+// handful of Rules makes chosen attempts fail, hang, or panic — on the
+// Nth matching call, for a bounded (or unbounded) number of calls —
+// so every recovery path (retry, per-point timeout, panic conversion,
+// journal replay) has a deterministic test driving it. Production
+// binaries never construct an Injector; the hook field is simply nil.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Mode is what a firing rule does to the attempt.
+type Mode string
+
+const (
+	// Fail returns an *Error from the hook.
+	Fail Mode = "fail"
+	// Hang blocks until the attempt's context is done, then returns its
+	// error — the shape of a wedged engine run, seen by callers as a
+	// per-point timeout.
+	Hang Mode = "hang"
+	// Panic panics from the hook — the shape of a crashing experiment
+	// body escaping into the runner.
+	Panic Mode = "panic"
+)
+
+// Rule arms one fault. The zero Field values mean: match every hash,
+// fire on the first matching call, fire once, mode Fail.
+type Rule struct {
+	// HashPrefix selects the runs the rule applies to ("" = all).
+	HashPrefix string
+	// Nth is the 1-based matching call the rule first fires on (0 = 1):
+	// Nth=3 lets two calls through and faults the third.
+	Nth int
+	// Times is how many consecutive matching calls fire once armed
+	// (0 = 1, negative = every call from Nth on).
+	Times int
+	// Mode is the fault flavor; the zero value is Fail.
+	Mode Mode
+	// Permanent marks Fail errors as non-retryable (Error.Permanent
+	// reports it), modeling a deterministic per-spec failure rather
+	// than a transient one.
+	Permanent bool
+}
+
+// Error is the failure Fail-mode rules inject.
+type Error struct {
+	// Hash is the spec hash of the faulted call; Call its per-rule
+	// match ordinal.
+	Hash string
+	Call int
+	// Perm mirrors the rule's Permanent flag.
+	Perm bool
+}
+
+func (e *Error) Error() string {
+	kind := "transient"
+	if e.Perm {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("faultinject: injected %s failure (call %d, spec %s)", kind, e.Call, e.Hash)
+}
+
+// Permanent reports whether the injected failure models a
+// deterministic, non-retryable error. The sweep runner's failure
+// classification consults this interface.
+func (e *Error) Permanent() bool { return e.Perm }
+
+type ruleState struct {
+	Rule
+	seen int // matching calls so far
+}
+
+// Injector evaluates Rules against a stream of hook calls. Construct
+// with New; an Injector is safe for concurrent use, and a nil
+// *Injector injects nothing.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*ruleState
+	calls int
+	fired int
+}
+
+// New builds an Injector from rules, normalizing zero fields.
+func New(rules ...Rule) *Injector {
+	in := &Injector{}
+	for _, r := range rules {
+		if r.Nth <= 0 {
+			r.Nth = 1
+		}
+		if r.Times == 0 {
+			r.Times = 1
+		}
+		if r.Mode == "" {
+			r.Mode = Fail
+		}
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// Check is the hook body: it evaluates hash against the rules and
+// performs the first firing rule's fault. With no firing rule it
+// returns nil and the real work proceeds.
+func (in *Injector) Check(ctx context.Context, hash string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.calls++
+	var hit *ruleState
+	var call int
+	for _, r := range in.rules {
+		if !strings.HasPrefix(hash, r.HashPrefix) {
+			continue
+		}
+		r.seen++
+		if hit != nil {
+			continue // later rules still count their matches
+		}
+		if r.seen >= r.Nth && (r.Times < 0 || r.seen < r.Nth+r.Times) {
+			hit, call = r, r.seen
+		}
+	}
+	if hit != nil {
+		in.fired++
+	}
+	in.mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	switch hit.Mode {
+	case Hang:
+		<-ctx.Done()
+		return ctx.Err()
+	case Panic:
+		panic(fmt.Sprintf("faultinject: injected panic (call %d, spec %s)", call, hash))
+	default:
+		return &Error{Hash: hash, Call: call, Perm: hit.Permanent}
+	}
+}
+
+// Hook adapts the Injector to the plain function shape runners accept,
+// keeping them free of any faultinject import.
+func (in *Injector) Hook() func(ctx context.Context, hash string) error {
+	return in.Check
+}
+
+// Calls returns how many hook calls the Injector has evaluated; Fired
+// how many of them it faulted.
+func (in *Injector) Calls() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls
+}
+
+// Fired returns the number of injected faults so far.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}

@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNthAndTimes(t *testing.T) {
+	in := New(Rule{Nth: 2, Times: 2})
+	ctx := context.Background()
+	if err := in.Check(ctx, "aaa"); err != nil {
+		t.Fatalf("call 1 should pass, got %v", err)
+	}
+	for call := 2; call <= 3; call++ {
+		err := in.Check(ctx, "aaa")
+		var fe *Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("call %d: want *Error, got %v", call, err)
+		}
+		if fe.Call != call || fe.Permanent() {
+			t.Fatalf("call %d: unexpected error %+v", call, fe)
+		}
+	}
+	if err := in.Check(ctx, "aaa"); err != nil {
+		t.Fatalf("call 4 should pass again, got %v", err)
+	}
+	if in.Calls() != 4 || in.Fired() != 2 {
+		t.Fatalf("calls=%d fired=%d, want 4/2", in.Calls(), in.Fired())
+	}
+}
+
+func TestHashPrefixSelects(t *testing.T) {
+	in := New(Rule{HashPrefix: "beef", Times: -1})
+	ctx := context.Background()
+	if err := in.Check(ctx, "cafe0000"); err != nil {
+		t.Fatalf("non-matching hash faulted: %v", err)
+	}
+	if err := in.Check(ctx, "beef0000"); err == nil {
+		t.Fatal("matching hash did not fault")
+	}
+	if err := in.Check(ctx, "beef0001"); err == nil {
+		t.Fatal("Times=-1 rule should keep firing")
+	}
+}
+
+func TestPermanentFlag(t *testing.T) {
+	err := New(Rule{Permanent: true}).Check(context.Background(), "x")
+	var p interface{ Permanent() bool }
+	if !errors.As(err, &p) || !p.Permanent() {
+		t.Fatalf("want permanent error, got %v", err)
+	}
+}
+
+func TestHangRespectsContext(t *testing.T) {
+	in := New(Rule{Mode: Hang})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Check(ctx, "x")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang did not release on context done")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := New(Rule{Mode: Panic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(r.(string), "injected panic") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	in.Check(context.Background(), "x")
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if err := in.Check(context.Background(), "x"); err != nil {
+		t.Fatalf("nil injector faulted: %v", err)
+	}
+}

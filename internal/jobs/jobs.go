@@ -41,6 +41,8 @@ type Progress struct {
 	Done   int `json:"done"`
 	Cached int `json:"cached"`
 	Failed int `json:"failed"`
+	// Retries counts extra per-point attempts the retry policy spent.
+	Retries int `json:"retries,omitempty"`
 }
 
 // Config sizes a Manager. The zero value is usable: 256 stored jobs,

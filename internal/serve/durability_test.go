@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"qla/internal/faultinject"
+	"qla/internal/journal"
+	"qla/internal/sweep"
+)
+
+// saturate fills the scheduler: it takes every slot and parks enough
+// extra acquirers to push Waiting to want. Returns a release func.
+func saturate(t *testing.T, s *Server, want int) (release func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var rels []func()
+	for i := 0; i < s.cfg.Workers; i++ {
+		_, rel, err := s.pool.Acquire(ctx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels = append(rels, rel)
+	}
+	for i := 0; i < want; i++ {
+		go s.pool.Acquire(ctx, 1) // parks: pool is full
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.Stats().Waiting < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters: %+v", want, s.pool.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return func() {
+		cancel()
+		for _, rel := range rels {
+			rel()
+		}
+	}
+}
+
+// TestLoadShedUncachedRun: with the scheduler queue over the bound, an
+// uncached POST /v1/run is refused with 503 + Retry-After — but a spec
+// the cache can answer is still served.
+func TestLoadShedUncachedRun(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueue: 1})
+	// Prime the cache while the server is healthy.
+	if status, _, raw := postRun(t, ts.URL, tinySpec(50)); status != http.StatusOK {
+		t.Fatalf("prime run: %d %s", status, raw)
+	}
+
+	release := saturate(t, srv, 1)
+	defer release()
+
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tinySpec(51)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("uncached run under overload: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After header %q", ra)
+	}
+
+	// The cached spec bypasses the shed: no fresh compute needed.
+	if status, xc, raw := postRun(t, ts.URL, tinySpec(50)); status != http.StatusOK || xc != "hit" {
+		t.Fatalf("cached run under overload: status %d xcache %q %s", status, xc, raw)
+	}
+
+	var st StatsBody
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.ShedRequests != 1 {
+		t.Fatalf("shed_requests = %d, want 1", st.ShedRequests)
+	}
+	if st.MaxQueue != 1 {
+		t.Fatalf("max_queue = %d, want 1", st.MaxQueue)
+	}
+}
+
+// TestLoadShedSweepSubmission: fresh sweep submissions are shed under
+// overload; re-submitting a finished job's sweep joins it regardless.
+func TestLoadShedSweepSubmission(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueue: 1})
+	_, sb, _ := postSweep(t, ts.URL, gridSweep)
+	pollJob(t, ts.URL, sb.JobID)
+
+	release := saturate(t, srv, 1)
+	defer release()
+
+	status, _, raw := postSweep(t, ts.URL, fig7Sweep(16))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("fresh sweep under overload: status %d %s", status, raw)
+	}
+	if !strings.Contains(string(raw), "retry after") {
+		t.Fatalf("shed body %s", raw)
+	}
+
+	// Joining an existing job needs no new compute and is never shed.
+	status, sb2, raw := postSweep(t, ts.URL, gridSweep)
+	if status != http.StatusOK || !sb2.Existing || sb2.JobID != sb.JobID {
+		t.Fatalf("existing sweep under overload: status %d body %+v %s", status, sb2, raw)
+	}
+}
+
+// TestUnboundedQueueNeverSheds: MaxQueue < 0 disables the bound.
+func TestUnboundedQueueNeverSheds(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueue: -1})
+	release := saturate(t, srv, 2)
+	// Release promptly so the queued request below can actually run.
+	go func() { time.Sleep(50 * time.Millisecond); release() }()
+	status, _, raw := postRun(t, ts.URL, tinySpec(52))
+	if status != http.StatusOK {
+		t.Fatalf("unbounded queue shed a request: %d %s", status, raw)
+	}
+	if n := srv.shedRequests.Load(); n != 0 {
+		t.Fatalf("shed_requests = %d, want 0", n)
+	}
+}
+
+// TestJournalReplayCompletesSweep is the crash-recovery core: an
+// unfinished journal entry left by a dead process is re-admitted at
+// startup and completes from the persisted point cache — no HTTP
+// submission, no recompute.
+func TestJournalReplayCompletesSweep(t *testing.T) {
+	cacheDir := t.TempDir()
+	journalDir := t.TempDir()
+
+	// Process 1 runs the sweep to completion, populating the disk cache.
+	srv1, ts1 := newTestServer(t, Config{CacheDir: cacheDir, JournalDir: journalDir})
+	_, sb, _ := postSweep(t, ts1.URL, gridSweep)
+	pollJob(t, ts1.URL, sb.JobID)
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the crash: an admitted entry with no terminal record,
+	// exactly what a kill -9 mid-sweep leaves behind.
+	sw, err := sweep.Expand(mustDecodeSpec(t, gridSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Hash != sb.JobID {
+		t.Fatalf("sweep hash %s != job id %s", sw.Hash, sb.JobID)
+	}
+	j, err := journal.Open(journalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Admit(sw.Hash, journal.KindSweep, sw.JSON); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Process 2 replays before serving.
+	srv2, ts2 := newTestServer(t, Config{CacheDir: cacheDir, JournalDir: journalDir})
+	n, err := srv2.ReplayJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d jobs, want 1", n)
+	}
+	snap := pollJob(t, ts2.URL, sb.JobID) // job exists without any POST
+	if string(snap.State) != "done" {
+		t.Fatalf("replayed job state %q", snap.State)
+	}
+	var res sweep.Result
+	getJSON(t, ts2.URL+"/v1/jobs/"+sb.JobID+"/result", &res)
+	if res.Cached != res.Total {
+		t.Fatalf("replayed sweep recomputed: %d/%d cached", res.Cached, res.Total)
+	}
+	var st StatsBody
+	getJSON(t, ts2.URL+"/v1/stats", &st)
+	if st.Journal == nil || st.Journal.Replayed != 1 {
+		t.Fatalf("journal stats %+v", st.Journal)
+	}
+	// The settled entry removed its file: a third start has nothing to do.
+	j3, err := journal.Open(journalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pend, _ := j3.Replay(); len(pend) != 0 {
+		t.Fatalf("journal not drained after completion: %+v", pend)
+	}
+}
+
+// TestJournalGarbageDropped: a journal entry that cannot be decoded
+// back into a sweep is dropped at replay, not retried forever.
+func TestJournalGarbageDropped(t *testing.T) {
+	journalDir := t.TempDir()
+	j, err := journal.Open(journalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Admit("nothex", journal.KindSweep, []byte(`{"bogus":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	srv, _ := newTestServer(t, Config{JournalDir: journalDir})
+	n, err := srv.ReplayJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("garbage entry replayed as %d job(s)", n)
+	}
+	if st := srv.journal.Stats(); st.Dropped != 1 {
+		t.Fatalf("journal stats %+v", st)
+	}
+}
+
+// TestSweepRetryVisible: an injected transient failure is retried per
+// policy, and the attempt counts surface in the job result and
+// /v1/stats — the acceptance-criteria observability check.
+func TestSweepRetryVisible(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	// First fault-hook call fails once, transiently; every later call
+	// passes. Exactly one point needs its second attempt.
+	srv.fault = faultinject.New(faultinject.Rule{}).Hook()
+
+	_, sb, _ := postSweep(t, ts.URL, gridSweep)
+	pollJob(t, ts.URL, sb.JobID)
+	var res sweep.Result
+	getJSON(t, ts.URL+"/v1/jobs/"+sb.JobID+"/result", &res)
+	if res.OK != res.Total || res.Failed != 0 {
+		t.Fatalf("sweep did not recover: %+v", res)
+	}
+	if res.Retried != 1 || res.RetryAttempts != 1 {
+		t.Fatalf("retried=%d attempts=%d, want 1/1", res.Retried, res.RetryAttempts)
+	}
+	retried := 0
+	for _, pr := range res.Points {
+		if pr.Attempts > 1 {
+			retried++
+		}
+	}
+	if retried != 1 {
+		t.Fatalf("%d points report extra attempts, want 1", retried)
+	}
+
+	var st StatsBody
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Sweeps.PointsRetried != 1 || st.Sweeps.RetryAttempts != 1 {
+		t.Fatalf("sweep stats %+v", st.Sweeps)
+	}
+}
+
+// TestPointRetriesDisabled: PointRetries < 0 turns retries off — an
+// injected failure lands as a failed point on its only attempt.
+func TestPointRetriesDisabled(t *testing.T) {
+	srv, ts := newTestServer(t, Config{PointRetries: -1})
+	srv.fault = faultinject.New(faultinject.Rule{}).Hook()
+
+	_, sb, _ := postSweep(t, ts.URL, gridSweep)
+	pollJob(t, ts.URL, sb.JobID)
+	var res sweep.Result
+	getJSON(t, ts.URL+"/v1/jobs/"+sb.JobID+"/result", &res)
+	if res.Failed != 1 || res.Retried != 0 {
+		t.Fatalf("retries not disabled: %+v", res)
+	}
+	for _, pr := range res.Points {
+		if pr.Attempts > 1 {
+			t.Fatalf("point %d got %d attempts with retries off", pr.Index, pr.Attempts)
+		}
+	}
+}
+
+func mustDecodeSpec(t *testing.T, raw string) sweep.Spec {
+	t.Helper()
+	spec, err := sweep.DecodeSpec([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}

@@ -19,8 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -28,7 +30,9 @@ import (
 	_ "qla/internal/cyclesim" // installs the cycle-* experiment family
 	"qla/internal/engine"
 	"qla/internal/jobs"
+	"qla/internal/journal"
 	"qla/internal/sched"
+	"qla/internal/sweep"
 )
 
 // Routes lists the served endpoints as ServeMux patterns. The
@@ -75,6 +79,20 @@ type Config struct {
 	// SweepTimeout caps one sweep job's total runtime (0 = 30 min); a
 	// submission may ask for less with ?timeout=.
 	SweepTimeout time.Duration
+	// JournalDir enables the write-ahead job journal: submitted sweeps
+	// are recorded durably at admission and a restarted server
+	// re-admits the unfinished ones via ReplayJournal ("" = no
+	// journal; jobs die with the process).
+	JournalDir string
+	// PointRetries is how many extra attempts a failed sweep point gets
+	// (0 = 2, negative = none); PointTimeout bounds each attempt
+	// (0 = 5 min). Cancellations and permanent failures never retry.
+	PointRetries int
+	PointTimeout time.Duration
+	// MaxQueue bounds the scheduler's wait queue before new
+	// uncacheable work is shed with 503 + Retry-After (0 = 4×Workers,
+	// negative = unbounded).
+	MaxQueue int
 }
 
 // Server executes Specs over HTTP. Construct with New; one Server
@@ -85,14 +103,23 @@ type Server struct {
 	cache   *cache.Cache
 	pool    *sched.Pool
 	jobs    *jobs.Manager
+	journal *journal.Journal // nil when no JournalDir is configured
 	started time.Time
 
-	runRequests   atomic.Uint64
-	runsExecuted  atomic.Uint64
-	sweepRequests atomic.Uint64
-	sweepPoints   atomic.Uint64
-	sweepCached   atomic.Uint64
-	sweepFailed   atomic.Uint64
+	// fault is the test-only chaos seam threaded into sweep runners;
+	// production servers leave it nil.
+	fault sweep.FaultHook
+
+	runRequests     atomic.Uint64
+	runsExecuted    atomic.Uint64
+	shedRequests    atomic.Uint64
+	sweepRequests   atomic.Uint64
+	sweepPoints     atomic.Uint64
+	sweepCached     atomic.Uint64
+	sweepFailed     atomic.Uint64
+	sweepRetried    atomic.Uint64
+	sweepRetries    atomic.Uint64
+	journalReplayed atomic.Uint64
 }
 
 // New builds a Server with its engine, cache, scheduler and job
@@ -122,12 +149,21 @@ func New(cfg Config) *Server {
 	if cfg.JobTTL <= 0 {
 		cfg.JobTTL = time.Hour
 	}
+	if cfg.PointRetries == 0 {
+		cfg.PointRetries = 2
+	}
+	if cfg.PointTimeout <= 0 {
+		cfg.PointTimeout = 5 * time.Minute
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.Workers
+	}
 	pool := sched.New(cfg.Workers)
 	var copts []cache.Option
 	if cfg.CacheDir != "" {
 		copts = append(copts, cache.WithDir(cfg.CacheDir))
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		eng:     engine.New(engine.WithScheduler(pool)),
 		cache:   cache.New(cfg.CacheBytes, copts...),
@@ -135,6 +171,62 @@ func New(cfg Config) *Server {
 		jobs:    jobs.NewManager(jobs.Config{MaxJobs: cfg.MaxJobs, MaxResultBytes: cfg.MaxJobBytes, TTL: cfg.JobTTL}),
 		started: time.Now(),
 	}
+	if cfg.JournalDir != "" {
+		j, err := journal.Open(cfg.JournalDir)
+		if err != nil {
+			// A broken journal directory must not take serving down with
+			// it: run journal-less (jobs lose durability, nothing else)
+			// and say so.
+			log.Printf("serve: job journal disabled: %v", err)
+		} else {
+			s.journal = j
+		}
+	}
+	return s
+}
+
+// retryPolicy resolves the configured per-point execution policy.
+func (s *Server) retryPolicy() sweep.RetryPolicy {
+	attempts := 1 + s.cfg.PointRetries
+	if s.cfg.PointRetries < 0 {
+		attempts = 1
+	}
+	return sweep.RetryPolicy{MaxAttempts: attempts, PointTimeout: s.cfg.PointTimeout}
+}
+
+// Close releases the server's durable resources: open journal entries
+// are closed without a terminal record, so their jobs replay on the
+// next start. Call it after the HTTP listener has drained.
+func (s *Server) Close() error {
+	return s.journal.Close()
+}
+
+// overloaded implements the load-shed bound: when the scheduler's wait
+// queue exceeds MaxQueue the server refuses new uncacheable work
+// rather than queueing unboundedly, and retryAfter suggests (in whole
+// seconds, scaled to the backlog) when to try again.
+func (s *Server) overloaded() (shed bool, retryAfter int) {
+	if s.cfg.MaxQueue < 0 {
+		return false, 0
+	}
+	st := s.pool.Stats()
+	if st.Waiting < s.cfg.MaxQueue {
+		return false, 0
+	}
+	retryAfter = 1 + st.Waiting/max(st.Capacity, 1)
+	if retryAfter > 30 {
+		retryAfter = 30
+	}
+	return true, retryAfter
+}
+
+// shed writes the 503 + Retry-After load-shed response.
+func (s *Server) shed(w http.ResponseWriter, retryAfter int, what string) {
+	s.shedRequests.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("server overloaded (%d runs queued, bound %d): %s shed; retry after %ds",
+			s.pool.Stats().Waiting, s.cfg.MaxQueue, what, retryAfter))
 }
 
 // Config returns the server's configuration with all defaults resolved.
@@ -213,6 +305,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	// Load shedding: a saturated scheduler queue refuses fresh compute
+	// work — but only fresh work. A request the cache can serve (stored
+	// bytes, or an identical computation already in flight it would
+	// join) costs no worker and is never shed.
+	if stored, inflight := s.cache.Contains(canon.Hash); !stored && !inflight {
+		if over, retryAfter := s.overloaded(); over {
+			s.shed(w, retryAfter, "uncached run")
+			return
+		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -318,45 +420,70 @@ type SweepStats struct {
 	Points       uint64 `json:"points"`
 	PointsCached uint64 `json:"points_cached"`
 	PointsFailed uint64 `json:"points_failed"`
+	// PointsRetried counts points that needed more than one attempt;
+	// RetryAttempts the extra attempts the retry policy spent on them.
+	PointsRetried uint64 `json:"points_retried"`
+	RetryAttempts uint64 `json:"retry_attempts"`
 	// PointCacheHitRatio is PointsCached/Points (0 when no points ran).
 	PointCacheHitRatio float64 `json:"point_cache_hit_ratio"`
 }
 
+// JournalStats wraps the journal counters with the replay total.
+type JournalStats struct {
+	journal.Stats
+	// Replayed counts jobs this process re-admitted from the journal
+	// at startup.
+	Replayed uint64 `json:"replayed"`
+}
+
 // StatsBody is the GET /v1/stats payload.
 type StatsBody struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Experiments   int         `json:"experiments"`
-	RunRequests   uint64      `json:"run_requests"`
-	RunsExecuted  uint64      `json:"runs_executed"`
-	Cache         cache.Stats `json:"cache"`
-	Scheduler     sched.Stats `json:"scheduler"`
-	Jobs          jobs.Stats  `json:"jobs"`
-	Sweeps        SweepStats  `json:"sweeps"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Experiments   int     `json:"experiments"`
+	RunRequests   uint64  `json:"run_requests"`
+	RunsExecuted  uint64  `json:"runs_executed"`
+	// ShedRequests counts requests refused with 503 + Retry-After by
+	// the load-shed bound; MaxQueue echoes the bound.
+	ShedRequests uint64        `json:"shed_requests"`
+	MaxQueue     int           `json:"max_queue"`
+	Cache        cache.Stats   `json:"cache"`
+	Scheduler    sched.Stats   `json:"scheduler"`
+	Jobs         jobs.Stats    `json:"jobs"`
+	Sweeps       SweepStats    `json:"sweeps"`
+	Journal      *JournalStats `json:"journal,omitempty"`
 }
 
 // handleStats is GET /v1/stats: cache hit/miss/dedup counters, the
-// scheduler budget, request totals, and the job-manager and sweep
-// workload counters.
+// scheduler budget, request totals, load-shed and journal state, and
+// the job-manager and sweep workload counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sw := SweepStats{
-		Requests:     s.sweepRequests.Load(),
-		Points:       s.sweepPoints.Load(),
-		PointsCached: s.sweepCached.Load(),
-		PointsFailed: s.sweepFailed.Load(),
+		Requests:      s.sweepRequests.Load(),
+		Points:        s.sweepPoints.Load(),
+		PointsCached:  s.sweepCached.Load(),
+		PointsFailed:  s.sweepFailed.Load(),
+		PointsRetried: s.sweepRetried.Load(),
+		RetryAttempts: s.sweepRetries.Load(),
 	}
 	if sw.Points > 0 {
 		sw.PointCacheHitRatio = float64(sw.PointsCached) / float64(sw.Points)
 	}
-	writeJSON(w, http.StatusOK, StatsBody{
+	body := StatsBody{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Experiments:   len(engine.Experiments()),
 		RunRequests:   s.runRequests.Load(),
 		RunsExecuted:  s.runsExecuted.Load(),
+		ShedRequests:  s.shedRequests.Load(),
+		MaxQueue:      s.cfg.MaxQueue,
 		Cache:         s.cache.Stats(),
 		Scheduler:     s.pool.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Sweeps:        sw,
-	})
+	}
+	if s.journal != nil {
+		body.Journal = &JournalStats{Stats: s.journal.Stats(), Replayed: s.journalReplayed.Load()}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleHealthz is GET /healthz: liveness only, no dependencies.

@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"time"
 
 	"qla/internal/jobs"
+	"qla/internal/journal"
 	"qla/internal/sweep"
 )
 
@@ -87,25 +89,22 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-
-	job, created, err := s.jobs.Submit(sw.Hash, len(sw.Points), func(ctx context.Context, report func(jobs.Progress)) ([]byte, error) {
-		runCtx, cancel := context.WithTimeout(ctx, timeout)
-		defer cancel()
-		runner := &sweep.Runner{Engine: s.eng, Cache: s.cache}
-		res, err := runner.Run(runCtx, sw, func(p sweep.Progress) {
-			report(jobs.Progress{Total: p.Total, Done: p.Done, Cached: p.Cached, Failed: p.Failed})
-		})
-		if err != nil {
-			return nil, err
+	// Load shedding: a fresh sweep is a batch of compute, so a
+	// saturated scheduler queue refuses it too — unless the sweep's
+	// content address already names a stored job, which joining costs
+	// nothing.
+	if _, exists := s.jobs.Get(sw.Hash); !exists {
+		if over, retryAfter := s.overloaded(); over {
+			s.shed(w, retryAfter, "sweep submission")
+			return
 		}
-		s.sweepPoints.Add(uint64(res.Total))
-		s.sweepCached.Add(uint64(res.Cached))
-		s.sweepFailed.Add(uint64(res.Failed))
-		return json.Marshal(res)
-	})
+	}
+
+	job, created, err := s.startSweep(sw, timeout, nil)
 	if err != nil {
 		// The bounded store is saturated with running jobs: ask the
 		// client to retry, nothing about the sweep itself is wrong.
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -124,6 +123,138 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		State:      snap.State,
 		Progress:   snap.Progress,
 	})
+}
+
+// startSweep submits sw as an async job, wiring in the durable and
+// failure-tolerant machinery: the write-ahead journal entry (admitted
+// before the job starts, fed per-point completion records, finished
+// with the job's terminal state), the per-point retry policy, and the
+// test-only fault seam. resumed carries the already-open journal entry
+// when the sweep is being re-admitted by ReplayJournal; nil admits a
+// fresh one.
+func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *journal.Entry) (*jobs.Job, bool, error) {
+	entry := resumed
+	freshEntry := false
+	if entry == nil && s.journal != nil {
+		e, fresh, err := s.journal.Admit(sw.Hash, journal.KindSweep, sw.JSON)
+		if err != nil {
+			// Journal trouble must not block serving: the job runs, it
+			// just won't survive a crash.
+			log.Printf("serve: journal admission for sweep %s failed (job runs without durability): %v", sw.Hash[:12], err)
+		} else {
+			entry, freshEntry = e, fresh
+		}
+	}
+	job, created, err := s.jobs.Submit(sw.Hash, len(sw.Points), func(ctx context.Context, report func(jobs.Progress)) ([]byte, error) {
+		runCtx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		runner := &sweep.Runner{
+			Engine: s.eng,
+			Cache:  s.cache,
+			Retry:  s.retryPolicy(),
+			Fault:  s.fault,
+			Observer: func(pr sweep.PointResult) {
+				entry.Point(pr.SpecHash, pr.Status, pr.Cached, pr.Attempts)
+			},
+		}
+		res, runErr := runner.Run(runCtx, sw, func(p sweep.Progress) {
+			report(jobs.Progress{Total: p.Total, Done: p.Done, Cached: p.Cached, Failed: p.Failed, Retries: p.Retries})
+		})
+		// The terminal record settles the journal entry whatever the
+		// outcome; in particular a failure is recorded (and the file
+		// removed) rather than left to replay as a stale failed job.
+		switch {
+		case runErr == nil:
+			entry.Finish(string(jobs.StateDone))
+		case errors.Is(runErr, context.Canceled):
+			entry.Finish(string(jobs.StateCancelled))
+		default:
+			entry.Finish(string(jobs.StateFailed))
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		s.sweepPoints.Add(uint64(res.Total))
+		s.sweepCached.Add(uint64(res.Cached))
+		s.sweepFailed.Add(uint64(res.Failed))
+		s.sweepRetried.Add(uint64(res.Retried))
+		s.sweepRetries.Add(uint64(res.RetryAttempts))
+		return json.Marshal(res)
+	})
+	if (err != nil || !created) && freshEntry {
+		// The submission was rejected, or joined an existing job that
+		// owns no journal entry (a finished job still within its TTL):
+		// the fresh admission would otherwise replay a settled sweep
+		// after the next restart.
+		entry.Discard()
+	}
+	return job, created, err
+}
+
+// ReplayJournal re-admits every unfinished journaled sweep — the crash
+// recovery path. Call it once at startup, after New and before
+// serving. Each re-admitted sweep re-runs under the configured sweep
+// timeout; points that completed before the crash are served from the
+// content-addressed result cache (the disk tier, when configured,
+// makes that survive the restart too), so recovery recomputes only
+// what was genuinely lost. Entries that no longer decode or re-expand
+// to a different content address are dropped. It returns the number of
+// jobs re-admitted.
+func (s *Server) ReplayJournal() (int, error) {
+	if s.journal == nil {
+		return 0, nil
+	}
+	pending, err := s.journal.Replay()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range pending {
+		sw, err := decodePending(p)
+		if err != nil {
+			log.Printf("serve: dropping unreplayable journal entry %s: %v", p.ID, err)
+			s.journal.Drop(p.ID)
+			continue
+		}
+		entry, err := s.journal.Resume(p.ID)
+		if err != nil {
+			// Re-admit anyway: completing the sweep beats preserving its
+			// journal continuity.
+			log.Printf("serve: resuming journal entry %s: %v", p.ID, err)
+		}
+		_, created, err := s.startSweep(sw, s.cfg.SweepTimeout, entry)
+		if err != nil {
+			log.Printf("serve: re-admitting journaled sweep %s: %v", p.ID, err)
+			continue
+		}
+		if created {
+			n++
+			s.journalReplayed.Add(1)
+			log.Printf("serve: re-admitted journaled sweep %s (%d points, %d completions already recorded)",
+				p.ID[:12], len(sw.Points), len(p.Points))
+		}
+	}
+	return n, nil
+}
+
+// decodePending turns a replayed journal entry back into an expanded
+// Sweep, verifying its content address still matches.
+func decodePending(p journal.Pending) (*sweep.Sweep, error) {
+	if p.Kind != journal.KindSweep {
+		return nil, fmt.Errorf("unknown journal kind %q", p.Kind)
+	}
+	ss, err := sweep.DecodeSpec(p.Spec)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := sweep.Expand(ss)
+	if err != nil {
+		return nil, err
+	}
+	if sw.Hash != p.ID {
+		return nil, fmt.Errorf("journal entry %s re-expands to %s", p.ID, sw.Hash)
+	}
+	return sw, nil
 }
 
 // jobForRequest resolves the {id} path segment, writing a 404 when the

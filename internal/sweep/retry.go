@@ -1,0 +1,108 @@
+package sweep
+
+// Per-point execution policy: the QLA paper's premise is computing
+// through unreliable components, and at serving scale the sweep runner
+// meets the software equivalents — a wedged engine run, a panicking
+// experiment body, a transient failure. The policy bounds each
+// attempt with a deadline, retries classified-transient failures with
+// jittered exponential backoff, and refuses to retry what retrying
+// cannot fix: a cancelled sweep, or an error that declares itself
+// permanent.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// RetryPolicy bounds one grid point's execution. The zero value means
+// a single attempt with no per-attempt deadline — exactly the
+// pre-policy behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per point, the first
+	// included (<= 0 means 1: no retries).
+	MaxAttempts int
+	// PointTimeout is the per-attempt deadline (0 = none; the sweep
+	// context's own deadline still applies). An attempt that exceeds it
+	// is cancelled and classified transient — a hung point is retried,
+	// not waited on forever.
+	PointTimeout time.Duration
+	// BaseBackoff is the wait before the first retry (0 = 100ms); each
+	// further retry doubles it, capped at MaxBackoff (0 = 5s). The
+	// actual wait is jittered to [50%, 100%] of the exponential value,
+	// deterministically per (point, attempt) so tests can pin timing.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// normalized resolves the policy's zero values.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered wait before retry number attempt (1 =
+// the wait after the first failed attempt).
+func (p RetryPolicy) backoff(attempt int, pointHash string) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// Deterministic jitter in [d/2, d): sweeps hammering a shared
+	// backend desynchronize, and a fixed (point, attempt) pair always
+	// waits the same time, so retry timing is reproducible.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", pointHash, attempt)
+	frac := float64(h.Sum64()%1024) / 1024
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// FaultHook is the test-only chaos seam: when non-nil it runs before
+// every point attempt with the point's spec hash, and its error (or
+// panic) stands in for the attempt. internal/faultinject builds these;
+// production runners leave the field nil.
+type FaultHook func(ctx context.Context, specHash string) error
+
+// permanent is the classification interface errors may implement to
+// opt out of retries (faultinject.Error does).
+type permanent interface{ Permanent() bool }
+
+// retryable classifies a failed attempt. Not retryable: the sweep's
+// own context ending (cancellation and sweep-deadline failures must
+// surface immediately), a context.Canceled bubbling from anywhere
+// (someone asked for a stop; retrying overrides them), and errors
+// declaring themselves Permanent (spec-shaped failures that every
+// attempt reproduces — note invalid specs normally never get this far:
+// Expand canonicalizes and validates every point before a sweep is
+// admitted). Everything else — per-attempt timeouts, engine panics
+// (already converted to errors), transient failures — retries.
+func retryable(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	var p permanent
+	if errors.As(err, &p) && p.Permanent() {
+		return false
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// recoverToError converts a panic from a fault hook or a non-engine
+// seam into an ordinary error so the retry loop can classify it. The
+// engine already guards its own experiment bodies the same way.
+func recoverToError(r any) error {
+	return fmt.Errorf("sweep: point attempt panicked: %v", r)
+}

@@ -1,0 +1,281 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"qla/internal/cache"
+	"qla/internal/engine"
+	"qla/internal/faultinject"
+)
+
+// smallSpec is a fast 4-point grid over the analytic EC-latency
+// experiment — retry mechanics, not Monte Carlo weight.
+func smallSpec() Spec {
+	return Spec{
+		Base: engine.Spec{Experiment: "ec-latency"},
+		Axes: []Axis{
+			{Field: "machine.level", Values: []any{1, 2}},
+			{Field: "machine.bandwidth", Values: []any{1, 2}},
+		},
+	}
+}
+
+// fastRetry keeps test backoffs tiny.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+}
+
+func expandSmall(t *testing.T) *Sweep {
+	t.Helper()
+	sw, err := Expand(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// TestRetryTransientFailure: a point that fails twice with a transient
+// error succeeds on the third attempt, and the counts surface
+// per-point and in the aggregate.
+func TestRetryTransientFailure(t *testing.T) {
+	sw := expandSmall(t)
+	victim := sw.Points[2].Canonical.Hash
+	in := faultinject.New(faultinject.Rule{HashPrefix: victim, Times: 2})
+	r := &Runner{Engine: engine.New(), Retry: fastRetry(3), Fault: in.Hook()}
+	res, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != res.Total || res.Failed != 0 {
+		t.Fatalf("sweep did not recover: %+v", res)
+	}
+	if res.Retried != 1 || res.RetryAttempts != 2 {
+		t.Fatalf("retried=%d attempts=%d, want 1/2", res.Retried, res.RetryAttempts)
+	}
+	for _, pr := range res.Points {
+		want := 1
+		if pr.SpecHash == victim {
+			want = 3
+		}
+		if pr.Attempts != want {
+			t.Errorf("point %d attempts = %d, want %d", pr.Index, pr.Attempts, want)
+		}
+	}
+}
+
+// TestRetryExhaustion: a point that fails on every attempt lands as
+// an error after exactly MaxAttempts tries; the rest of the sweep
+// completes.
+func TestRetryExhaustion(t *testing.T) {
+	sw := expandSmall(t)
+	victim := sw.Points[0].Canonical.Hash
+	in := faultinject.New(faultinject.Rule{HashPrefix: victim, Times: -1})
+	r := &Runner{Engine: engine.New(), Retry: fastRetry(3), Fault: in.Hook()}
+	res, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != res.Total-1 || res.Failed != 1 {
+		t.Fatalf("unexpected counts %+v", res)
+	}
+	pr := res.Points[0]
+	if pr.Status != "error" || pr.Attempts != 3 {
+		t.Fatalf("victim point %+v", pr)
+	}
+	if !strings.Contains(pr.Error, "injected transient failure") {
+		t.Fatalf("error text %q", pr.Error)
+	}
+	if in.Fired() != 3 {
+		t.Fatalf("fired %d faults, want 3", in.Fired())
+	}
+}
+
+// TestPermanentFailureNeverRetries: an error that declares itself
+// permanent consumes exactly one attempt.
+func TestPermanentFailureNeverRetries(t *testing.T) {
+	sw := expandSmall(t)
+	victim := sw.Points[1].Canonical.Hash
+	in := faultinject.New(faultinject.Rule{HashPrefix: victim, Times: -1, Permanent: true})
+	r := &Runner{Engine: engine.New(), Retry: fastRetry(5), Fault: in.Hook()}
+	res, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := res.Points[1]
+	if pr.Status != "error" || pr.Attempts != 1 {
+		t.Fatalf("permanent failure retried: %+v", pr)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("fired %d, want 1", in.Fired())
+	}
+}
+
+// TestRetryAfterPanic: an injected panic is converted to a retryable
+// error; the point recovers on the next attempt.
+func TestRetryAfterPanic(t *testing.T) {
+	sw := expandSmall(t)
+	victim := sw.Points[3].Canonical.Hash
+	in := faultinject.New(faultinject.Rule{HashPrefix: victim, Mode: faultinject.Panic})
+	r := &Runner{Engine: engine.New(), Retry: fastRetry(3), Fault: in.Hook()}
+	res, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != res.Total {
+		t.Fatalf("sweep did not recover from panic: %+v", res)
+	}
+	if res.Points[3].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Points[3].Attempts)
+	}
+}
+
+// TestRetryAfterHang: a hung attempt dies at the per-point deadline,
+// classifies transient, and the retry succeeds.
+func TestRetryAfterHang(t *testing.T) {
+	sw := expandSmall(t)
+	victim := sw.Points[0].Canonical.Hash
+	in := faultinject.New(faultinject.Rule{HashPrefix: victim, Mode: faultinject.Hang})
+	pol := fastRetry(3)
+	pol.PointTimeout = 50 * time.Millisecond
+	r := &Runner{Engine: engine.New(), Retry: pol, Fault: in.Hook()}
+	start := time.Now()
+	res, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != res.Total {
+		t.Fatalf("sweep did not recover from hang: %+v", res)
+	}
+	if res.Points[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Points[0].Attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang recovery took %v", elapsed)
+	}
+}
+
+// TestCancellationNeverRetries: a cancelled sweep aborts without
+// burning retry attempts on the cancellation error.
+func TestCancellationNeverRetries(t *testing.T) {
+	sw := expandSmall(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	r := &Runner{
+		Engine:      engine.New(),
+		Retry:       fastRetry(5),
+		Concurrency: 1,
+		Fault: func(fctx context.Context, hash string) error {
+			fired++
+			cancel()
+			return fctx.Err()
+		},
+	}
+	_, err := r.Run(ctx, sw, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if fired > 1 {
+		t.Fatalf("cancelled attempt retried %d times", fired)
+	}
+}
+
+// TestRetryWithCache: a failed attempt never poisons the cache — the
+// successful retry computes, stores, and a re-run of the sweep is
+// fully cached.
+func TestRetryWithCache(t *testing.T) {
+	sw := expandSmall(t)
+	victim := sw.Points[2].Canonical.Hash
+	in := faultinject.New(faultinject.Rule{HashPrefix: victim, Times: 2})
+	c := cache.New(1 << 20)
+	r := &Runner{Engine: engine.New(), Cache: c, Retry: fastRetry(3), Fault: in.Hook()}
+	res, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != res.Total || res.Retried != 1 {
+		t.Fatalf("first run %+v", res)
+	}
+	res2, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached != res2.Total {
+		t.Fatalf("re-run not fully cached: %+v", res2)
+	}
+	// Byte-identical payloads despite the retries.
+	for i := range res.Points {
+		if string(res.Points[i].Result) != string(res2.Points[i].Result) {
+			t.Fatalf("point %d payload changed across runs", i)
+		}
+	}
+}
+
+// TestObserverSeesEveryPoint: the Observer receives each point exactly
+// once with its final state.
+func TestObserverSeesEveryPoint(t *testing.T) {
+	sw := expandSmall(t)
+	victim := sw.Points[1].Canonical.Hash
+	in := faultinject.New(faultinject.Rule{HashPrefix: victim})
+	seen := map[string]PointResult{}
+	r := &Runner{
+		Engine:   engine.New(),
+		Retry:    fastRetry(2),
+		Fault:    in.Hook(),
+		Observer: func(pr PointResult) { seen[pr.SpecHash] = pr },
+	}
+	res, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != res.Total {
+		t.Fatalf("observer saw %d points, want %d", len(seen), res.Total)
+	}
+	if got := seen[victim]; got.Attempts != 2 || got.Status != "ok" {
+		t.Fatalf("observer saw non-final state %+v", got)
+	}
+}
+
+// TestProgressCarriesRetries: the progress stream reports retry
+// attempts monotonically.
+func TestProgressCarriesRetries(t *testing.T) {
+	sw := expandSmall(t)
+	in := faultinject.New(faultinject.Rule{HashPrefix: sw.Points[0].Canonical.Hash, Times: 2})
+	var last Progress
+	r := &Runner{Engine: engine.New(), Retry: fastRetry(3), Fault: in.Hook(), Concurrency: 1}
+	if _, err := r.Run(context.Background(), sw, func(p Progress) {
+		if p.Retries < last.Retries || p.Done < last.Done {
+			t.Errorf("progress rolled back: %+v after %+v", p, last)
+		}
+		last = p
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if last.Retries != 2 {
+		t.Fatalf("final retries = %d, want 2", last.Retries)
+	}
+}
+
+// TestBackoffShape: deterministic jitter, exponential growth, cap.
+func TestBackoffShape(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}.normalized()
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := p.backoff(attempt, "deadbeef")
+		if d != p.backoff(attempt, "deadbeef") {
+			t.Fatalf("attempt %d: jitter not deterministic", attempt)
+		}
+		exp := p.BaseBackoff << (attempt - 1)
+		if exp > p.MaxBackoff {
+			exp = p.MaxBackoff
+		}
+		if d < exp/2 || d >= exp {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, exp/2, exp)
+		}
+	}
+	if a, b := p.backoff(1, "aaaa"), p.backoff(1, "bbbb"); a == b {
+		t.Log("distinct points share a jitter value (legal, 1/1024 chance)")
+	}
+}

@@ -12,10 +12,10 @@ import (
 	"qla/internal/engine"
 )
 
-// cancelGrace is how long a cache-shared point computation may keep
-// running after its sweep's context is cancelled, for the sake of
+// defaultCancelGrace is how long a cache-shared point computation may
+// keep running after its sweep's context is cancelled, for the sake of
 // singleflight followers collapsed onto it.
-const cancelGrace = 10 * time.Second
+const defaultCancelGrace = 10 * time.Second
 
 // Runner executes an expanded Sweep's points.
 type Runner struct {
@@ -36,6 +36,21 @@ type Runner struct {
 	// its full GOMAXPROCS-wide pool, oversubscribing the machine
 	// quadratically.
 	Concurrency int
+	// Retry is the per-point execution policy; the zero value runs each
+	// point once with no per-attempt deadline.
+	Retry RetryPolicy
+	// Observer, when non-nil, is called with every point's final
+	// PointResult as it completes (after retries), never concurrently —
+	// the serving layer's journal appends per-point completion records
+	// through it.
+	Observer func(PointResult)
+	// Fault is the test-only chaos seam (see FaultHook); nil in
+	// production.
+	Fault FaultHook
+	// CancelGrace overrides how long a cache-shared point computation
+	// survives its sweep's cancellation for the sake of collapsed
+	// followers (0 = 10s).
+	CancelGrace time.Duration
 }
 
 // Progress is a monotonic snapshot of a sweep run, delivered to the
@@ -45,6 +60,8 @@ type Progress struct {
 	Done   int `json:"done"`
 	Cached int `json:"cached"`
 	Failed int `json:"failed"`
+	// Retries counts extra per-point attempts spent so far.
+	Retries int `json:"retries,omitempty"`
 }
 
 // PointResult is the outcome of one grid point.
@@ -63,6 +80,8 @@ type PointResult struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Error carries the failure text when Status is "error".
 	Error string `json:"error,omitempty"`
+	// Attempts is how many tries the point took (1 = no retries).
+	Attempts int `json:"attempts,omitempty"`
 	// Result holds the marshaled engine Result bytes, verbatim — on a
 	// cache hit, byte-identical to the run that populated the entry.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -82,6 +101,10 @@ type Result struct {
 	OK     int `json:"ok"`
 	Cached int `json:"cached"`
 	Failed int `json:"failed"`
+	// Retried counts points that needed more than one attempt;
+	// RetryAttempts the total extra attempts spent across them.
+	Retried       int `json:"retried,omitempty"`
+	RetryAttempts int `json:"retry_attempts,omitempty"`
 	// Elapsed is the whole sweep's wall time.
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Points holds every point in row-major sweep order.
@@ -137,8 +160,15 @@ func (r *Runner) Run(ctx context.Context, sw *Sweep, progress func(Progress)) (*
 		if pr.Cached {
 			res.Cached++
 		}
+		if pr.Attempts > 1 {
+			res.Retried++
+			res.RetryAttempts += pr.Attempts - 1
+		}
+		if r.Observer != nil {
+			r.Observer(pr)
+		}
 		if progress != nil {
-			progress(Progress{Total: res.Total, Done: res.OK + res.Failed, Cached: res.Cached, Failed: res.Failed})
+			progress(Progress{Total: res.Total, Done: res.OK + res.Failed, Cached: res.Cached, Failed: res.Failed, Retries: res.RetryAttempts})
 		}
 		mu.Unlock()
 	}
@@ -176,24 +206,73 @@ func (r *Runner) Run(ctx context.Context, sw *Sweep, progress func(Progress)) (*
 	return res, nil
 }
 
-// runPoint executes one point, through the cache when one is wired.
+// runPoint executes one point under the retry policy: attempts run
+// until one succeeds, the attempts are exhausted, or the failure
+// classifies as non-retryable. Between attempts the worker sleeps the
+// policy's jittered backoff (aborted by sweep cancellation).
 func (r *Runner) runPoint(ctx context.Context, eng *engine.Engine, sw *Sweep, i int) PointResult {
+	pol := r.Retry.normalized()
+	for attempt := 1; ; attempt++ {
+		pr, err := r.runPointOnce(ctx, eng, sw, i)
+		pr.Attempts = attempt
+		if err == nil || attempt >= pol.MaxAttempts || !retryable(ctx, err) {
+			return pr
+		}
+		select {
+		case <-time.After(pol.backoff(attempt, pr.SpecHash)):
+		case <-ctx.Done():
+			return pr
+		}
+	}
+}
+
+// runPointOnce executes one attempt of one point, through the cache
+// when one is wired, under the policy's per-attempt deadline. Panics
+// escaping the fault hook are converted to retryable errors (the
+// engine converts its own experiment panics the same way).
+func (r *Runner) runPointOnce(parent context.Context, eng *engine.Engine, sw *Sweep, i int) (pr PointResult, err error) {
 	pt := sw.Points[i]
-	pr := PointResult{
+	pr = PointResult{
 		Index:    i,
 		Coords:   pt.Coords,
 		SpecHash: pt.Canonical.Hash,
 	}
+	ctx := parent
+	if pol := r.Retry.normalized(); pol.PointTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, pol.PointTimeout)
+		defer cancel()
+	}
 	started := time.Now()
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = recoverToError(rec)
+		}
+		pr.Elapsed = time.Since(started)
+		if err != nil {
+			pr.Status = "error"
+			pr.Error = err.Error()
+			pr.Cached = false
+			pr.Result = nil
+		}
+	}()
+	if r.Fault != nil {
+		if err = r.Fault(ctx, pt.Canonical.Hash); err != nil {
+			return pr, err
+		}
+	}
 	var (
 		body []byte
 		hit  bool
-		err  error
 	)
 	if r.Cache != nil {
+		grace := r.CancelGrace
+		if grace <= 0 {
+			grace = defaultCancelGrace
+		}
 		// Through a shared cache the computation may have singleflight
 		// followers from other callers (a concurrent /v1/run on the same
-		// Spec), so it must not die instantly with this sweep's context —
+		// Spec), so it must not die instantly with this attempt's context —
 		// the detachment serve.handleRun applies. But fully detached
 		// work would keep holding the shared scheduler budget until the
 		// sweep deadline after an explicit cancel, so cancellation
@@ -208,7 +287,7 @@ func (r *Runner) runPoint(ctx context.Context, eng *engine.Engine, sw *Sweep, i 
 				defer cancel()
 			}
 			stop := context.AfterFunc(ctx, func() {
-				timer := time.AfterFunc(cancelGrace, cancel)
+				timer := time.AfterFunc(grace, cancel)
 				// The compute's own deadline caps the timer's useful
 				// life; letting it fire against a finished context is a
 				// no-op, so no cleanup is needed beyond cancel itself.
@@ -227,14 +306,11 @@ func (r *Runner) runPoint(ctx context.Context, eng *engine.Engine, sw *Sweep, i 
 			body, err = json.Marshal(out)
 		}
 	}
-	pr.Elapsed = time.Since(started)
 	pr.Cached = hit
 	if err != nil {
-		pr.Status = "error"
-		pr.Error = err.Error()
-		return pr
+		return pr, err
 	}
 	pr.Status = "ok"
 	pr.Result = body
-	return pr
+	return pr, nil
 }
