@@ -108,6 +108,157 @@ func TestCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestFleetFailover is the fleet-mode acceptance test, end to end
+// against real processes: two replicas share one sweep through the
+// peer cache tier and per-point work leasing; one replica is SIGKILLed
+// mid-sweep, and the survivor completes the whole grid with the dead
+// replica's pre-kill completions served from its own cache (the syncer
+// prefetched them while both were alive) rather than recomputed.
+func TestFleetFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server processes")
+	}
+	bin := buildServer(t)
+	work := t.TempDir()
+	addrA, addrB := freeAddr(t), freeAddr(t)
+	baseA, baseB := "http://"+addrA, "http://"+addrB
+
+	common := []string{
+		"-workers", "1", // slow each replica down so the kill lands mid-run
+		"-lease-ttl", "2s", // dead replica's claims lapse quickly
+		"-fleet-poll", "100ms", // tight ledger polling: completions replicate fast
+		"-peer-timeout", "500ms",
+	}
+	argsA := append([]string{
+		"-addr", addrA, "-peers", baseB, "-self-id", "replica-a",
+		"-cache-dir", filepath.Join(work, "cache-a"),
+		"-journal-dir", filepath.Join(work, "journal-a"),
+	}, common...)
+	argsB := append([]string{
+		"-addr", addrB, "-peers", baseA, "-self-id", "replica-b",
+		"-cache-dir", filepath.Join(work, "cache-b"),
+		"-journal-dir", filepath.Join(work, "journal-b"),
+	}, common...)
+	procA := startServer(t, bin, argsA)
+	procB := startServer(t, bin, argsB)
+	waitHealthy(t, baseA)
+	waitHealthy(t, baseB)
+
+	// 24 points × ~400 ms on one worker each: seconds of shared runtime.
+	sweep := `{
+	  "base": {"experiment": "figure7", "params": {"phys-errors": [0.004], "trials": 120000, "seed": 3}},
+	  "axes": [{"field": "params.seed", "values": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24]}]
+	}`
+	resp, err := http.Post(baseA+"/v1/sweeps", "application/json", strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb struct {
+		JobID  string `json:"job_id"`
+		Points int    `json:"points"`
+	}
+	decodeAndClose(t, resp, &sb)
+	if resp.StatusCode != http.StatusAccepted || sb.Points != 24 {
+		t.Fatalf("submit: status %d body %+v", resp.StatusCode, sb)
+	}
+
+	// The forwarded submission must land on B before the kill matters.
+	waitJobExists(t, baseB, sb.JobID)
+
+	// Let A genuinely compute a few points (done minus cached — cached
+	// ones came from B and prove nothing), then pull its plug.
+	computedA := waitComputed(t, baseA, sb.JobID, 5)
+	if err := procA.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	procA.Wait()
+
+	// The survivor finishes the whole grid despite its peer being gone:
+	// claims to A fail open (no veto), A's live leases expire after
+	// -lease-ttl, and A's finished points are already in B's cache.
+	snap := pollDone(t, baseB, sb.JobID)
+	if snap.State != "done" {
+		t.Fatalf("survivor job state %q (error %q)", snap.State, snap.Error)
+	}
+	var res struct {
+		Total  int `json:"total"`
+		OK     int `json:"ok"`
+		Cached int `json:"cached"`
+		Failed int `json:"failed"`
+	}
+	getJSON(t, baseB+"/v1/jobs/"+sb.JobID+"/result", &res)
+	if res.OK != res.Total || res.Total != 24 || res.Failed != 0 {
+		t.Fatalf("survivor result incomplete: %+v", res)
+	}
+	// ≥90% of the dead replica's computed points must reach the survivor
+	// as cache hits (one may be torn mid-flight or inside one poll gap).
+	want := computedA * 9 / 10
+	if res.Cached < want {
+		t.Fatalf("only %d/%d points cached on the survivor (%d computed on A before kill, want >= %d)",
+			res.Cached, res.Total, computedA, want)
+	}
+	var st struct {
+		Cache struct {
+			PeerHits uint64 `json:"peer_hits"`
+		} `json:"cache"`
+		Fleet struct {
+			Prefetched uint64 `json:"prefetched"`
+			ClaimsSent uint64 `json:"claims_sent"`
+		} `json:"fleet"`
+	}
+	getJSON(t, baseB+"/v1/stats", &st)
+	if st.Cache.PeerHits == 0 {
+		t.Fatalf("survivor peer_hits = 0: nothing crossed the peer tier (fleet %+v)", st.Fleet)
+	}
+	t.Logf("failover: A computed %d before kill; survivor served %d/%d cached, peer_hits=%d prefetched=%d claims_sent=%d",
+		computedA, res.Cached, res.Total, st.Cache.PeerHits, st.Fleet.Prefetched, st.Fleet.ClaimsSent)
+
+	procB.Process.Signal(syscall.SIGTERM)
+	if err := procB.Wait(); err != nil {
+		t.Fatalf("graceful survivor shutdown: %v", err)
+	}
+}
+
+// waitJobExists polls until base knows the job (forwarding is async).
+func waitJobExists(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s", id, base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitComputed polls until base has locally computed (done minus
+// cached) at least min points of the job, returning the count.
+func waitComputed(t *testing.T, base, id string, min int) int {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var snap jobSnap
+		getJSON(t, base+"/v1/jobs/"+id, &snap)
+		if computed := snap.Progress.Done - snap.Progress.Cached; computed >= min {
+			return computed
+		}
+		if snap.State != "running" && snap.State != "queued" {
+			t.Fatalf("job settled before computing %d points locally: %+v", min, snap)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never computed %d points locally: %+v", min, snap)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
 func buildServer(t *testing.T) string {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "qlaserve")

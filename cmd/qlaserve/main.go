@@ -13,6 +13,13 @@
 // submissions collapse, and -cache-dir persists per-point results
 // across restarts.
 //
+// Replicas started with -peers form a cooperating fleet: each serves
+// its cached Result bytes to the others (GET /v1/cache/{hash}),
+// forwards sweep submissions, and leases grid points per replica so
+// the fleet races through one sweep together. A SIGKILLed replica's
+// leases expire and the survivors finish its share from the shared
+// cache tier instead of recomputing it.
+//
 // Usage:
 //
 //	qlaserve -addr :8080 -cache-dir /var/cache/qla
@@ -37,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,8 +67,17 @@ func main() {
 	pointTimeout := flag.Duration("point-timeout", 0, "per-attempt deadline of one sweep point (0 = 5m)")
 	maxQueue := flag.Int("max-queue", 0, "scheduler queue bound before uncacheable work is shed with 503 + Retry-After (0 = 4×workers, negative = unbounded)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to drain before exiting")
+	peers := flag.String("peers", "", "comma-separated base URLs of the other fleet replicas; non-empty enables fleet mode: the peer cache tier, sweep forwarding and per-point work leasing (empty = standalone)")
+	selfID := flag.String("self-id", "", "replica identity used in lease claims, unique across the fleet (empty = random)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "per-point work lease lifetime; a SIGKILLed replica's claims expire after this and survivors take the points over (0 = 30s)")
+	fleetPoll := flag.Duration("fleet-poll", 0, "interval for polling peers' lease ledgers to prefetch their completed points (0 = 1s)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "deadline for one peer HTTP call: cache fetches, lease claims, ledger polls (0 = 2s)")
 	flag.Parse()
 
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
 	srv := serve.New(serve.Config{
 		CacheBytes:     *cacheBytes,
 		CacheDir:       *cacheDir,
@@ -75,6 +92,11 @@ func main() {
 		PointRetries:   *pointRetries,
 		PointTimeout:   *pointTimeout,
 		MaxQueue:       *maxQueue,
+		Peers:          peerList,
+		SelfID:         *selfID,
+		LeaseTTL:       *leaseTTL,
+		FleetPoll:      *fleetPoll,
+		PeerTimeout:    *peerTimeout,
 	})
 	// Crash recovery: re-admit journaled sweeps the previous process
 	// did not finish, before the listener opens — their points replay
@@ -103,6 +125,10 @@ func main() {
 	}
 	log.Printf("qlaserve: listening on %s (workers=%d cache=%d bytes [%s], timeout=%v/%v, jobs=%d/%v, sweep-timeout=%v)",
 		*addr, cfg.Workers, cfg.CacheBytes, persist, cfg.DefaultTimeout, cfg.MaxTimeout, cfg.MaxJobs, cfg.JobTTL, cfg.SweepTimeout)
+	if len(cfg.Peers) > 0 {
+		log.Printf("qlaserve: fleet mode: self=%s peers=%v (lease-ttl=%v, fleet-poll=%v, peer-timeout=%v)",
+			cfg.SelfID, cfg.Peers, cfg.LeaseTTL, cfg.FleetPoll, cfg.PeerTimeout)
+	}
 	select {
 	case err := <-errc:
 		fatal(err)

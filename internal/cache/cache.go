@@ -18,6 +18,10 @@
 // yanked) downgrades the tier to memory-only after a few consecutive
 // persist errors — logged once per episode, visible in Stats — and a
 // periodic probe write re-enables it when the disk recovers.
+//
+// WithPeers adds a third, fleet-wide tier: other replicas' caches
+// reached over HTTP, consulted after a disk miss and before computing.
+// See peer.go.
 package cache
 
 import (
@@ -25,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,9 +60,16 @@ type Cache struct {
 	nextProbe     time.Time
 	logf          func(format string, args ...any)
 
+	// Peer tier (see peer.go): other replicas consulted between a disk
+	// miss and a fresh computation, each with its own breaker.
+	peers       []*peerState
+	peerTimeout time.Duration
+	peerClient  *http.Client
+
 	hits, misses, dedups, evictions     uint64
 	diskHits, diskWrites, persistErrors uint64
 	degradeEvents, skippedWrites        uint64
+	peerHits, peerMisses, peerErrors    uint64
 }
 
 type entry struct {
@@ -112,10 +124,14 @@ func New(maxBytes int64, opts ...Option) *Cache {
 		inflight:      make(map[string]*flight),
 		degradeAfter:  3,
 		probeInterval: 30 * time.Second,
+		peerTimeout:   defaultPeerTimeout,
 		logf:          log.Printf,
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if len(c.peers) > 0 {
+		c.peerClient = &http.Client{Timeout: c.peerTimeout}
 	}
 	if c.dir != "" {
 		if err := os.MkdirAll(c.dir, 0o755); err != nil {
@@ -173,6 +189,22 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 		c.mu.Unlock()
 		f.val = val
 		close(f.done)
+		return val, true, nil
+	}
+
+	// Peer tier: another replica may already hold the bytes — still as
+	// the flight leader, so N concurrent callers cost one peer walk. A
+	// peer hit is written through to the local disk (after releasing the
+	// followers, like the compute path): the peer can die, and the whole
+	// point of the fleet is that its results survive anywhere.
+	if val, ok := c.loadPeers(key); ok {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.storeLocked(key, val)
+		c.mu.Unlock()
+		f.val = val
+		close(f.done)
+		c.writeFile(key, val)
 		return val, true, nil
 	}
 
@@ -299,12 +331,22 @@ func (c *Cache) writeFile(key string, val []byte) {
 // identical computation is running (a caller would join it). It is a
 // pure probe — no counters move and nothing is promoted — sized for
 // the serving layer's load-shed check, which must not 503 requests the
-// cache can answer.
+// cache can answer. It never consults peers (a network round-trip in
+// an admission decision is the same bug class as a hung disk stat) and
+// skips the disk stat while the tier is degraded.
 func (c *Cache) Contains(key string) (stored, inflight bool) {
 	c.mu.Lock()
 	_, stored = c.entries[key]
 	_, inflight = c.inflight[key]
 	dir := c.dir
+	if c.degraded {
+		// A degraded disk may be hung, not just full: the admission
+		// probe must never block on it. Get keeps reading the tier (a
+		// hit is still worth a slow read); the probe just stops
+		// promising one, so an affected request is shed instead of
+		// stalled.
+		dir = ""
+	}
 	c.mu.Unlock()
 	if !stored && dir != "" && safeKey(key) {
 		if _, err := os.Stat(filepath.Join(dir, key)); err == nil {
@@ -376,12 +418,27 @@ type Stats struct {
 	Degraded      bool   `json:"degraded,omitempty"`
 	DegradeEvents uint64 `json:"degrade_events,omitempty"`
 	SkippedWrites uint64 `json:"skipped_writes,omitempty"`
+	// Peers is how many peer replicas the tier consults (0 = tier off)
+	// and PeersDegraded how many are currently skipped by their breaker.
+	// PeerHits counts local misses served from a peer, PeerMisses clean
+	// peer 404s, PeerErrors failed or hash-rejected fetches.
+	Peers         int    `json:"peers,omitempty"`
+	PeersDegraded int    `json:"peers_degraded,omitempty"`
+	PeerHits      uint64 `json:"peer_hits,omitempty"`
+	PeerMisses    uint64 `json:"peer_misses,omitempty"`
+	PeerErrors    uint64 `json:"peer_errors,omitempty"`
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	peersDegraded := 0
+	for _, p := range c.peers {
+		if p.degraded {
+			peersDegraded++
+		}
+	}
 	return Stats{
 		Hits:          c.hits,
 		Misses:        c.misses,
@@ -398,5 +455,10 @@ func (c *Cache) Stats() Stats {
 		Degraded:      c.degraded,
 		DegradeEvents: c.degradeEvents,
 		SkippedWrites: c.skippedWrites,
+		Peers:         len(c.peers),
+		PeersDegraded: peersDegraded,
+		PeerHits:      c.peerHits,
+		PeerMisses:    c.peerMisses,
+		PeerErrors:    c.peerErrors,
 	}
 }

@@ -1,0 +1,221 @@
+// The peer tier: a fleet of qlaserve replicas shares its
+// content-addressed results over HTTP. Each replica serves its own
+// stored bytes under GET /v1/cache/{hash} and, configured with
+// WithPeers, consults the others' routes between a local disk miss and
+// a fresh computation — probe order memory → disk → peers → compute.
+// Content addressing makes the tier trivially coherent: a key's bytes
+// are bit-identical wherever they were computed, so a peer's body is
+// legal to store and replay verbatim once its hash header checks out.
+//
+// Peers fail independently of the local disk, so each carries its own
+// circuit breaker, reusing the WithDegrade episode pattern: after
+// degradeAfter consecutive errors the peer is skipped (one probe
+// request allowed per probeInterval to detect recovery) instead of
+// adding a timeout's worth of latency to every miss. Peer fetches are
+// strictly best-effort — every failure degrades to the next tier,
+// never to a request failure.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// PeerPath is the route prefix peers serve cached bytes under; the
+// serving layer registers its handler to match.
+const PeerPath = "/v1/cache/"
+
+// HashHeader names the response header carrying the hex SHA-256 of the
+// served body. Receivers recompute it and reject mismatches — a
+// truncated proxy response or corrupt peer must not poison the local
+// tiers.
+const HashHeader = "X-Content-SHA256"
+
+// defaultPeerTimeout bounds one peer fetch end to end.
+const defaultPeerTimeout = 2 * time.Second
+
+// peerState is one configured peer and its breaker.
+type peerState struct {
+	url        string
+	consecErrs int
+	degraded   bool
+	nextProbe  time.Time
+}
+
+// WithPeers enables the peer tier: each URL is the base address of
+// another replica serving GET /v1/cache/{hash}. Peers are consulted in
+// the given order after a memory and disk miss, before computing.
+func WithPeers(urls ...string) Option {
+	return func(c *Cache) {
+		for _, u := range urls {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u == "" {
+				continue
+			}
+			c.peers = append(c.peers, &peerState{url: u})
+		}
+	}
+}
+
+// WithPeerTimeout bounds one peer fetch (0 keeps the 2s default). The
+// timeout is per peer, not per key: a miss that walks N slow peers can
+// spend N timeouts before computing, which is why the breaker exists.
+func WithPeerTimeout(d time.Duration) Option {
+	return func(c *Cache) {
+		if d > 0 {
+			c.peerTimeout = d
+		}
+	}
+}
+
+// BodyHash returns the hex SHA-256 a peer response's HashHeader must
+// carry for val.
+func BodyHash(val []byte) string {
+	sum := sha256.Sum256(val)
+	return hex.EncodeToString(sum[:])
+}
+
+// loadPeers fetches key from the first peer that holds it. Breaker
+// bookkeeping happens under the cache lock; the HTTP requests do not.
+func (c *Cache) loadPeers(key string) ([]byte, bool) {
+	if len(c.peers) == 0 || !safeKey(key) {
+		return nil, false
+	}
+	for _, p := range c.peers {
+		c.mu.Lock()
+		if p.degraded {
+			if time.Now().Before(p.nextProbe) {
+				c.mu.Unlock()
+				continue
+			}
+			// Claim the probe slot before releasing the lock so concurrent
+			// misses don't stampede a dead peer together.
+			p.nextProbe = time.Now().Add(c.probeInterval)
+		}
+		c.mu.Unlock()
+
+		val, ok, err := c.fetchPeer(p.url, key)
+
+		c.mu.Lock()
+		if err != nil {
+			c.peerErrors++
+			p.consecErrs++
+			if !p.degraded && p.consecErrs >= c.degradeAfter {
+				p.degraded = true
+				p.nextProbe = time.Now().Add(c.probeInterval)
+				// Logged once per episode: the steady state is silent skips.
+				c.logf("cache: peer %s skipped after %d consecutive errors (last: %v); probing every %v",
+					p.url, p.consecErrs, err, c.probeInterval)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		if p.degraded {
+			c.logf("cache: peer %s restored after successful probe", p.url)
+		}
+		p.degraded = false
+		p.consecErrs = 0
+		if !ok {
+			c.peerMisses++
+			c.mu.Unlock()
+			continue
+		}
+		c.peerHits++
+		c.mu.Unlock()
+		return val, true
+	}
+	return nil, false
+}
+
+// fetchPeer performs one GET against one peer: (val, true, nil) on a
+// validated hit, (nil, false, nil) on a clean 404 miss, an error for
+// everything else — transport failures, unexpected statuses, and
+// bodies whose hash header does not match.
+func (c *Cache) fetchPeer(base, key string) ([]byte, bool, error) {
+	resp, err := c.peerClient.Get(base + PeerPath + key)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("peer %s: status %d for %s", base, resp.StatusCode, key)
+	}
+	val, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	if got, want := resp.Header.Get(HashHeader), BodyHash(val); got != want {
+		return nil, false, fmt.Errorf("peer %s: body hash mismatch for %s (header %q)", base, key, got)
+	}
+	return val, true, nil
+}
+
+// Peek returns the locally stored bytes for key — memory first (with
+// LRU promotion), then the disk tier — without computing, joining a
+// flight, or consulting peers. It backs the GET /v1/cache/{hash} route:
+// peer requests must see only what this replica holds, never trigger
+// transitive fetches, and never block on another replica.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.mu.Unlock()
+	if val, ok := c.loadFile(key); ok {
+		c.mu.Lock()
+		c.diskHits++
+		c.storeLocked(key, val)
+		c.mu.Unlock()
+		return val, true
+	}
+	return nil, false
+}
+
+// Prefetch pulls key into the local tiers from disk or a peer, never
+// computing, and reports whether the value is now stored locally. It
+// deliberately skips the singleflight machinery: a prefetch that finds
+// nothing must not register a flight that /v1/run callers would join
+// and fail with. A peer-sourced value is written through to the local
+// disk — the peer may die; that is the point of prefetching.
+func (c *Cache) Prefetch(key string) bool {
+	c.mu.Lock()
+	_, stored := c.entries[key]
+	_, inflight := c.inflight[key]
+	c.mu.Unlock()
+	if stored {
+		return true
+	}
+	if inflight {
+		// A local computation is already producing the value.
+		return false
+	}
+	if val, ok := c.loadFile(key); ok {
+		c.mu.Lock()
+		c.diskHits++
+		c.storeLocked(key, val)
+		c.mu.Unlock()
+		return true
+	}
+	val, ok := c.loadPeers(key)
+	if !ok {
+		return false
+	}
+	c.mu.Lock()
+	c.storeLocked(key, val)
+	c.mu.Unlock()
+	c.writeFile(key, val)
+	return true
+}

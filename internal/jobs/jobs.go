@@ -43,6 +43,11 @@ type Progress struct {
 	Failed int `json:"failed"`
 	// Retries counts extra per-point attempts the retry policy spent.
 	Retries int `json:"retries,omitempty"`
+	// Deferred counts fleet-gate deferrals: probes parked because
+	// another replica held a point's lease. Done still counts every
+	// point exactly once whichever replica computed it — completions
+	// aggregate through the shared cache, not through this counter.
+	Deferred int `json:"deferred,omitempty"`
 }
 
 // Config sizes a Manager. The zero value is usable: 256 stored jobs,

@@ -5,7 +5,8 @@
 // address: the first line records the admitted canonical spec (written
 // atomically — temp file, fsync, rename — so a half-admitted job can
 // never replay), subsequent lines record per-point completions
-// (point hash → status), and a terminal line marks the job settled.
+// (point hash → status) and fleet leases (point hash → holder), and a
+// terminal line marks the job settled.
 // Replay scans the directory at startup: files with a terminal record
 // are deleted (the job finished; nothing to recover — and a journaled
 // failure must never be resurrected as a stale failed job, re-running
@@ -35,6 +36,12 @@ import (
 // Kind labels what the admitted spec payload decodes as.
 const KindSweep = "sweep"
 
+// StatusLeased marks a per-point record as a fleet lease, not a
+// completion: this replica claimed the point and is about to compute
+// it. Replay treats leased-but-never-completed points as pending — the
+// crash-recovery path for a dead lessee.
+const StatusLeased = "leased"
+
 // suffix is the journal file extension.
 const suffix = ".wal"
 
@@ -47,10 +54,12 @@ type record struct {
 	Kind  string          `json:"kind,omitempty"`
 	Spec  json.RawMessage `json:"spec,omitempty"`
 	Point string          `json:"point,omitempty"`
-	// Status is "ok" or "error"; Cached and Attempts qualify it.
+	// Status is "ok", "error" or "leased"; Cached and Attempts qualify
+	// completions, Holder names the replica behind a lease.
 	Status   string `json:"status,omitempty"`
 	Cached   bool   `json:"cached,omitempty"`
 	Attempts int    `json:"attempts,omitempty"`
+	Holder   string `json:"holder,omitempty"`
 	State    string `json:"state,omitempty"`
 }
 
@@ -69,7 +78,12 @@ type Pending struct {
 	// Spec is the admitted canonical spec payload, verbatim.
 	Spec []byte
 	// Points maps point hash → the last completion recorded for it.
+	// Lease records never land here: a leased-but-never-completed point
+	// must replay as pending work.
 	Points map[string]PointStatus
+	// Leased counts lease records whose point never completed — work a
+	// dead replica claimed but did not finish.
+	Leased int
 }
 
 // Journal owns a journal directory. Construct with Open; a Journal is
@@ -80,7 +94,7 @@ type Journal struct {
 	mu   sync.Mutex
 	open map[string]*Entry
 
-	admitted, resumed, points, finished, dropped, errors uint64
+	admitted, resumed, points, leases, finished, dropped, errors uint64
 }
 
 // Open prepares a Journal rooted at dir, creating the directory.
@@ -247,6 +261,16 @@ func (j *Journal) replayFile(name string) (p Pending, finished, ok bool) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	p.Points = make(map[string]PointStatus)
+	leased := make(map[string]bool)
+	// Leases count only while uncompleted: a lease followed by its
+	// completion is settled work, one without is the dead-lessee case.
+	countLeases := func() {
+		for pt := range leased {
+			if _, done := p.Points[pt]; !done {
+				p.Leased++
+			}
+		}
+	}
 	first := true
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -272,7 +296,10 @@ func (j *Journal) replayFile(name string) (p Pending, finished, ok bool) {
 		}
 		switch {
 		case rec.State != "":
+			countLeases()
 			return p, true, true
+		case rec.Point != "" && rec.Status == StatusLeased:
+			leased[rec.Point] = true
 		case rec.Point != "":
 			p.Points[rec.Point] = PointStatus{Status: rec.Status, Cached: rec.Cached, Attempts: rec.Attempts}
 		}
@@ -280,6 +307,7 @@ func (j *Journal) replayFile(name string) (p Pending, finished, ok bool) {
 	if first {
 		return Pending{}, false, false // empty file
 	}
+	countLeases()
 	return p, false, true
 }
 
@@ -326,6 +354,17 @@ func (e *Entry) Point(hash, status string, cached bool, attempts int) error {
 		return nil
 	}
 	return e.append(record{Point: hash, Status: status, Cached: cached, Attempts: attempts}, false, &e.j.points)
+}
+
+// Lease appends a per-point lease record: holder (a fleet replica ID)
+// claimed the point and is about to compute it. Like Point, the append
+// is unsynced — a lost lease line only means replay treats the point
+// as plain pending work, which is also what a lease means.
+func (e *Entry) Lease(hash, holder string) error {
+	if e == nil {
+		return nil
+	}
+	return e.append(record{Point: hash, Status: StatusLeased, Holder: holder}, false, &e.j.leases)
 }
 
 // Finish appends the terminal record (fsynced), closes the entry and
@@ -418,9 +457,11 @@ type Stats struct {
 	// reopened for appends.
 	Admitted uint64 `json:"admitted"`
 	Resumed  uint64 `json:"resumed"`
-	// Points counts per-point completion appends; Finished terminal
-	// records; Dropped files deleted at replay or via Drop.
+	// Points counts per-point completion appends; Leases per-point
+	// fleet lease appends; Finished terminal records; Dropped files
+	// deleted at replay or via Drop.
 	Points   uint64 `json:"points"`
+	Leases   uint64 `json:"leases,omitempty"`
 	Finished uint64 `json:"finished"`
 	Dropped  uint64 `json:"dropped"`
 	// Errors counts failed journal writes (the job keeps running; only
@@ -442,6 +483,7 @@ func (j *Journal) Stats() Stats {
 		Admitted: j.admitted,
 		Resumed:  j.resumed,
 		Points:   j.points,
+		Leases:   j.leases,
 		Finished: j.finished,
 		Dropped:  j.dropped,
 		Errors:   j.errors,

@@ -316,3 +316,43 @@ func BenchmarkJournalAppend(b *testing.B) {
 		}
 	}
 }
+
+// TestLeaseReplay: lease records are a ledger, not completions — a
+// leased-but-never-completed point replays as pending work (the dead
+// lessee case), while a lease followed by its completion is settled.
+func TestLeaseReplay(t *testing.T) {
+	j, dir := open(t)
+	e, _, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Lease("p1", "replica-a")
+	e.Point("p1", "ok", false, 1) // lease settled by its completion
+	e.Lease("p2", "replica-a")    // claimed, never finished: the crash
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend, err := j2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pend) != 1 {
+		t.Fatalf("want 1 pending entry, got %d", len(pend))
+	}
+	p := pend[0]
+	if len(p.Points) != 1 {
+		t.Fatalf("lease records leaked into completions: %v", p.Points)
+	}
+	if _, done := p.Points["p2"]; done {
+		t.Fatal("leased-but-unfinished point recorded as complete")
+	}
+	if p.Leased != 1 {
+		t.Fatalf("Leased = %d, want 1 (p2 only; p1's lease completed)", p.Leased)
+	}
+	if st := j.Stats(); st.Leases != 2 {
+		t.Fatalf("lease appends = %d, want 2: %+v", st.Leases, st)
+	}
+}

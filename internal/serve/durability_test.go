@@ -3,10 +3,13 @@ package serve
 import (
 	"context"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"qla/internal/engine"
 	"qla/internal/faultinject"
 	"qla/internal/journal"
 	"qla/internal/sweep"
@@ -280,4 +283,84 @@ func mustDecodeSpec(t *testing.T, raw string) sweep.Spec {
 		t.Fatal(err)
 	}
 	return spec
+}
+
+// TestJobStoreSaturationRetryAfterScaled: the 503 for a saturated job
+// store quotes the same backlog-scaled Retry-After as the load-shed
+// path — not a constant — so clients back off proportionally.
+func TestJobStoreSaturationRetryAfterScaled(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueue: -1, MaxJobs: 1})
+	// Park the only job slot on a sweep whose first point hangs in the
+	// fault hook — upstream of the scheduler, so the pool stays ours to
+	// saturate deterministically.
+	srv.fault = faultinject.New(faultinject.Rule{Mode: faultinject.Hang, Times: -1}).Hook()
+	_, sb, _ := postSweep(t, ts.URL, fig7Sweep(16))
+
+	release := saturate(t, srv, 5)
+	defer release()
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(gridSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated job store: status %d, want 503", resp.StatusCode)
+	}
+	// Workers=1 with 5 parked acquirers: 1 + 5/1 = 6 seconds.
+	if ra := resp.Header.Get("Retry-After"); ra != "6" {
+		t.Fatalf("Retry-After = %q, want backlog-scaled \"6\"", ra)
+	}
+
+	// Unblock the hung sweep so the job goroutine can exit.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sb.JobID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// TestShedBypassRecheck is the Contains→Get race regression test: a
+// request admitted as cache-servable whose entry turns out unreadable
+// must re-check the overload bound before computing, not ride its
+// stale admission into a saturated pool. A directory squatting on the
+// cache file path makes Contains (a stat) say stored while the read
+// fails.
+func TestShedBypassRecheck(t *testing.T) {
+	cacheDir := t.TempDir()
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueue: 1, CacheDir: cacheDir})
+
+	spec, err := engine.DecodeSpec([]byte(tinySpec(53)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := engine.MakeCanonical(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(cacheDir, canon.Hash), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	release := saturate(t, srv, 1)
+	defer release()
+
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tinySpec(53)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("bypass miss under overload: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After header %q", ra)
+	}
+	var st StatsBody
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.ShedBypassMisses != 1 {
+		t.Fatalf("shed_bypass_misses = %d, want 1", st.ShedBypassMisses)
+	}
+	if st.ShedRequests != 1 {
+		t.Fatalf("shed_requests = %d, want 1", st.ShedRequests)
+	}
 }

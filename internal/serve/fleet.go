@@ -1,0 +1,599 @@
+package serve
+
+// Fleet mode: qlaserve replicas started with -peers cooperate on the
+// same workload. Three mechanisms compose, all keyed by content
+// addresses (the sweep hash and per-point Spec hashes), so no replica
+// needs a coordinator or any shared state beyond HTTP:
+//
+//   - GET /v1/cache/{hash} serves this replica's stored Result bytes to
+//     the others — the peer tier internal/cache probes between a local
+//     disk miss and a fresh computation.
+//   - POST /v1/sweeps submissions are forwarded to every peer (marked
+//     with a header so they are never re-forwarded), and identical
+//     submissions collapse by content address, so the whole fleet runs
+//     the same job and races through its grid together.
+//   - POST /v1/leases/{sweep}/{point} claims a per-point lease before a
+//     replica computes a point every cache tier missed. A replica
+//     grants a claim unless the point is done locally or leased to
+//     someone else; simultaneous cross-claims resolve deterministically
+//     (lowest replica ID wins). Leases expire after LeaseTTL and are
+//     journaled, so a SIGKILLed lessee's points simply fall back to
+//     pending — the surviving replicas' gates admit them once the lease
+//     lapses, and crash replay (the journal) re-admits the dead
+//     replica's own job on restart.
+//
+// A syncer goroutine per active sweep polls each peer's lease ledger
+// (GET /v1/leases/{sweep}) and prefetches completions into the local
+// cache, so the fleet's results converge onto every replica while the
+// sweep runs — the property the kill -9 e2e test asserts: the survivor
+// finishes the dead replica's points from its own copy of their bytes.
+//
+// Unreachable peers never veto and never block: per-peer circuit
+// breakers (the WithDegrade episode pattern) skip a dead peer after a
+// few consecutive errors, and a partitioned fleet degrades to replicas
+// computing independently — duplicated work the shared tier absorbs,
+// never a stalled sweep.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qla/internal/cache"
+	"qla/internal/journal"
+	"qla/internal/sweep"
+)
+
+// forwardHeader marks a replicated sweep submission with the sender's
+// replica ID so receivers admit it without re-forwarding — the fleet's
+// loop-prevention bit.
+const forwardHeader = "X-QLA-Forwarded"
+
+// Per-peer breaker knobs, reusing the cache tier's episode pattern:
+// skip a peer after a few consecutive errors, probe it occasionally.
+const (
+	fleetDegradeAfter = 3
+	fleetProbeEvery   = 5 * time.Second
+)
+
+// fleet is the per-server coordination state of fleet mode.
+type fleet struct {
+	self   string
+	peers  []string
+	ttl    time.Duration
+	poll   time.Duration
+	cache  *cache.Cache
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	sweeps map[string]*fleetSweep
+	health map[string]*peerHealth
+
+	forwarded     atomic.Uint64
+	claimsSent    atomic.Uint64
+	claimsDenied  atomic.Uint64
+	claimErrors   atomic.Uint64
+	leasesGranted atomic.Uint64
+	leaseDenials  atomic.Uint64
+	prefetched    atomic.Uint64
+}
+
+// fleetSweep tracks one active sweep's per-point lease table.
+type fleetSweep struct {
+	points map[string]*pointLease
+}
+
+// pointLease is one point's coordination state: free (zero value),
+// leased (holder + expiry), or done.
+type pointLease struct {
+	holder string
+	expiry time.Time
+	done   bool
+}
+
+// peerHealth is one peer's circuit breaker.
+type peerHealth struct {
+	consecErrs int
+	degraded   bool
+	nextProbe  time.Time
+}
+
+func newFleet(cfg Config, c *cache.Cache, logf func(string, ...any)) *fleet {
+	return &fleet{
+		self:   cfg.SelfID,
+		peers:  cfg.Peers,
+		ttl:    cfg.LeaseTTL,
+		poll:   cfg.FleetPoll,
+		cache:  c,
+		client: &http.Client{Timeout: cfg.PeerTimeout},
+		logf:   logf,
+		sweeps: make(map[string]*fleetSweep),
+		health: make(map[string]*peerHealth),
+	}
+}
+
+// register builds the lease table for sw; idempotent so a resubmission
+// joining the running job never resets live leases.
+func (f *fleet) register(sw *sweep.Sweep) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if _, ok := f.sweeps[sw.Hash]; !ok {
+		pts := make(map[string]*pointLease, len(sw.Points))
+		for _, pt := range sw.Points {
+			pts[pt.Canonical.Hash] = &pointLease{}
+		}
+		f.sweeps[sw.Hash] = &fleetSweep{points: pts}
+	}
+	f.mu.Unlock()
+}
+
+// unregister drops the lease table once the local job settles. Later
+// claims 404, which claimers read as "no veto" — correct, because every
+// result this replica produced is in the shared cache tier by then.
+func (f *fleet) unregister(sweepHash string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	delete(f.sweeps, sweepHash)
+	f.mu.Unlock()
+}
+
+// markDone records a locally settled point, clearing any lease on it.
+func (f *fleet) markDone(sweepHash, pointHash string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if fs := f.sweeps[sweepHash]; fs != nil {
+		if pl := fs.points[pointHash]; pl != nil {
+			pl.done = true
+			pl.holder = ""
+		}
+	}
+	f.mu.Unlock()
+}
+
+// offset is this replica's deterministic starting rotation for sw:
+// different replicas drain the grid from different offsets so they
+// meet in the middle instead of contending on every point in order.
+func (f *fleet) offset(sw *sweep.Sweep) int {
+	if f == nil || len(sw.Points) == 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	io.WriteString(h, f.self)
+	io.WriteString(h, sw.Hash)
+	return int(h.Sum32() % uint32(len(sw.Points)))
+}
+
+// claim decides an inbound lease claim from holder. known=false means
+// this replica is not tracking the sweep/point (the handler 404s and
+// the claimer proceeds without a veto).
+func (f *fleet) claim(sweepHash, pointHash, holder string) (granted bool, state string, known bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fs := f.sweeps[sweepHash]
+	if fs == nil {
+		return false, "", false
+	}
+	pl := fs.points[pointHash]
+	if pl == nil {
+		return false, "", false
+	}
+	now := time.Now()
+	switch {
+	case pl.done:
+		// Already computed here: the claimer's next cache probe will
+		// find the bytes, so denying is cheaper than letting it run.
+		f.leaseDenials.Add(1)
+		return false, "done", true
+	case pl.holder == holder:
+		// Renewal of the claimer's own lease.
+		pl.expiry = now.Add(f.ttl)
+		return true, "leased", true
+	case pl.holder == f.self && now.Before(pl.expiry) && holder < f.self:
+		// Simultaneous cross-claim: both replicas tentatively
+		// self-leased the point and claimed each other in the same
+		// instant. Lowest ID wins, deterministically, in one round —
+		// we yield here while the peer denies our in-flight claim.
+		// (A committed local compute never reaches this arm: once our
+		// own claim round succeeded, the peer's table holds our lease
+		// and its gate defers instead of claiming.)
+		pl.holder, pl.expiry = holder, now.Add(f.ttl)
+		f.leasesGranted.Add(1)
+		return true, "leased", true
+	case pl.holder != "" && now.Before(pl.expiry):
+		f.leaseDenials.Add(1)
+		return false, "leased", true
+	default:
+		// Free, or an expired lease — the dead-lessee recovery path.
+		pl.holder, pl.expiry = holder, now.Add(f.ttl)
+		f.leasesGranted.Add(1)
+		return true, "leased", true
+	}
+}
+
+// gate implements sweep.GateFunc for one sweep: may this replica
+// compute pointHash now? The local table is the fast path (a live
+// foreign lease defers without network); otherwise the point is
+// tentatively self-leased — so concurrent inbound claims are denied or
+// tie-broken while we ask — and every reachable peer must grant.
+// Unreachable peers and peers not tracking the sweep have no veto:
+// availability wins, and the worst case is duplicated work the shared
+// cache tier dedups. Granted leases are journaled so crash replay
+// knows which points this replica had claimed.
+func (f *fleet) gate(ctx context.Context, entry *journal.Entry, sweepHash, pointHash string) sweep.GateDecision {
+	f.mu.Lock()
+	fs := f.sweeps[sweepHash]
+	if fs == nil {
+		f.mu.Unlock()
+		return sweep.GateProceed
+	}
+	pl := fs.points[pointHash]
+	if pl == nil || pl.done {
+		f.mu.Unlock()
+		return sweep.GateProceed
+	}
+	now := time.Now()
+	if pl.holder != "" && pl.holder != f.self && now.Before(pl.expiry) {
+		f.mu.Unlock()
+		return sweep.GateDefer
+	}
+	pl.holder, pl.expiry = f.self, now.Add(f.ttl)
+	f.mu.Unlock()
+
+	for _, peer := range f.peers {
+		granted, err := f.claimFrom(ctx, peer, sweepHash, pointHash)
+		if err != nil {
+			f.claimErrors.Add(1)
+			continue
+		}
+		if !granted {
+			f.claimsDenied.Add(1)
+			f.mu.Lock()
+			// Release only our own tentative claim — a concurrent
+			// tie-break may already have reassigned the lease.
+			if cur := fs.points[pointHash]; cur != nil && cur.holder == f.self {
+				cur.holder = ""
+			}
+			f.mu.Unlock()
+			return sweep.GateDefer
+		}
+	}
+	entry.Lease(pointHash, f.self)
+	return sweep.GateProceed
+}
+
+// leaseBody is the POST /v1/leases/{sweep}/{point} response payload.
+type leaseBody struct {
+	// Granted says the claim succeeded; State is the point's standing
+	// at the grantor ("leased" or "done").
+	Granted bool   `json:"granted"`
+	State   string `json:"state"`
+}
+
+// claimFrom posts one lease claim to one peer, through its breaker.
+func (f *fleet) claimFrom(ctx context.Context, peer, sweepHash, pointHash string) (bool, error) {
+	if err := f.peerAllowed(peer); err != nil {
+		return false, err
+	}
+	f.claimsSent.Add(1)
+	granted, err := f.postClaim(ctx, peer, sweepHash, pointHash)
+	f.notePeer(peer, err)
+	return granted, err
+}
+
+func (f *fleet) postClaim(ctx context.Context, peer, sweepHash, pointHash string) (bool, error) {
+	u := peer + "/v1/leases/" + sweepHash + "/" + pointHash + "?holder=" + url.QueryEscape(f.self)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		// The peer is not tracking the sweep (not forwarded yet, or its
+		// job already settled): it has no veto.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return true, nil
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return false, fmt.Errorf("fleet: peer %s: claim status %d", peer, resp.StatusCode)
+	}
+	var body leaseBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return false, err
+	}
+	return body.Granted, nil
+}
+
+// peerAllowed consults peer's breaker, claiming the probe slot when one
+// is due; the returned error means "skip this peer right now".
+func (f *fleet) peerAllowed(peer string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.health[peer]
+	if h == nil {
+		h = &peerHealth{}
+		f.health[peer] = h
+	}
+	if h.degraded {
+		if time.Now().Before(h.nextProbe) {
+			return fmt.Errorf("fleet: peer %s circuit open", peer)
+		}
+		h.nextProbe = time.Now().Add(fleetProbeEvery)
+	}
+	return nil
+}
+
+// notePeer records one request's outcome in peer's breaker.
+func (f *fleet) notePeer(peer string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.health[peer]
+	if h == nil {
+		h = &peerHealth{}
+		f.health[peer] = h
+	}
+	if err != nil {
+		h.consecErrs++
+		if !h.degraded && h.consecErrs >= fleetDegradeAfter {
+			h.degraded = true
+			h.nextProbe = time.Now().Add(fleetProbeEvery)
+			// Logged once per episode: the steady state is silent skips.
+			f.logf("serve: fleet peer %s skipped after %d consecutive errors (last: %v); probing every %v",
+				peer, h.consecErrs, err, fleetProbeEvery)
+		}
+		return
+	}
+	if h.degraded {
+		f.logf("serve: fleet peer %s reachable again", peer)
+	}
+	h.degraded, h.consecErrs = false, 0
+}
+
+// forward replicates a freshly admitted sweep to every peer,
+// fire-and-forget: content addressing makes the POST idempotent, the
+// forward header stops re-forwarding, and a peer that misses it only
+// loses the chance to help (its cache still converges via the others).
+func (f *fleet) forward(sw *sweep.Sweep, timeout time.Duration) {
+	if f == nil {
+		return
+	}
+	for _, peer := range f.peers {
+		go func(peer string) {
+			u := peer + "/v1/sweeps?timeout=" + url.QueryEscape(timeout.String())
+			req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(sw.JSON))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(forwardHeader, f.self)
+			resp, err := f.client.Do(req)
+			if err != nil {
+				f.logf("serve: forwarding sweep %s to %s: %v", sw.Hash[:12], peer, err)
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				f.logf("serve: forwarding sweep %s to %s: status %d", sw.Hash[:12], peer, resp.StatusCode)
+				return
+			}
+			f.forwarded.Add(1)
+		}(peer)
+	}
+}
+
+// sync polls each peer's lease ledger for sweepHash until done closes,
+// prefetching completions this replica does not hold into the local
+// cache tiers. This is what bounds the damage of a SIGKILLed replica:
+// its finished points are already local (or one peer-tier probe away)
+// on every survivor.
+func (f *fleet) sync(sweepHash string, done <-chan struct{}) {
+	if f == nil {
+		return
+	}
+	t := time.NewTicker(f.poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+		for _, peer := range f.peers {
+			for _, h := range f.peerDone(peer, sweepHash) {
+				if stored, inflight := f.cache.Contains(h); stored || inflight {
+					continue
+				}
+				if f.cache.Prefetch(h) {
+					f.prefetched.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// peerDone fetches the point hashes peer has completed for sweepHash;
+// every failure is just an empty answer (and breaker food).
+func (f *fleet) peerDone(peer, sweepHash string) []string {
+	if err := f.peerAllowed(peer); err != nil {
+		return nil
+	}
+	resp, err := f.client.Get(peer + "/v1/leases/" + sweepHash)
+	if err != nil {
+		f.notePeer(peer, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	f.notePeer(peer, nil)
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil
+	}
+	var led LeaseLedger
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&led); err != nil {
+		return nil
+	}
+	return led.Done
+}
+
+// LeaseLedger is the GET /v1/leases/{sweep} payload: this replica's
+// view of one active sweep — which points it has settled and which are
+// under a live lease (point hash → holder ID).
+type LeaseLedger struct {
+	Sweep  string            `json:"sweep"`
+	Total  int               `json:"total"`
+	Done   []string          `json:"done"`
+	Leased map[string]string `json:"leased,omitempty"`
+}
+
+// ledger snapshots the lease table for the polling route.
+func (f *fleet) ledger(sweepHash string) (LeaseLedger, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fs := f.sweeps[sweepHash]
+	if fs == nil {
+		return LeaseLedger{}, false
+	}
+	led := LeaseLedger{Sweep: sweepHash, Total: len(fs.points), Done: make([]string, 0, len(fs.points))}
+	now := time.Now()
+	for h, pl := range fs.points {
+		switch {
+		case pl.done:
+			led.Done = append(led.Done, h)
+		case pl.holder != "" && now.Before(pl.expiry):
+			if led.Leased == nil {
+				led.Leased = make(map[string]string)
+			}
+			led.Leased[h] = pl.holder
+		}
+	}
+	sort.Strings(led.Done)
+	return led, true
+}
+
+// FleetStats is the fleet section of GET /v1/stats.
+type FleetStats struct {
+	// SelfID is this replica's lease-holder identity; Peers the
+	// configured fleet, PeersDown how many are currently skipped by
+	// their breaker; ActiveSweeps the lease tables currently held.
+	SelfID       string   `json:"self_id"`
+	Peers        []string `json:"peers"`
+	PeersDown    int      `json:"peers_down"`
+	ActiveSweeps int      `json:"active_sweeps"`
+	// ForwardedSweeps counts successful sweep replications to a peer.
+	ForwardedSweeps uint64 `json:"forwarded_sweeps"`
+	// ClaimsSent counts outbound lease claims; ClaimsDenied the ones a
+	// peer vetoed (the point deferred); ClaimErrors claims that failed
+	// to reach a peer (no veto).
+	ClaimsSent   uint64 `json:"claims_sent"`
+	ClaimsDenied uint64 `json:"claims_denied"`
+	ClaimErrors  uint64 `json:"claim_errors"`
+	// LeasesGranted / LeaseDenials count the inbound side.
+	LeasesGranted uint64 `json:"leases_granted"`
+	LeaseDenials  uint64 `json:"lease_denials"`
+	// Prefetched counts peer completions pulled in by the syncer.
+	Prefetched uint64 `json:"prefetched"`
+}
+
+func (f *fleet) stats() FleetStats {
+	f.mu.Lock()
+	down := 0
+	for _, h := range f.health {
+		if h.degraded {
+			down++
+		}
+	}
+	active := len(f.sweeps)
+	f.mu.Unlock()
+	return FleetStats{
+		SelfID:          f.self,
+		Peers:           f.peers,
+		PeersDown:       down,
+		ActiveSweeps:    active,
+		ForwardedSweeps: f.forwarded.Load(),
+		ClaimsSent:      f.claimsSent.Load(),
+		ClaimsDenied:    f.claimsDenied.Load(),
+		ClaimErrors:     f.claimErrors.Load(),
+		LeasesGranted:   f.leasesGranted.Load(),
+		LeaseDenials:    f.leaseDenials.Load(),
+		Prefetched:      f.prefetched.Load(),
+	}
+}
+
+// handleCacheGet is GET /v1/cache/{hash}: the peer cache route — the
+// raw cached Result bytes for one content address, from this replica's
+// local tiers only (memory, then disk; never a transitive peer fetch,
+// never a computation). The body's SHA-256 rides in a header so the
+// receiver can reject corruption. 404 is an ordinary miss.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	val, ok := s.cache.Peek(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached result for %q", hash))
+		return
+	}
+	s.peerServes.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(cache.HashHeader, cache.BodyHash(val))
+	w.Write(val)
+}
+
+// handleLeaseClaim is POST /v1/leases/{sweep}/{point}?holder=ID: a
+// peer asks to compute one point. 404 when fleet mode is off or this
+// replica is not tracking the sweep — which a claimer reads as "no
+// veto", so an untracked sweep is never blocked, merely uncoordinated.
+func (s *Server) handleLeaseClaim(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("fleet mode disabled (start with -peers)"))
+		return
+	}
+	holder := r.URL.Query().Get("holder")
+	if holder == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?holder= replica ID"))
+		return
+	}
+	sweepHash, pointHash := r.PathValue("sweep"), r.PathValue("point")
+	granted, state, known := s.fleet.claim(sweepHash, pointHash, holder)
+	if !known {
+		writeError(w, http.StatusNotFound, fmt.Errorf("not tracking sweep %q point %q", sweepHash, pointHash))
+		return
+	}
+	writeJSON(w, http.StatusOK, leaseBody{Granted: granted, State: state})
+}
+
+// handleLeaseLedger is GET /v1/leases/{sweep}: the lease table — done
+// points and live leases — that peers' syncers poll to prefetch this
+// replica's completions.
+func (s *Server) handleLeaseLedger(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("fleet mode disabled (start with -peers)"))
+		return
+	}
+	led, ok := s.fleet.ledger(r.PathValue("sweep"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no active lease table for sweep %q", r.PathValue("sweep")))
+		return
+	}
+	writeJSON(w, http.StatusOK, led)
+}

@@ -15,14 +15,18 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +49,9 @@ var Routes = []string{
 	"GET /v1/jobs/{id}/events",
 	"GET /v1/jobs/{id}/result",
 	"DELETE /v1/jobs/{id}",
+	"GET /v1/cache/{hash}",
+	"POST /v1/leases/{sweep}/{point}",
+	"GET /v1/leases/{sweep}",
 	"GET /v1/experiments",
 	"GET /v1/stats",
 	"GET /healthz",
@@ -93,6 +100,23 @@ type Config struct {
 	// uncacheable work is shed with 503 + Retry-After (0 = 4×Workers,
 	// negative = unbounded).
 	MaxQueue int
+	// Peers lists the base URLs of the other fleet replicas; non-empty
+	// enables fleet mode — the peer cache tier, sweep forwarding and
+	// per-point work leasing (see fleet.go).
+	Peers []string
+	// SelfID names this replica in lease claims and forward headers;
+	// IDs order simultaneous cross-claims, so they must be unique
+	// across the fleet ("" = random hex, which is).
+	SelfID string
+	// LeaseTTL is how long a point lease lives without renewal — the
+	// window a SIGKILLed replica's claimed points stay blocked before
+	// survivors pick them up (0 = 30s).
+	LeaseTTL time.Duration
+	// FleetPoll is the syncer's ledger-polling interval (0 = 1s).
+	FleetPoll time.Duration
+	// PeerTimeout bounds one peer HTTP call — cache fetches, lease
+	// claims, ledger polls (0 = 2s).
+	PeerTimeout time.Duration
 }
 
 // Server executes Specs over HTTP. Construct with New; one Server
@@ -104,22 +128,25 @@ type Server struct {
 	pool    *sched.Pool
 	jobs    *jobs.Manager
 	journal *journal.Journal // nil when no JournalDir is configured
+	fleet   *fleet           // nil when no Peers are configured
 	started time.Time
 
 	// fault is the test-only chaos seam threaded into sweep runners;
 	// production servers leave it nil.
 	fault sweep.FaultHook
 
-	runRequests     atomic.Uint64
-	runsExecuted    atomic.Uint64
-	shedRequests    atomic.Uint64
-	sweepRequests   atomic.Uint64
-	sweepPoints     atomic.Uint64
-	sweepCached     atomic.Uint64
-	sweepFailed     atomic.Uint64
-	sweepRetried    atomic.Uint64
-	sweepRetries    atomic.Uint64
-	journalReplayed atomic.Uint64
+	runRequests      atomic.Uint64
+	runsExecuted     atomic.Uint64
+	shedRequests     atomic.Uint64
+	shedBypassMisses atomic.Uint64
+	peerServes       atomic.Uint64
+	sweepRequests    atomic.Uint64
+	sweepPoints      atomic.Uint64
+	sweepCached      atomic.Uint64
+	sweepFailed      atomic.Uint64
+	sweepRetried     atomic.Uint64
+	sweepRetries     atomic.Uint64
+	journalReplayed  atomic.Uint64
 }
 
 // New builds a Server with its engine, cache, scheduler and job
@@ -163,6 +190,24 @@ func New(cfg Config) *Server {
 	if cfg.CacheDir != "" {
 		copts = append(copts, cache.WithDir(cfg.CacheDir))
 	}
+	if peers := normalizePeers(cfg.Peers); len(peers) > 0 {
+		cfg.Peers = peers
+		if cfg.SelfID == "" {
+			cfg.SelfID = randomID()
+		}
+		if cfg.LeaseTTL <= 0 {
+			cfg.LeaseTTL = 30 * time.Second
+		}
+		if cfg.FleetPoll <= 0 {
+			cfg.FleetPoll = time.Second
+		}
+		if cfg.PeerTimeout <= 0 {
+			cfg.PeerTimeout = 2 * time.Second
+		}
+		copts = append(copts, cache.WithPeers(cfg.Peers...), cache.WithPeerTimeout(cfg.PeerTimeout))
+	} else {
+		cfg.Peers = nil
+	}
 	s := &Server{
 		cfg:     cfg,
 		eng:     engine.New(engine.WithScheduler(pool)),
@@ -182,7 +227,33 @@ func New(cfg Config) *Server {
 			s.journal = j
 		}
 	}
+	if len(cfg.Peers) > 0 {
+		s.fleet = newFleet(cfg, s.cache, log.Printf)
+	}
 	return s
+}
+
+// normalizePeers trims whitespace and trailing slashes and drops
+// empties, so flag values compose cleanly into route URLs.
+func normalizePeers(peers []string) []string {
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// randomID mints a replica identity for lease claims. Collisions would
+// only confuse lease accounting between two replicas, so best-effort
+// entropy with a pid fallback is plenty.
+func randomID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("pid-%d", os.Getpid())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // retryPolicy resolves the configured per-point execution policy.
@@ -201,23 +272,31 @@ func (s *Server) Close() error {
 	return s.journal.Close()
 }
 
+// retryAfterSeconds is the one Retry-After policy every 503 shares:
+// scaled to the scheduler backlog (one second, plus one per queued run
+// per worker, capped) so a saturated server asks clients to back off
+// proportionally instead of quoting a constant.
+func (s *Server) retryAfterSeconds() int {
+	st := s.pool.Stats()
+	ra := 1 + st.Waiting/max(st.Capacity, 1)
+	if ra > 30 {
+		ra = 30
+	}
+	return ra
+}
+
 // overloaded implements the load-shed bound: when the scheduler's wait
 // queue exceeds MaxQueue the server refuses new uncacheable work
-// rather than queueing unboundedly, and retryAfter suggests (in whole
-// seconds, scaled to the backlog) when to try again.
+// rather than queueing unboundedly, and retryAfter suggests when to
+// try again.
 func (s *Server) overloaded() (shed bool, retryAfter int) {
 	if s.cfg.MaxQueue < 0 {
 		return false, 0
 	}
-	st := s.pool.Stats()
-	if st.Waiting < s.cfg.MaxQueue {
+	if s.pool.Stats().Waiting < s.cfg.MaxQueue {
 		return false, 0
 	}
-	retryAfter = 1 + st.Waiting/max(st.Capacity, 1)
-	if retryAfter > 30 {
-		retryAfter = 30
-	}
-	return true, retryAfter
+	return true, s.retryAfterSeconds()
 }
 
 // shed writes the 503 + Retry-After load-shed response.
@@ -235,15 +314,18 @@ func (s *Server) Config() Config { return s.cfg }
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
-		"POST /v1/run":             s.handleRun,
-		"POST /v1/sweeps":          s.handleSweeps,
-		"GET /v1/jobs/{id}":        s.handleJob,
-		"GET /v1/jobs/{id}/events": s.handleJobEvents,
-		"GET /v1/jobs/{id}/result": s.handleJobResult,
-		"DELETE /v1/jobs/{id}":     s.handleJobCancel,
-		"GET /v1/experiments":      s.handleExperiments,
-		"GET /v1/stats":            s.handleStats,
-		"GET /healthz":             s.handleHealthz,
+		"POST /v1/run":                    s.handleRun,
+		"POST /v1/sweeps":                 s.handleSweeps,
+		"GET /v1/jobs/{id}":               s.handleJob,
+		"GET /v1/jobs/{id}/events":        s.handleJobEvents,
+		"GET /v1/jobs/{id}/result":        s.handleJobResult,
+		"DELETE /v1/jobs/{id}":            s.handleJobCancel,
+		"GET /v1/cache/{hash}":            s.handleCacheGet,
+		"POST /v1/leases/{sweep}/{point}": s.handleLeaseClaim,
+		"GET /v1/leases/{sweep}":          s.handleLeaseLedger,
+		"GET /v1/experiments":             s.handleExperiments,
+		"GET /v1/stats":                   s.handleStats,
+		"GET /healthz":                    s.handleHealthz,
 	}
 	mux := http.NewServeMux()
 	for _, route := range Routes {
@@ -259,6 +341,15 @@ func (s *Server) Handler() http.Handler {
 // errorBody is the JSON error envelope every non-2xx response carries.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// shedError carries the Retry-After hint out of a compute closure whose
+// request was admitted as cache-servable but lost its entry before the
+// compute started (see the re-check in handleRun).
+type shedError struct{ retryAfter int }
+
+func (e shedError) Error() string {
+	return fmt.Sprintf("server overloaded; retry after %ds", e.retryAfter)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -310,16 +401,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// work — but only fresh work. A request the cache can serve (stored
 	// bytes, or an identical computation already in flight it would
 	// join) costs no worker and is never shed.
-	if stored, inflight := s.cache.Contains(canon.Hash); !stored && !inflight {
-		if over, retryAfter := s.overloaded(); over {
-			s.shed(w, retryAfter, "uncached run")
-			return
-		}
+	cacheable := false
+	if stored, inflight := s.cache.Contains(canon.Hash); stored || inflight {
+		cacheable = true
+	} else if over, retryAfter := s.overloaded(); over {
+		s.shed(w, retryAfter, "uncached run")
+		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
 	body, hit, err := s.cache.GetOrCompute(ctx, canon.Hash, func() ([]byte, error) {
+		// Contains→GetOrCompute is a check-then-act window: the stored
+		// entry this request was admitted against can be evicted (or the
+		// flight it meant to join can fail) before we get here, leaving a
+		// request that bypassed admission holding a compute slot. Re-check
+		// the overload bound at the moment compute actually starts.
+		if cacheable {
+			s.shedBypassMisses.Add(1)
+			if over, retryAfter := s.overloaded(); over {
+				return nil, shedError{retryAfter: retryAfter}
+			}
+		}
 		// The computation is detached from the leader's request context:
 		// collapsed followers share this one execution, so the leader
 		// hanging up (or carrying a shorter deadline than its followers)
@@ -335,6 +438,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return json.Marshal(res)
 	})
 	if err != nil {
+		var se shedError
+		if errors.As(err, &se) {
+			s.shed(w, se.retryAfter, "uncached run (cache entry lost before compute)")
+			return
+		}
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -444,13 +552,21 @@ type StatsBody struct {
 	RunsExecuted  uint64  `json:"runs_executed"`
 	// ShedRequests counts requests refused with 503 + Retry-After by
 	// the load-shed bound; MaxQueue echoes the bound.
-	ShedRequests uint64        `json:"shed_requests"`
-	MaxQueue     int           `json:"max_queue"`
-	Cache        cache.Stats   `json:"cache"`
-	Scheduler    sched.Stats   `json:"scheduler"`
-	Jobs         jobs.Stats    `json:"jobs"`
-	Sweeps       SweepStats    `json:"sweeps"`
-	Journal      *JournalStats `json:"journal,omitempty"`
+	ShedRequests uint64 `json:"shed_requests"`
+	MaxQueue     int    `json:"max_queue"`
+	// ShedBypassMisses counts runs admitted as cache-servable whose
+	// entry vanished before compute started (the check-then-act race);
+	// each re-checked the overload bound at compute admission.
+	ShedBypassMisses uint64 `json:"shed_bypass_misses"`
+	// PeerServes counts GET /v1/cache/{hash} hits served to fleet peers.
+	PeerServes uint64        `json:"peer_serves,omitempty"`
+	Cache      cache.Stats   `json:"cache"`
+	Scheduler  sched.Stats   `json:"scheduler"`
+	Jobs       jobs.Stats    `json:"jobs"`
+	Sweeps     SweepStats    `json:"sweeps"`
+	Journal    *JournalStats `json:"journal,omitempty"`
+	// Fleet is present when the server runs with peers configured.
+	Fleet *FleetStats `json:"fleet,omitempty"`
 }
 
 // handleStats is GET /v1/stats: cache hit/miss/dedup counters, the
@@ -469,19 +585,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		sw.PointCacheHitRatio = float64(sw.PointsCached) / float64(sw.Points)
 	}
 	body := StatsBody{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Experiments:   len(engine.Experiments()),
-		RunRequests:   s.runRequests.Load(),
-		RunsExecuted:  s.runsExecuted.Load(),
-		ShedRequests:  s.shedRequests.Load(),
-		MaxQueue:      s.cfg.MaxQueue,
-		Cache:         s.cache.Stats(),
-		Scheduler:     s.pool.Stats(),
-		Jobs:          s.jobs.Stats(),
-		Sweeps:        sw,
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		Experiments:      len(engine.Experiments()),
+		RunRequests:      s.runRequests.Load(),
+		RunsExecuted:     s.runsExecuted.Load(),
+		ShedRequests:     s.shedRequests.Load(),
+		MaxQueue:         s.cfg.MaxQueue,
+		ShedBypassMisses: s.shedBypassMisses.Load(),
+		PeerServes:       s.peerServes.Load(),
+		Cache:            s.cache.Stats(),
+		Scheduler:        s.pool.Stats(),
+		Jobs:             s.jobs.Stats(),
+		Sweeps:           sw,
 	}
 	if s.journal != nil {
 		body.Journal = &JournalStats{Stats: s.journal.Stats(), Replayed: s.journalReplayed.Load()}
+	}
+	if s.fleet != nil {
+		fs := s.fleet.stats()
+		body.Fleet = &fs
 	}
 	writeJSON(w, http.StatusOK, body)
 }

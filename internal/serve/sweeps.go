@@ -19,6 +19,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"qla/internal/jobs"
@@ -103,10 +104,17 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	job, created, err := s.startSweep(sw, timeout, nil)
 	if err != nil {
 		// The bounded store is saturated with running jobs: ask the
-		// client to retry, nothing about the sweep itself is wrong.
-		w.Header().Set("Retry-After", "5")
+		// client to retry — with the same backlog-scaled hint every
+		// other 503 quotes — nothing about the sweep itself is wrong.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
+	}
+	if created && r.Header.Get(forwardHeader) == "" {
+		// Replicate a locally originated sweep to the fleet (nil-safe
+		// no-op without peers). Forwarded copies carry the header, so
+		// this never loops.
+		s.fleet.forward(sw, timeout)
 	}
 	snap := job.Snapshot()
 	w.Header().Set("Location", "/v1/jobs/"+job.ID())
@@ -148,17 +156,38 @@ func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *jou
 	job, created, err := s.jobs.Submit(sw.Hash, len(sw.Points), func(ctx context.Context, report func(jobs.Progress)) ([]byte, error) {
 		runCtx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
+		// Fleet mode (every call below is a nil-safe no-op without
+		// peers): track the sweep's lease table for the job's lifetime,
+		// and poll peers' ledgers so their completions land in the local
+		// cache while we run.
+		s.fleet.register(sw)
+		defer s.fleet.unregister(sw.Hash)
+		syncDone := make(chan struct{})
+		defer close(syncDone)
+		go s.fleet.sync(sw.Hash, syncDone)
 		runner := &sweep.Runner{
 			Engine: s.eng,
 			Cache:  s.cache,
 			Retry:  s.retryPolicy(),
 			Fault:  s.fault,
+			Offset: s.fleet.offset(sw),
 			Observer: func(pr sweep.PointResult) {
 				entry.Point(pr.SpecHash, pr.Status, pr.Cached, pr.Attempts)
+				if pr.Status == "ok" {
+					// Only successes enter the ledger: a failed point has
+					// no bytes to serve, so advertising it as done would
+					// wedge peers deferring to a result that never comes.
+					s.fleet.markDone(sw.Hash, pr.SpecHash)
+				}
 			},
 		}
+		if s.fleet != nil {
+			runner.Gate = func(gctx context.Context, pointHash string) sweep.GateDecision {
+				return s.fleet.gate(gctx, entry, sw.Hash, pointHash)
+			}
+		}
 		res, runErr := runner.Run(runCtx, sw, func(p sweep.Progress) {
-			report(jobs.Progress{Total: p.Total, Done: p.Done, Cached: p.Cached, Failed: p.Failed, Retries: p.Retries})
+			report(jobs.Progress{Total: p.Total, Done: p.Done, Cached: p.Cached, Failed: p.Failed, Retries: p.Retries, Deferred: p.Deferred})
 		})
 		// The terminal record settles the journal entry whatever the
 		// outcome; in particular a failure is recorded (and the file

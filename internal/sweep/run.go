@@ -17,6 +17,34 @@ import (
 // singleflight followers collapsed onto it.
 const defaultCancelGrace = 10 * time.Second
 
+// defaultDeferWait is how long a deferred point waits before probing
+// again — long enough that a leased-out point usually lands in the
+// shared cache meanwhile, short enough that a dead lessee's expired
+// lease is picked up promptly.
+const defaultDeferWait = 250 * time.Millisecond
+
+// ErrDeferred is the sentinel a Gate returns a point to the queue with:
+// another fleet replica holds the point's lease, so this replica waits
+// and re-probes instead of computing a duplicate. Deferrals are not
+// attempts — the retry policy never sees them.
+var ErrDeferred = errors.New("sweep: point deferred to a fleet peer's lease")
+
+// GateDecision is a Gate's verdict on one point.
+type GateDecision int
+
+const (
+	// GateProceed admits the point: this replica computes it.
+	GateProceed GateDecision = iota
+	// GateDefer parks the point: another replica is computing it (or
+	// holds its lease), so re-probe the cache later instead.
+	GateDefer
+)
+
+// GateFunc decides, for a point every cache tier missed, whether this
+// runner may compute it now. The serving layer's fleet mode implements
+// it with per-point leases; nil admits everything.
+type GateFunc func(ctx context.Context, pointHash string) GateDecision
+
 // Runner executes an expanded Sweep's points.
 type Runner struct {
 	// Engine runs the points (required). Scheduler-equipped engines
@@ -51,6 +79,18 @@ type Runner struct {
 	// survives its sweep's cancellation for the sake of collapsed
 	// followers (0 = 10s).
 	CancelGrace time.Duration
+	// Gate, when non-nil, is consulted before a point is freshly
+	// computed (a stored or in-flight point needs no permission). A
+	// GateDefer parks the point for DeferWait and re-probes — the
+	// fleet's work-leasing hook.
+	Gate GateFunc
+	// DeferWait overrides how long a deferred point waits between
+	// probes (0 = 250ms).
+	DeferWait time.Duration
+	// Offset rotates the order points are dispatched in (still landing
+	// by index): replica k of a fleet starts k·(points/replicas) in,
+	// so replicas meet in the middle instead of racing point by point.
+	Offset int
 }
 
 // Progress is a monotonic snapshot of a sweep run, delivered to the
@@ -62,6 +102,9 @@ type Progress struct {
 	Failed int `json:"failed"`
 	// Retries counts extra per-point attempts spent so far.
 	Retries int `json:"retries,omitempty"`
+	// Deferred counts gate deferrals spent so far — probes parked
+	// because another fleet replica held the point's lease.
+	Deferred int `json:"deferred,omitempty"`
 }
 
 // PointResult is the outcome of one grid point.
@@ -82,6 +125,9 @@ type PointResult struct {
 	Error string `json:"error,omitempty"`
 	// Attempts is how many tries the point took (1 = no retries).
 	Attempts int `json:"attempts,omitempty"`
+	// Deferred is how many times the point was parked by the gate
+	// (another replica held its lease) before settling.
+	Deferred int `json:"deferred,omitempty"`
 	// Result holds the marshaled engine Result bytes, verbatim — on a
 	// cache hit, byte-identical to the run that populated the entry.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -105,6 +151,8 @@ type Result struct {
 	// RetryAttempts the total extra attempts spent across them.
 	Retried       int `json:"retried,omitempty"`
 	RetryAttempts int `json:"retry_attempts,omitempty"`
+	// Deferred totals the gate deferrals spent across all points.
+	Deferred int `json:"deferred,omitempty"`
 	// Elapsed is the whole sweep's wall time.
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Points holds every point in row-major sweep order.
@@ -164,11 +212,12 @@ func (r *Runner) Run(ctx context.Context, sw *Sweep, progress func(Progress)) (*
 			res.Retried++
 			res.RetryAttempts += pr.Attempts - 1
 		}
+		res.Deferred += pr.Deferred
 		if r.Observer != nil {
 			r.Observer(pr)
 		}
 		if progress != nil {
-			progress(Progress{Total: res.Total, Done: res.OK + res.Failed, Cached: res.Cached, Failed: res.Failed, Retries: res.RetryAttempts})
+			progress(Progress{Total: res.Total, Done: res.OK + res.Failed, Cached: res.Cached, Failed: res.Failed, Retries: res.RetryAttempts, Deferred: res.Deferred})
 		}
 		mu.Unlock()
 	}
@@ -181,11 +230,18 @@ func (r *Runner) Run(ctx context.Context, sw *Sweep, progress func(Progress)) (*
 			}
 		}()
 	}
-	for i := range sw.Points {
+	// Rotated dispatch: fleet replicas start at different offsets so
+	// they drain the grid from different ends instead of contending for
+	// every point's lease in lockstep. Results still land by index.
+	offset := r.Offset
+	if n := len(sw.Points); n > 0 {
+		offset = ((offset % n) + n) % n
+	}
+	for k := range sw.Points {
 		if ctx.Err() != nil {
 			break
 		}
-		next <- i
+		next <- (k + offset) % len(sw.Points)
 	}
 	close(next)
 	wg.Wait()
@@ -209,11 +265,32 @@ func (r *Runner) Run(ctx context.Context, sw *Sweep, progress func(Progress)) (*
 // runPoint executes one point under the retry policy: attempts run
 // until one succeeds, the attempts are exhausted, or the failure
 // classifies as non-retryable. Between attempts the worker sleeps the
-// policy's jittered backoff (aborted by sweep cancellation).
+// policy's jittered backoff (aborted by sweep cancellation). Gate
+// deferrals sit outside the attempt count entirely: a parked point
+// re-probes after DeferWait for as long as the sweep context lives —
+// lease expiry guarantees an abandoned point eventually admits.
 func (r *Runner) runPoint(ctx context.Context, eng *engine.Engine, sw *Sweep, i int) PointResult {
 	pol := r.Retry.normalized()
+	wait := r.DeferWait
+	if wait <= 0 {
+		wait = defaultDeferWait
+	}
+	deferred := 0
 	for attempt := 1; ; attempt++ {
 		pr, err := r.runPointOnce(ctx, eng, sw, i)
+		pr.Deferred = deferred
+		if errors.Is(err, ErrDeferred) {
+			deferred++
+			pr.Deferred = deferred
+			pr.Attempts = attempt
+			select {
+			case <-time.After(wait):
+				attempt--
+				continue
+			case <-ctx.Done():
+				return pr
+			}
+		}
 		pr.Attempts = attempt
 		if err == nil || attempt >= pol.MaxAttempts || !retryable(ctx, err) {
 			return pr
@@ -259,6 +336,23 @@ func (r *Runner) runPointOnce(parent context.Context, eng *engine.Engine, sw *Sw
 	if r.Fault != nil {
 		if err = r.Fault(ctx, pt.Canonical.Hash); err != nil {
 			return pr, err
+		}
+	}
+	// The gate is asked only when the point would actually compute: a
+	// stored value or a joinable in-flight computation needs no lease.
+	// The check runs before GetOrCompute, never inside it — a deferral
+	// must not resolve the singleflight with an error that concurrent
+	// /v1/run followers on the same Spec would receive. The Contains →
+	// GetOrCompute gap is benign here: a vanished entry means one
+	// duplicate computation, not a correctness failure.
+	if r.Gate != nil {
+		admit := true
+		if r.Cache != nil {
+			stored, inflight := r.Cache.Contains(pt.Canonical.Hash)
+			admit = !stored && !inflight
+		}
+		if admit && r.Gate(ctx, pt.Canonical.Hash) == GateDefer {
+			return pr, ErrDeferred
 		}
 	}
 	var (
