@@ -72,6 +72,11 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "per-point work lease lifetime; a SIGKILLed replica's claims expire after this and survivors take the points over (0 = 30s)")
 	fleetPoll := flag.Duration("fleet-poll", 0, "interval for polling peers' lease ledgers to prefetch their completed points (0 = 1s)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "deadline for one peer HTTP call: cache fetches, lease claims, ledger polls (0 = 2s)")
+	interactiveReserve := flag.Int("interactive-reserve", 1, "worker slots bulk sweep work may never occupy, held for interactive /v1/run requests (clamped to workers-1; 0 = no reserve)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant submission rate limit in requests/second; over-rate submissions get 429 + Retry-After (0 = unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant rate-limit burst depth (0 = max(1, 2×tenant-rps))")
+	tenantMaxJobs := flag.Int("tenant-max-jobs", 0, "bound on one tenant's concurrently running sweep jobs; past it submissions get 429 (0 = unlimited)")
+	tenantMaxJobBytes := flag.Int64("tenant-max-job-bytes", 0, "byte budget for one tenant's retained job results; past it the tenant's oldest finished jobs evict (0 = unlimited)")
 	flag.Parse()
 
 	var peerList []string
@@ -97,6 +102,12 @@ func main() {
 		LeaseTTL:       *leaseTTL,
 		FleetPoll:      *fleetPoll,
 		PeerTimeout:    *peerTimeout,
+
+		InteractiveReserve:   *interactiveReserve,
+		TenantRPS:            *tenantRPS,
+		TenantBurst:          *tenantBurst,
+		TenantMaxJobs:        *tenantMaxJobs,
+		TenantMaxResultBytes: *tenantMaxJobBytes,
 	})
 	// Crash recovery: re-admit journaled sweeps the previous process
 	// did not finish, before the listener opens — their points replay
@@ -128,6 +139,10 @@ func main() {
 	if len(cfg.Peers) > 0 {
 		log.Printf("qlaserve: fleet mode: self=%s peers=%v (lease-ttl=%v, fleet-poll=%v, peer-timeout=%v)",
 			cfg.SelfID, cfg.Peers, cfg.LeaseTTL, cfg.FleetPoll, cfg.PeerTimeout)
+	}
+	if cfg.InteractiveReserve > 0 || cfg.TenantRPS > 0 || cfg.TenantMaxJobs > 0 {
+		log.Printf("qlaserve: admission: interactive-reserve=%d tenant-rps=%g tenant-burst=%g tenant-max-jobs=%d",
+			cfg.InteractiveReserve, cfg.TenantRPS, cfg.TenantBurst, cfg.TenantMaxJobs)
 	}
 	select {
 	case err := <-errc:

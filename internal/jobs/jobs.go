@@ -51,7 +51,8 @@ type Progress struct {
 }
 
 // Config sizes a Manager. The zero value is usable: 256 stored jobs,
-// 256 MiB of retained result bytes, 1 h retention of finished jobs.
+// 256 MiB of retained result bytes, 1 h retention of finished jobs, no
+// per-tenant quotas.
 type Config struct {
 	// MaxJobs bounds the job store, running and finished together.
 	MaxJobs int
@@ -65,6 +66,29 @@ type Config struct {
 	MaxResultBytes int64
 	// TTL is how long finished jobs stay retrievable.
 	TTL time.Duration
+	// TenantMaxJobs caps one tenant's concurrently running jobs;
+	// submissions over the cap fail with a *QuotaError. Joining an
+	// existing job never counts against the cap — content-addressed
+	// dedup stays free. 0 = unlimited.
+	TenantMaxJobs int
+	// TenantMaxResultBytes bounds one tenant's retained result bytes:
+	// when a settling job pushes its tenant over, that tenant's own
+	// oldest finished jobs are evicted first (the settling job itself
+	// is exempt, like the global budget). 0 = unlimited.
+	TenantMaxResultBytes int64
+}
+
+// QuotaError reports a submission refused by a per-tenant quota. It is
+// a client-pacing signal (HTTP 429), distinct from the store-full
+// overload error.
+type QuotaError struct {
+	Tenant string
+	Limit  string // which quota decided, e.g. "max-jobs"
+	Max    int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("jobs: tenant %q over %s quota (max %d)", e.Tenant, e.Limit, e.Max)
 }
 
 // Manager owns the job store. Construct with NewManager; one Manager is
@@ -75,8 +99,13 @@ type Manager struct {
 	mu          sync.Mutex
 	jobs        map[string]*Job
 	resultBytes int64
+	// tenantRunning / tenantBytes are the per-tenant quota ledgers;
+	// entries are pruned the moment they hit zero, so the maps stay
+	// bounded by the live store, not by tenant-name cardinality.
+	tenantRunning map[string]int
+	tenantBytes   map[string]int64
 
-	submitted, deduped, completed, failed, cancelled, evicted atomic.Uint64
+	submitted, deduped, completed, failed, cancelled, evicted, quotaDenied atomic.Uint64
 }
 
 // NewManager builds a Manager.
@@ -90,13 +119,19 @@ func NewManager(cfg Config) *Manager {
 	if cfg.TTL <= 0 {
 		cfg.TTL = time.Hour
 	}
-	return &Manager{cfg: cfg, jobs: make(map[string]*Job)}
+	return &Manager{
+		cfg:           cfg,
+		jobs:          make(map[string]*Job),
+		tenantRunning: make(map[string]int),
+		tenantBytes:   make(map[string]int64),
+	}
 }
 
 // Job is one asynchronous execution. All methods are safe for
 // concurrent use.
 type Job struct {
 	id      string
+	tenant  string
 	mgr     *Manager
 	created time.Time
 	cancel  context.CancelFunc
@@ -116,11 +151,25 @@ type Job struct {
 // polling endpoint.
 type Snapshot struct {
 	ID             string    `json:"id"`
+	Tenant         string    `json:"tenant,omitempty"`
 	State          State     `json:"state"`
 	Progress       Progress  `json:"progress"`
 	Created        time.Time `json:"created"`
 	ElapsedSeconds float64   `json:"elapsed_seconds"`
 	Error          string    `json:"error,omitempty"`
+}
+
+// SubmitOptions qualifies a submission.
+type SubmitOptions struct {
+	// Tenant is the owning tenant; empty means no tenant accounting
+	// (library callers). Quotas and stats are keyed on it.
+	Tenant string
+	// Total seeds the job's progress denominator.
+	Total int
+	// BypassQuota admits the job even over the tenant's concurrent-job
+	// quota. The journal-replay path sets it: refusing durable work at
+	// restart would silently drop it.
+	BypassQuota bool
 }
 
 // Submit registers a job under id and starts run in its own goroutine,
@@ -130,13 +179,14 @@ type Snapshot struct {
 // created=false and nothing new starts: IDs are content addresses, so
 // identical work collapses. A failed or cancelled job does not block
 // its address — re-submission evicts it and retries fresh. A full
-// store of running jobs rejects the submission.
+// store of running jobs rejects the submission, and a tenant over its
+// concurrent-job quota is refused with a *QuotaError.
 //
 // run receives a cancellable context (Cancel fires it) and a report
 // callback for progress updates; its returned bytes become the job
 // result. A nil error with the context cancelled still records the job
 // as done — the work finished despite the cancel racing it.
-func (m *Manager) Submit(id string, total int, run func(ctx context.Context, report func(Progress)) ([]byte, error)) (j *Job, created bool, err error) {
+func (m *Manager) Submit(id string, opts SubmitOptions, run func(ctx context.Context, report func(Progress)) ([]byte, error)) (j *Job, created bool, err error) {
 	if id == "" {
 		return nil, false, fmt.Errorf("jobs: empty job ID")
 	}
@@ -161,6 +211,12 @@ func (m *Manager) Submit(id string, total int, run func(ctx context.Context, rep
 		// evicted Job object.
 		m.dropLocked(id, j)
 	}
+	if q := m.cfg.TenantMaxJobs; q > 0 && opts.Tenant != "" && !opts.BypassQuota &&
+		m.tenantRunning[opts.Tenant] >= q {
+		m.mu.Unlock()
+		m.quotaDenied.Add(1)
+		return nil, false, &QuotaError{Tenant: opts.Tenant, Limit: "max-jobs", Max: q}
+	}
 	if len(m.jobs) >= m.cfg.MaxJobs && !m.evictOldestFinishedLocked(nil) {
 		m.mu.Unlock()
 		return nil, false, fmt.Errorf("jobs: store full (%d jobs, all running)", m.cfg.MaxJobs)
@@ -168,16 +224,20 @@ func (m *Manager) Submit(id string, total int, run func(ctx context.Context, rep
 	ctx, cancel := context.WithCancel(context.Background())
 	j = &Job{
 		id:      id,
+		tenant:  opts.Tenant,
 		mgr:     m,
 		created: now,
 		cancel:  cancel,
 		state:   StateRunning,
 		progress: Progress{
-			Total: total,
+			Total: opts.Total,
 		},
 		subs: make(map[chan struct{}]struct{}),
 	}
 	m.jobs[id] = j
+	if j.tenant != "" {
+		m.tenantRunning[j.tenant]++
+	}
 	m.mu.Unlock()
 	m.submitted.Add(1)
 	go j.execute(ctx, run)
@@ -199,11 +259,38 @@ func (m *Manager) dropLocked(id string, j *Job) {
 	delete(m.jobs, id)
 	j.mu.Lock()
 	if j.charged {
-		m.resultBytes -= int64(len(j.result))
+		n := int64(len(j.result))
+		m.resultBytes -= n
+		if j.tenant != "" {
+			m.creditTenantBytesLocked(j.tenant, n)
+		}
 		j.charged = false
 	}
 	j.mu.Unlock()
 	m.evicted.Add(1)
+}
+
+// creditTenantBytesLocked refunds n bytes to a tenant's ledger,
+// pruning the entry at zero so the map stays bounded.
+func (m *Manager) creditTenantBytesLocked(tenant string, n int64) {
+	m.tenantBytes[tenant] -= n
+	if m.tenantBytes[tenant] <= 0 {
+		delete(m.tenantBytes, tenant)
+	}
+}
+
+// noteSettled balances the Submit-time running increment; settle calls
+// it exactly once per job, whether or not the job is still stored.
+func (m *Manager) noteSettled(j *Job) {
+	if j.tenant == "" {
+		return
+	}
+	m.mu.Lock()
+	m.tenantRunning[j.tenant]--
+	if m.tenantRunning[j.tenant] <= 0 {
+		delete(m.tenantRunning, j.tenant)
+	}
+	m.mu.Unlock()
 }
 
 // evictExpiredLocked drops finished jobs older than the TTL.
@@ -222,13 +309,19 @@ func (m *Manager) evictExpiredLocked(now time.Time) {
 // keep, which may be nil) to make room, reporting whether it found a
 // victim.
 func (m *Manager) evictOldestFinishedLocked(keep *Job) bool {
+	return m.evictOldestFinishedOfLocked("", keep)
+}
+
+// evictOldestFinishedOfLocked drops the longest-finished job belonging
+// to tenant (any tenant when empty), sparing keep.
+func (m *Manager) evictOldestFinishedOfLocked(tenant string, keep *Job) bool {
 	var (
 		victim    string
 		victimJob *Job
 		oldest    time.Time
 	)
 	for id, j := range m.jobs {
-		if j == keep {
+		if j == keep || (tenant != "" && j.tenant != tenant) {
 			continue
 		}
 		j.mu.Lock()
@@ -265,6 +358,24 @@ func (m *Manager) noteResult(j *Job) {
 	j.charged = true
 	j.mu.Unlock()
 	m.resultBytes += n
+	if j.tenant != "" {
+		m.tenantBytes[j.tenant] += n
+	}
+	// The tenant budget first: it evicts only the settling tenant's own
+	// jobs, which also relieves the global total.
+	if tmax := m.cfg.TenantMaxResultBytes; tmax > 0 && j.tenant != "" {
+		overTenant := func() bool {
+			if n > tmax {
+				return m.tenantBytes[j.tenant]-n > tmax
+			}
+			return m.tenantBytes[j.tenant] > tmax
+		}
+		for overTenant() {
+			if !m.evictOldestFinishedOfLocked(j.tenant, j) {
+				break
+			}
+		}
+	}
 	max := m.cfg.MaxResultBytes
 	if max < 0 {
 		return
@@ -325,6 +436,7 @@ func (j *Job) settle(res []byte, err error) {
 	}
 	j.wakeLocked()
 	j.mu.Unlock()
+	j.mgr.noteSettled(j)
 	if err == nil {
 		j.mgr.noteResult(j)
 	}
@@ -356,12 +468,17 @@ func (j *Job) wakeLocked() {
 // ID returns the job's content-addressed identifier.
 func (j *Job) ID() string { return j.id }
 
+// Tenant returns the tenant the job was submitted under (empty for
+// library submissions with no tenant accounting).
+func (j *Job) Tenant() string { return j.tenant }
+
 // Snapshot returns a point-in-time view of the job.
 func (j *Job) Snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := Snapshot{
 		ID:       j.id,
+		Tenant:   j.tenant,
 		State:    j.state,
 		Progress: j.progress,
 		Created:  j.created,
@@ -431,6 +548,8 @@ type Stats struct {
 	Cancelled uint64 `json:"cancelled"`
 	// Evicted counts jobs dropped by TTL or store pressure.
 	Evicted uint64 `json:"evicted"`
+	// QuotaDenied counts submissions refused by per-tenant quotas.
+	QuotaDenied uint64 `json:"quota_denied"`
 	// Running and Stored describe the current store; ResultBytes is the
 	// retained result total counted against MaxResultBytes.
 	Running     int   `json:"running"`
@@ -463,6 +582,7 @@ func (m *Manager) Stats() Stats {
 		Failed:         m.failed.Load(),
 		Cancelled:      m.cancelled.Load(),
 		Evicted:        m.evicted.Load(),
+		QuotaDenied:    m.quotaDenied.Load(),
 		Running:        running,
 		Stored:         stored,
 		ResultBytes:    resultBytes,
@@ -470,4 +590,42 @@ func (m *Manager) Stats() Stats {
 		MaxResultBytes: m.cfg.MaxResultBytes,
 		TTLSeconds:     m.cfg.TTL.Seconds(),
 	}
+}
+
+// TenantStats is one tenant's slice of the job store.
+type TenantStats struct {
+	// Running counts the tenant's in-flight jobs (what TenantMaxJobs
+	// caps); Stored counts all its jobs still retrievable.
+	Running int `json:"jobs_running"`
+	Stored  int `json:"jobs_stored"`
+	// ResultBytes is the tenant's retained result total (what
+	// TenantMaxResultBytes caps).
+	ResultBytes int64 `json:"result_bytes"`
+}
+
+// Tenants returns the per-tenant store breakdown, keyed by tenant
+// name. Tenants with no live jobs and no retained bytes do not appear.
+func (m *Manager) Tenants() map[string]TenantStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]TenantStats)
+	for _, j := range m.jobs {
+		if j.tenant == "" {
+			continue
+		}
+		ts := out[j.tenant]
+		ts.Stored++
+		j.mu.Lock()
+		if !j.state.Finished() {
+			ts.Running++
+		}
+		j.mu.Unlock()
+		out[j.tenant] = ts
+	}
+	for tenant, n := range m.tenantBytes {
+		ts := out[tenant]
+		ts.ResultBytes = n
+		out[tenant] = ts
+	}
+	return out
 }

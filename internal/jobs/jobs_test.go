@@ -43,7 +43,7 @@ func wait(t *testing.T, j *Job) Snapshot {
 
 func TestLifecycle(t *testing.T) {
 	m := NewManager(Config{})
-	j, created, err := m.Submit("job-a", 3, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	j, created, err := m.Submit("job-a", SubmitOptions{Total: 3}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		for i := 1; i <= 3; i++ {
 			report(Progress{Total: 3, Done: i, Cached: i - 1})
 		}
@@ -74,7 +74,7 @@ func TestLifecycle(t *testing.T) {
 func TestContentAddressedDedup(t *testing.T) {
 	m := NewManager(Config{})
 	run, release := gated([]byte("r"), nil)
-	j1, created, err := m.Submit("dup", 1, run)
+	j1, created, err := m.Submit("dup", SubmitOptions{Total: 1}, run)
 	if err != nil || !created {
 		t.Fatal(created, err)
 	}
@@ -82,13 +82,13 @@ func TestContentAddressedDedup(t *testing.T) {
 		t.Error("deduped submission ran anyway")
 		return nil, nil
 	}
-	j2, created, err := m.Submit("dup", 1, boom)
+	j2, created, err := m.Submit("dup", SubmitOptions{Total: 1}, boom)
 	if err != nil || created || j2 != j1 {
 		t.Fatalf("while running: created=%v err=%v same=%v", created, err, j2 == j1)
 	}
 	release()
 	wait(t, j1)
-	j3, created, err := m.Submit("dup", 1, boom)
+	j3, created, err := m.Submit("dup", SubmitOptions{Total: 1}, boom)
 	if err != nil || created || j3 != j1 {
 		t.Fatalf("after done: created=%v err=%v same=%v", created, err, j3 == j1)
 	}
@@ -102,11 +102,11 @@ func TestContentAddressedDedup(t *testing.T) {
 // and runs fresh, while done and running jobs still dedup.
 func TestResubmitRetriesDeadJobs(t *testing.T) {
 	m := NewManager(Config{})
-	jf, _, _ := m.Submit("retry", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	jf, _, _ := m.Submit("retry", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		return nil, errors.New("transient")
 	})
 	wait(t, jf)
-	jr, created, err := m.Submit("retry", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	jr, created, err := m.Submit("retry", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		return []byte("recovered"), nil
 	})
 	if err != nil || !created || jr == jf {
@@ -117,7 +117,7 @@ func TestResubmitRetriesDeadJobs(t *testing.T) {
 	}
 	// Same for cancelled jobs.
 	started := make(chan struct{})
-	jc, _, _ := m.Submit("retry-cancel", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	jc, _, _ := m.Submit("retry-cancel", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -125,7 +125,7 @@ func TestResubmitRetriesDeadJobs(t *testing.T) {
 	<-started
 	jc.Cancel()
 	wait(t, jc)
-	if _, created, err := m.Submit("retry-cancel", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	if _, created, err := m.Submit("retry-cancel", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		return []byte("r"), nil
 	}); err != nil || !created {
 		t.Fatalf("cancelled job blocked its address: created=%v err=%v", created, err)
@@ -133,12 +133,12 @@ func TestResubmitRetriesDeadJobs(t *testing.T) {
 	// And for a cancel-requested job still draining: it is destined for
 	// StateCancelled, so a re-submission must not join it.
 	drain := make(chan struct{})
-	jd, _, _ := m.Submit("retry-draining", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	jd, _, _ := m.Submit("retry-draining", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		<-drain
 		return nil, ctx.Err()
 	})
 	jd.Cancel() // the body ignores ctx until drain closes: still running
-	jn, created, err := m.Submit("retry-draining", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	jn, created, err := m.Submit("retry-draining", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		return []byte("r"), nil
 	})
 	if err != nil || !created || jn == jd {
@@ -155,7 +155,7 @@ func TestResubmitRetriesDeadJobs(t *testing.T) {
 
 func TestFailureAndPanic(t *testing.T) {
 	m := NewManager(Config{})
-	jf, _, _ := m.Submit("fails", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	jf, _, _ := m.Submit("fails", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		return nil, errors.New("the grid is haunted")
 	})
 	if snap := wait(t, jf); snap.State != StateFailed || !strings.Contains(snap.Error, "haunted") {
@@ -164,7 +164,7 @@ func TestFailureAndPanic(t *testing.T) {
 	if res, snap := jf.Result(); res != nil || snap.State != StateFailed {
 		t.Fatalf("failed job leaked a result: %q %+v", res, snap)
 	}
-	jp, _, _ := m.Submit("panics", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	jp, _, _ := m.Submit("panics", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		panic("boom")
 	})
 	if snap := wait(t, jp); snap.State != StateFailed || !strings.Contains(snap.Error, "panicked: boom") {
@@ -178,7 +178,7 @@ func TestFailureAndPanic(t *testing.T) {
 func TestCancel(t *testing.T) {
 	m := NewManager(Config{})
 	started := make(chan struct{})
-	j, _, _ := m.Submit("cancel-me", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	j, _, _ := m.Submit("cancel-me", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -202,17 +202,17 @@ func TestCancel(t *testing.T) {
 // new work, and rejects cleanly when everything is still running.
 func TestStoreBound(t *testing.T) {
 	m := NewManager(Config{MaxJobs: 2})
-	jDone, _, _ := m.Submit("finished", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	jDone, _, _ := m.Submit("finished", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		return []byte("r"), nil
 	})
 	wait(t, jDone)
 	run1, release1 := gated(nil, nil)
-	m.Submit("running-1", 1, run1)
+	m.Submit("running-1", SubmitOptions{Total: 1}, run1)
 	defer release1()
 
 	// Third submission: the finished job is the victim.
 	run2, release2 := gated(nil, nil)
-	_, created, err := m.Submit("running-2", 1, run2)
+	_, created, err := m.Submit("running-2", SubmitOptions{Total: 1}, run2)
 	defer release2()
 	if err != nil || !created {
 		t.Fatalf("created=%v err=%v", created, err)
@@ -222,7 +222,7 @@ func TestStoreBound(t *testing.T) {
 	}
 
 	// Fourth: everything is running, nothing to evict.
-	if _, _, err := m.Submit("running-3", 1, run2); err == nil || !strings.Contains(err.Error(), "store full") {
+	if _, _, err := m.Submit("running-3", SubmitOptions{Total: 1}, run2); err == nil || !strings.Contains(err.Error(), "store full") {
 		t.Fatalf("err = %v", err)
 	}
 	if s := m.Stats(); s.Evicted != 1 {
@@ -237,7 +237,7 @@ func TestResultByteBudget(t *testing.T) {
 	m := NewManager(Config{MaxResultBytes: 100})
 	submit := func(id string, size int) *Job {
 		t.Helper()
-		j, _, err := m.Submit(id, 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+		j, _, err := m.Submit(id, SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 			return make([]byte, size), nil
 		})
 		if err != nil {
@@ -289,7 +289,7 @@ func TestResultByteBudget(t *testing.T) {
 // TestTTLEviction: finished jobs expire; Get and Submit both collect.
 func TestTTLEviction(t *testing.T) {
 	m := NewManager(Config{TTL: 10 * time.Millisecond})
-	j, _, _ := m.Submit("ephemeral", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	j, _, _ := m.Submit("ephemeral", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		return []byte("r"), nil
 	})
 	wait(t, j)
@@ -301,7 +301,7 @@ func TestTTLEviction(t *testing.T) {
 		t.Fatal("job survived its TTL")
 	}
 	// A re-submission after expiry is a fresh job, not a dedup.
-	_, created, err := m.Submit("ephemeral", 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	_, created, err := m.Submit("ephemeral", SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		return []byte("r2"), nil
 	})
 	if err != nil || !created {
@@ -318,7 +318,7 @@ func TestSubscribeMonotonic(t *testing.T) {
 	m := NewManager(Config{})
 	const total = 50
 	step := make(chan struct{})
-	j, _, _ := m.Submit("watched", total, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+	j, _, _ := m.Submit("watched", SubmitOptions{Total: total}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 		for i := 1; i <= total; i++ {
 			report(Progress{Total: total, Done: i})
 			if i == total/2 {
@@ -356,7 +356,7 @@ func TestSubscribeMonotonic(t *testing.T) {
 
 func TestSubmitValidation(t *testing.T) {
 	m := NewManager(Config{})
-	if _, _, err := m.Submit("", 1, nil); err == nil {
+	if _, _, err := m.Submit("", SubmitOptions{Total: 1}, nil); err == nil {
 		t.Fatal("empty ID accepted")
 	}
 	if _, ok := m.Get("nope"); ok {
@@ -374,7 +374,7 @@ func BenchmarkJobManager(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		id := fmt.Sprintf("job-%d", i)
-		j, _, err := m.Submit(id, 1, func(ctx context.Context, report func(Progress)) ([]byte, error) {
+		j, _, err := m.Submit(id, SubmitOptions{Total: 1}, func(ctx context.Context, report func(Progress)) ([]byte, error) {
 			report(Progress{Total: 1, Done: 1})
 			return body, nil
 		})

@@ -46,14 +46,15 @@ const StatusLeased = "leased"
 const suffix = ".wal"
 
 // record is one JSON line of a journal file. Exactly one of the three
-// shapes is populated: admission (ID/Kind/Spec), point (Point/Status),
-// terminal (State).
+// shapes is populated: admission (ID/Kind/Tenant/Spec), point
+// (Point/Status), terminal (State).
 type record struct {
-	V     int             `json:"v,omitempty"`
-	ID    string          `json:"id,omitempty"`
-	Kind  string          `json:"kind,omitempty"`
-	Spec  json.RawMessage `json:"spec,omitempty"`
-	Point string          `json:"point,omitempty"`
+	V      int             `json:"v,omitempty"`
+	ID     string          `json:"id,omitempty"`
+	Kind   string          `json:"kind,omitempty"`
+	Tenant string          `json:"tenant,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Point  string          `json:"point,omitempty"`
 	// Status is "ok", "error" or "leased"; Cached and Attempts qualify
 	// completions, Holder names the replica behind a lease.
 	Status   string `json:"status,omitempty"`
@@ -75,6 +76,9 @@ type PointStatus struct {
 type Pending struct {
 	ID   string
 	Kind string
+	// Tenant is the owner recorded at admission; replayed jobs keep
+	// their tenant across restarts (empty in pre-tenancy journals).
+	Tenant string
 	// Spec is the admitted canonical spec payload, verbatim.
 	Spec []byte
 	// Points maps point hash → the last completion recorded for it.
@@ -130,7 +134,7 @@ type Entry struct {
 // the job is running in this process — that entry is returned with
 // fresh=false and the file is left untouched; a same-address
 // resubmission must never clobber the running job's point log.
-func (j *Journal) Admit(id, kind string, spec []byte) (e *Entry, fresh bool, err error) {
+func (j *Journal) Admit(id, kind, tenant string, spec []byte) (e *Entry, fresh bool, err error) {
 	if j == nil {
 		return nil, false, nil
 	}
@@ -148,7 +152,7 @@ func (j *Journal) Admit(id, kind string, spec []byte) (e *Entry, fresh bool, err
 	j.open[id] = e
 	j.mu.Unlock()
 
-	line, err := marshalLine(record{V: 1, ID: id, Kind: kind, Spec: spec})
+	line, err := marshalLine(record{V: 1, ID: id, Kind: kind, Tenant: tenant, Spec: spec})
 	if err == nil {
 		err = func() error {
 			tmp, err := os.CreateTemp(j.dir, id+".tmp-*")
@@ -290,7 +294,7 @@ func (j *Journal) replayFile(name string) (p Pending, finished, ok bool) {
 				rec.ID+suffix != filepath.Base(name) {
 				return Pending{}, false, false
 			}
-			p.ID, p.Kind = rec.ID, rec.Kind
+			p.ID, p.Kind, p.Tenant = rec.ID, rec.Kind, rec.Tenant
 			p.Spec = append([]byte(nil), rec.Spec...)
 			continue
 		}

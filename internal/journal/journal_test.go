@@ -34,7 +34,7 @@ func files(t *testing.T, dir string) []string {
 // settled job has nothing to recover.
 func TestAdmitFinishRemoves(t *testing.T) {
 	j, dir := open(t)
-	e, fresh, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	e, fresh, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 	if err != nil || !fresh {
 		t.Fatalf("Admit: fresh=%v err=%v", fresh, err)
 	}
@@ -60,7 +60,7 @@ func TestAdmitFinishRemoves(t *testing.T) {
 // died — replays with its recorded point completions.
 func TestCrashReplay(t *testing.T) {
 	j, dir := open(t)
-	e, _, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	e, _, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestTerminalEntriesDroppedAtReplay(t *testing.T) {
 	for _, state := range []string{"done", "failed", "cancelled"} {
 		t.Run(state, func(t *testing.T) {
 			j, dir := open(t)
-			e, _, err := j.Admit("job1", KindSweep, []byte(specJSON))
+			e, _, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -152,7 +152,7 @@ func TestTerminalEntriesDroppedAtReplay(t *testing.T) {
 // line; replay keeps everything before it.
 func TestTornTailTolerated(t *testing.T) {
 	j, dir := open(t)
-	e, _, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	e, _, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,12 +199,12 @@ func TestUnreadableAdmissionDeleted(t *testing.T) {
 // returns the same entry without touching the file.
 func TestAdmitJoinsOpenEntry(t *testing.T) {
 	j, _ := open(t)
-	e1, fresh1, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	e1, fresh1, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 	if err != nil || !fresh1 {
 		t.Fatalf("first admit: fresh=%v err=%v", fresh1, err)
 	}
 	e1.Point("p1", "ok", false, 1)
-	e2, fresh2, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	e2, fresh2, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 	if err != nil || fresh2 {
 		t.Fatalf("second admit: fresh=%v err=%v", fresh2, err)
 	}
@@ -217,7 +217,7 @@ func TestAdmitJoinsOpenEntry(t *testing.T) {
 // freshly admitted file.
 func TestDiscard(t *testing.T) {
 	j, dir := open(t)
-	e, _, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	e, _, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestDiscard(t *testing.T) {
 func TestUnsafeIDRejected(t *testing.T) {
 	j, _ := open(t)
 	for _, id := range []string{"", "..", "a/b", `a\b`} {
-		if _, _, err := j.Admit(id, KindSweep, []byte(specJSON)); err == nil {
+		if _, _, err := j.Admit(id, KindSweep, "", []byte(specJSON)); err == nil {
 			t.Errorf("Admit(%q) accepted", id)
 		}
 	}
@@ -244,7 +244,7 @@ func TestUnsafeIDRejected(t *testing.T) {
 // guards.
 func TestNilJournalIsInert(t *testing.T) {
 	var j *Journal
-	e, fresh, err := j.Admit("x", KindSweep, nil)
+	e, fresh, err := j.Admit("x", KindSweep, "", nil)
 	if e != nil || fresh || err != nil {
 		t.Fatalf("nil Admit: %v %v %v", e, fresh, err)
 	}
@@ -271,7 +271,7 @@ func TestNilJournalIsInert(t *testing.T) {
 // land (json-per-line, single write each).
 func TestConcurrentAppends(t *testing.T) {
 	j, dir := open(t)
-	e, _, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	e, _, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func BenchmarkJournalAppend(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	e, _, err := j.Admit("bench", KindSweep, []byte(specJSON))
+	e, _, err := j.Admit("bench", KindSweep, "", []byte(specJSON))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func BenchmarkJournalAppend(b *testing.B) {
 // lessee case), while a lease followed by its completion is settled.
 func TestLeaseReplay(t *testing.T) {
 	j, dir := open(t)
-	e, _, err := j.Admit("job1", KindSweep, []byte(specJSON))
+	e, _, err := j.Admit("job1", KindSweep, "", []byte(specJSON))
 	if err != nil {
 		t.Fatal(err)
 	}

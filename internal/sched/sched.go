@@ -4,135 +4,547 @@
 // takes GOMAXPROCS workers the process oversubscribes its cores by the
 // number of in-flight requests. A Pool holds the one global budget:
 // every run asks for the width it wants and is granted a share of
-// whatever is free (always at least one slot, blocking FIFO until one
-// is). Results are unaffected — fixed-seed runs are bit-identical at
-// any parallelism — so the grant width is purely a throughput decision.
+// whatever is free (always at least one slot, blocking until one is).
+// Results are unaffected — fixed-seed runs are bit-identical at any
+// parallelism — so the grant width is purely a throughput decision.
+//
+// Admission is class-aware and tenant-fair. Each acquisition carries an
+// Identity (tenant name + priority class) in its context, attached with
+// WithIdentity. Two classes exist: ClassInteractive (short synchronous
+// /v1/run requests) strictly outranks ClassBulk (sweep points), and an
+// optional slot floor (Config.InteractiveReserve) keeps bulk work from
+// ever occupying the last reserve slots, so an interactive arrival is
+// admitted without waiting for a saturating sweep to drain. Inside a
+// class, queued tenants share capacity by stride-style weighted fair
+// queuing: each tenant carries a virtual-time pass, the tenant with the
+// smallest pass is served next, and a grant of g slots advances the
+// pass by g/weight — a flood of one tenant's requests therefore costs
+// only that tenant virtual time and cannot starve another's queue.
 package sched
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
-// Pool is a FIFO counting semaphore with partial grants: an acquirer
-// asking for n slots receives between 1 and n, depending on what is
-// free when its turn comes. The zero Pool is not usable; construct with
-// New. A Pool is safe for concurrent use.
+// Class is an admission priority class. Lower values outrank higher
+// ones: the dispatcher always serves queued interactive work before
+// queued bulk work.
+type Class int
+
+const (
+	// ClassInteractive is for short, latency-sensitive requests
+	// (synchronous /v1/run). It may use every slot in the pool.
+	ClassInteractive Class = iota
+	// ClassBulk is for throughput work (sweep points). Its in-use
+	// slots are capped at capacity minus the interactive reserve.
+	ClassBulk
+
+	numClasses
+)
+
+// String returns the stable wire name of the class ("interactive",
+// "bulk"), used as the key under /v1/stats scheduler.classes.
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassBulk:
+		return "bulk"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// DefaultTenant is the tenant identity attached to requests that carry
+// none (no X-QLA-Tenant header, library callers, tests).
+const DefaultTenant = "default"
+
+// Identity names the owner of an acquisition: which tenant is asking
+// and at which priority class.
+type Identity struct {
+	Tenant string
+	Class  Class
+}
+
+type identityKey struct{}
+
+// WithIdentity returns a context carrying the given identity. The
+// identity survives context.WithoutCancel, so detached compute
+// contexts keep their owner.
+func WithIdentity(ctx context.Context, id Identity) context.Context {
+	return context.WithValue(ctx, identityKey{}, id)
+}
+
+// IdentityFrom extracts the identity from ctx, normalizing absent or
+// malformed values to the default tenant at interactive class.
+func IdentityFrom(ctx context.Context) Identity {
+	id, _ := ctx.Value(identityKey{}).(Identity)
+	if id.Tenant == "" {
+		id.Tenant = DefaultTenant
+	}
+	if id.Class < 0 || id.Class >= numClasses {
+		id.Class = ClassInteractive
+	}
+	return id
+}
+
+// Config describes a fair pool. The zero value is usable: GOMAXPROCS
+// capacity, no reserve, unbounded queue waits, weight 1 for every
+// tenant.
+type Config struct {
+	// Capacity is the global slot budget; <= 0 means GOMAXPROCS.
+	Capacity int
+	// InteractiveReserve is a slot floor held back from ClassBulk:
+	// bulk in-use never exceeds Capacity-InteractiveReserve, so that
+	// many slots are always available to (or idle for) interactive
+	// work. Clamped to [0, Capacity-1] so bulk always keeps at least
+	// one usable slot.
+	InteractiveReserve int
+	// InteractiveMaxWait / BulkMaxWait bound how long an acquirer of
+	// that class may sit queued before Acquire gives up with a
+	// *QueueWaitError. Zero means wait forever.
+	InteractiveMaxWait time.Duration
+	BulkMaxWait        time.Duration
+	// Weights maps tenant name to fair-share weight (default 1).
+	// A tenant with weight 2 receives twice the slot-time of a
+	// weight-1 tenant while both have queued work.
+	Weights map[string]float64
+}
+
+// maxWait returns the queue-wait bound for a class.
+func (c Config) maxWait(cl Class) time.Duration {
+	if cl == ClassBulk {
+		return c.BulkMaxWait
+	}
+	return c.InteractiveMaxWait
+}
+
+// QueueWaitError reports that an acquisition sat queued past its
+// class's bound and was refused. Callers should treat it as overload
+// (HTTP 503) rather than failure of the work itself.
+type QueueWaitError struct {
+	Identity Identity
+	Waited   time.Duration
+}
+
+func (e *QueueWaitError) Error() string {
+	return fmt.Sprintf("sched: %s acquisition for tenant %q timed out after %v queued",
+		e.Identity.Class, e.Identity.Tenant, e.Waited.Round(time.Millisecond))
+}
+
+// tenantStatsCap bounds the per-tenant counter map: tenant names come
+// from request headers and are unbounded-cardinality, so beyond the
+// cap new tenants are folded into a single overflow bucket.
+const tenantStatsCap = 512
+
+// OverflowTenant is the synthetic stats bucket that absorbs per-tenant
+// counters once more than tenantStatsCap distinct tenants have been
+// seen.
+const OverflowTenant = "~overflow"
+
+// Pool is a class-aware, tenant-fair counting semaphore with partial
+// grants: an acquirer asking for n slots receives between 1 and n,
+// depending on what is free when its turn comes. The zero Pool is not
+// usable; construct with New or NewFair. A Pool is safe for concurrent
+// use.
 type Pool struct {
 	mu       sync.Mutex
 	capacity int
-	inUse    int
-	waiters  []*waiter
+	reserve  int
+	cfg      Config
+
+	inUse      int
+	classInUse [numClasses]int
+	classes    [numClasses]*classQueue
 
 	peak   int
 	grants uint64
 	waits  uint64
+
+	classStats  [numClasses]classCounters
+	tenantStats map[string]*tenantCounters
+}
+
+// classQueue holds one class's queued tenants and the class virtual
+// clock that new arrivals are clamped to.
+type classQueue struct {
+	tenants map[string]*tenantQueue
+	vtime   float64
+	waiting int
+}
+
+// tenantQueue is one tenant's FIFO of queued waiters plus its fair-
+// share pass. When the queue drains the tenantQueue is dropped and the
+// pass forgotten; a returning tenant re-enters at the class virtual
+// time, i.e. fairness history applies only while a tenant stays
+// backlogged.
+type tenantQueue struct {
+	ws     []*waiter
+	pass   float64
+	weight float64
 }
 
 type waiter struct {
+	id      Identity
 	want    int
 	granted int
 	ready   chan struct{}
+	enq     time.Time
 }
 
-// New builds a Pool with the given slot capacity; capacity <= 0 means
-// GOMAXPROCS.
+type classCounters struct {
+	grants    uint64
+	waits     uint64
+	timeouts  uint64
+	waitTotal time.Duration
+	waitMax   time.Duration
+}
+
+type tenantCounters struct {
+	grants uint64
+	waits  uint64
+}
+
+// New builds a single-class-behaving Pool with the given slot capacity
+// (<= 0 means GOMAXPROCS): no reserve, no queue-wait bounds, equal
+// weights. Existing callers that never attach an Identity get the old
+// strict-FIFO semantics, since all their work lands in one tenant
+// queue of one class.
 func New(capacity int) *Pool {
-	if capacity <= 0 {
-		capacity = runtime.GOMAXPROCS(0)
+	return NewFair(Config{Capacity: capacity})
+}
+
+// NewFair builds a Pool from a full admission config.
+func NewFair(cfg Config) *Pool {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{capacity: capacity}
+	if cfg.InteractiveReserve < 0 {
+		cfg.InteractiveReserve = 0
+	}
+	if cfg.InteractiveReserve > cfg.Capacity-1 {
+		cfg.InteractiveReserve = cfg.Capacity - 1
+	}
+	p := &Pool{
+		capacity:    cfg.Capacity,
+		reserve:     cfg.InteractiveReserve,
+		cfg:         cfg,
+		tenantStats: make(map[string]*tenantCounters),
+	}
+	for c := Class(0); c < numClasses; c++ {
+		p.classes[c] = &classQueue{tenants: make(map[string]*tenantQueue)}
+	}
+	return p
+}
+
+// bulkCap is the ceiling on bulk in-use slots.
+func (p *Pool) bulkCap() int { return p.capacity - p.reserve }
+
+// weightOf returns the configured fair-share weight for a tenant.
+func (p *Pool) weightOf(tenant string) float64 {
+	if w, ok := p.cfg.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
 }
 
 // Acquire obtains between 1 and want slots, blocking while the pool is
-// exhausted (or while earlier acquirers are still queued — grants are
-// strictly FIFO, so a small request cannot starve behind-the-head
-// waiters by overtaking them). It returns the number of slots granted
-// and a release function that must be called exactly when the work
-// finishes (calling it more than once is a no-op). On context
-// cancellation while waiting it returns ctx.Err() with no slots held.
+// exhausted (or while earlier acquirers of the same tenant are queued —
+// within one tenant and class, grants stay strictly FIFO). The caller's
+// identity is read from ctx (see WithIdentity); absent one, the work is
+// charged to the default tenant at interactive class. It returns the
+// number of slots granted and a release function that must be called
+// exactly when the work finishes (calling it more than once is a
+// no-op). On context cancellation while waiting it returns ctx.Err()
+// with no slots held; past the class queue-wait bound it returns a
+// *QueueWaitError.
 func (p *Pool) Acquire(ctx context.Context, want int) (int, func(), error) {
+	id := IdentityFrom(ctx)
 	if want < 1 {
 		want = 1
 	}
 	if want > p.capacity {
 		want = p.capacity
 	}
+	if id.Class == ClassBulk && want > p.bulkCap() {
+		want = p.bulkCap()
+	}
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
+
 	p.mu.Lock()
-	if len(p.waiters) == 0 && p.inUse < p.capacity {
-		granted := min(want, p.capacity-p.inUse)
-		p.grantLocked(granted)
+	if p.canGrantNowLocked(id.Class) {
+		g := want
+		if free := p.capacity - p.inUse; g > free {
+			g = free
+		}
+		if id.Class == ClassBulk {
+			if room := p.bulkCap() - p.classInUse[ClassBulk]; g > room {
+				g = room
+			}
+		}
+		p.bookLocked(id, g, 0, false)
 		p.mu.Unlock()
-		return granted, p.releaseFunc(granted), nil
+		return g, p.releaseFunc(id.Class, g), nil
 	}
-	w := &waiter{want: want, ready: make(chan struct{})}
-	p.waiters = append(p.waiters, w)
-	p.waits++
+	w := &waiter{id: id, want: want, ready: make(chan struct{}), enq: time.Now()}
+	p.enqueueLocked(w)
 	p.mu.Unlock()
+
+	var timeoutC <-chan time.Time
+	if bound := p.cfg.maxWait(id.Class); bound > 0 {
+		t := time.NewTimer(bound)
+		defer t.Stop()
+		timeoutC = t.C
+	}
 
 	select {
 	case <-w.ready:
-		return w.granted, p.releaseFunc(w.granted), nil
+		return w.granted, p.releaseFunc(id.Class, w.granted), nil
+	case <-timeoutC:
+		p.mu.Lock()
+		if p.removeWaiterLocked(w) {
+			p.classStats[id.Class].timeouts++
+			p.mu.Unlock()
+			return 0, nil, &QueueWaitError{Identity: id, Waited: time.Since(w.enq)}
+		}
+		// A grant raced the timer; take it rather than waste the
+		// already-booked slots.
+		p.mu.Unlock()
+		<-w.ready
+		return w.granted, p.releaseFunc(id.Class, w.granted), nil
 	case <-ctx.Done():
 		p.mu.Lock()
-		for i, q := range p.waiters {
-			if q == w {
-				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
-				p.mu.Unlock()
-				return 0, nil, ctx.Err()
-			}
+		if p.removeWaiterLocked(w) {
+			p.mu.Unlock()
+			return 0, nil, ctx.Err()
 		}
 		// A release granted our slots concurrently with the
-		// cancellation; hand them straight back.
-		p.releaseLocked(w.granted)
+		// cancellation; hand them straight back. granted is stable
+		// here: the dispatcher sets it before closing ready, under
+		// the lock we now hold.
+		p.releaseLocked(id.Class, w.granted)
 		p.mu.Unlock()
 		return 0, nil, ctx.Err()
 	}
 }
 
-// grantLocked books n slots and updates the grant statistics.
-func (p *Pool) grantLocked(n int) {
-	p.inUse += n
+// canGrantNowLocked reports whether a new arrival of class c may be
+// granted immediately without overtaking anyone it must yield to:
+// queued work of its own class (fairness) or queued interactive work
+// (priority). An interactive arrival may overtake queued bulk waiters
+// by design.
+func (p *Pool) canGrantNowLocked(c Class) bool {
+	if p.capacity-p.inUse < 1 {
+		return false
+	}
+	if p.classes[c].waiting > 0 {
+		return false
+	}
+	if c == ClassBulk {
+		if p.classes[ClassInteractive].waiting > 0 {
+			return false
+		}
+		if p.classInUse[ClassBulk] >= p.bulkCap() {
+			return false
+		}
+	}
+	return true
+}
+
+// enqueueLocked parks w in its tenant's queue, creating the tenant
+// entry at the class virtual time if it is not already backlogged.
+func (p *Pool) enqueueLocked(w *waiter) {
+	cq := p.classes[w.id.Class]
+	tq := cq.tenants[w.id.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{pass: cq.vtime, weight: p.weightOf(w.id.Tenant)}
+		cq.tenants[w.id.Tenant] = tq
+	}
+	tq.ws = append(tq.ws, w)
+	cq.waiting++
+	p.waits++
+	p.classStats[w.id.Class].waits++
+	p.tenantCountersLocked(w.id.Tenant).waits++
+}
+
+// removeWaiterLocked unlinks w from its queue, returning false if it
+// was already dispatched.
+func (p *Pool) removeWaiterLocked(w *waiter) bool {
+	cq := p.classes[w.id.Class]
+	tq := cq.tenants[w.id.Tenant]
+	if tq == nil {
+		return false
+	}
+	for i, q := range tq.ws {
+		if q == w {
+			tq.ws = append(tq.ws[:i], tq.ws[i+1:]...)
+			cq.waiting--
+			if len(tq.ws) == 0 {
+				delete(cq.tenants, w.id.Tenant)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked hands freed capacity to queued waiters: interactive
+// strictly first, then bulk while under its cap; within a class, the
+// backlogged tenant with the smallest pass (ties broken by name for
+// determinism), charging pass += granted/weight per grant.
+func (p *Pool) dispatchLocked() {
+	for {
+		free := p.capacity - p.inUse
+		if free < 1 {
+			return
+		}
+		var c Class
+		switch {
+		case p.classes[ClassInteractive].waiting > 0:
+			c = ClassInteractive
+		case p.classes[ClassBulk].waiting > 0 && p.classInUse[ClassBulk] < p.bulkCap():
+			c = ClassBulk
+		default:
+			return
+		}
+		cq := p.classes[c]
+		name, tq := minTenant(cq)
+		w := tq.ws[0]
+		g := w.want
+		if g > free {
+			g = free
+		}
+		if c == ClassBulk {
+			if room := p.bulkCap() - p.classInUse[ClassBulk]; g > room {
+				g = room
+			}
+		}
+		tq.ws = tq.ws[1:]
+		cq.waiting--
+		if cq.vtime < tq.pass {
+			cq.vtime = tq.pass
+		}
+		tq.pass += float64(g) / tq.weight
+		if len(tq.ws) == 0 {
+			delete(cq.tenants, name)
+		}
+		w.granted = g
+		p.bookLocked(w.id, g, time.Since(w.enq), true)
+		close(w.ready)
+	}
+}
+
+// minTenant picks the backlogged tenant with the smallest pass,
+// breaking ties by name so scheduling is deterministic.
+func minTenant(cq *classQueue) (string, *tenantQueue) {
+	var bestName string
+	var best *tenantQueue
+	for name, tq := range cq.tenants {
+		if best == nil || tq.pass < best.pass ||
+			(tq.pass == best.pass && name < bestName) {
+			bestName, best = name, tq
+		}
+	}
+	return bestName, best
+}
+
+// bookLocked records a grant of g slots to id, with the queue wait it
+// paid (zero for fast-path grants).
+func (p *Pool) bookLocked(id Identity, g int, waited time.Duration, queued bool) {
+	p.inUse += g
+	p.classInUse[id.Class] += g
 	p.grants++
+	p.classStats[id.Class].grants++
+	p.tenantCountersLocked(id.Tenant).grants++
+	if queued {
+		cs := &p.classStats[id.Class]
+		cs.waitTotal += waited
+		if waited > cs.waitMax {
+			cs.waitMax = waited
+		}
+	}
 	if p.inUse > p.peak {
 		p.peak = p.inUse
 	}
 }
 
+// tenantCountersLocked returns the stats bucket for a tenant, folding
+// new tenants into OverflowTenant once the map is full.
+func (p *Pool) tenantCountersLocked(tenant string) *tenantCounters {
+	tc := p.tenantStats[tenant]
+	if tc == nil {
+		if len(p.tenantStats) >= tenantStatsCap {
+			tenant = OverflowTenant
+			if tc = p.tenantStats[tenant]; tc != nil {
+				return tc
+			}
+		}
+		tc = &tenantCounters{}
+		p.tenantStats[tenant] = tc
+	}
+	return tc
+}
+
 // releaseFunc wraps releaseLocked in the idempotent closure Acquire
 // hands out.
-func (p *Pool) releaseFunc(n int) func() {
+func (p *Pool) releaseFunc(c Class, n int) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			p.mu.Lock()
-			p.releaseLocked(n)
+			p.releaseLocked(c, n)
 			p.mu.Unlock()
 		})
 	}
 }
 
-// releaseLocked returns n slots and hands the freed capacity to queued
-// waiters in FIFO order, each receiving up to its requested width.
-func (p *Pool) releaseLocked(n int) {
+// releaseLocked returns n slots held by class c and re-runs dispatch.
+func (p *Pool) releaseLocked(c Class, n int) {
 	p.inUse -= n
-	for len(p.waiters) > 0 && p.inUse < p.capacity {
-		w := p.waiters[0]
-		p.waiters = p.waiters[1:]
-		w.granted = min(w.want, p.capacity-p.inUse)
-		p.grantLocked(w.granted)
-		close(w.ready)
-	}
+	p.classInUse[c] -= n
+	p.dispatchLocked()
+}
+
+// ClassStats is one priority class's slice of the pool snapshot.
+type ClassStats struct {
+	// InUse is the class's currently granted slots; SlotCap is the
+	// most it may ever hold (capacity for interactive, capacity minus
+	// the reserve for bulk).
+	InUse   int `json:"in_use"`
+	SlotCap int `json:"slot_cap"`
+	// Waiting is the class's queued acquirers right now.
+	Waiting int `json:"waiting"`
+	// Grants counts completed acquisitions; Waits the subset that
+	// queued first; QueueTimeouts the subset refused at the class
+	// queue-wait bound.
+	Grants        uint64 `json:"grants"`
+	Waits         uint64 `json:"waits"`
+	QueueTimeouts uint64 `json:"queue_timeouts"`
+	// AvgQueueWaitMS / MaxQueueWaitMS summarize the queue wait paid
+	// by grants that had to queue.
+	AvgQueueWaitMS float64 `json:"avg_queue_wait_ms"`
+	MaxQueueWaitMS float64 `json:"max_queue_wait_ms"`
+}
+
+// TenantStats is one tenant's slice of the pool snapshot.
+type TenantStats struct {
+	Grants  uint64 `json:"grants"`
+	Waits   uint64 `json:"waits"`
+	Waiting int    `json:"waiting"`
 }
 
 // Stats is a point-in-time snapshot of the pool.
 type Stats struct {
 	// Capacity is the global slot budget.
 	Capacity int `json:"capacity"`
+	// InteractiveReserve is the slot floor withheld from bulk work.
+	InteractiveReserve int `json:"interactive_reserve"`
 	// InUse is the number of slots currently granted.
 	InUse int `json:"in_use"`
 	// Waiting is the number of queued acquirers.
@@ -143,18 +555,57 @@ type Stats struct {
 	// that had to queue first.
 	Grants uint64 `json:"grants"`
 	Waits  uint64 `json:"waits"`
+	// Classes breaks the pool down by priority class, keyed by class
+	// name ("interactive", "bulk").
+	Classes map[string]ClassStats `json:"classes"`
+	// Tenants breaks grants down by tenant, keyed by tenant name
+	// (bounded; see OverflowTenant).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // Stats returns a snapshot of the pool's counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{
-		Capacity: p.capacity,
-		InUse:    p.inUse,
-		Waiting:  len(p.waiters),
-		Peak:     p.peak,
-		Grants:   p.grants,
-		Waits:    p.waits,
+	st := Stats{
+		Capacity:           p.capacity,
+		InteractiveReserve: p.reserve,
+		InUse:              p.inUse,
+		Waiting:            p.classes[ClassInteractive].waiting + p.classes[ClassBulk].waiting,
+		Peak:               p.peak,
+		Grants:             p.grants,
+		Waits:              p.waits,
+		Classes:            make(map[string]ClassStats, numClasses),
+		Tenants:            make(map[string]TenantStats, len(p.tenantStats)),
 	}
+	for c := Class(0); c < numClasses; c++ {
+		cc := p.classStats[c]
+		cs := ClassStats{
+			InUse:          p.classInUse[c],
+			SlotCap:        p.capacity,
+			Waiting:        p.classes[c].waiting,
+			Grants:         cc.grants,
+			Waits:          cc.waits,
+			QueueTimeouts:  cc.timeouts,
+			MaxQueueWaitMS: float64(cc.waitMax) / float64(time.Millisecond),
+		}
+		if c == ClassBulk {
+			cs.SlotCap = p.bulkCap()
+		}
+		if cc.waits > 0 {
+			cs.AvgQueueWaitMS = float64(cc.waitTotal) / float64(cc.waits) / float64(time.Millisecond)
+		}
+		st.Classes[c.String()] = cs
+	}
+	for name, tc := range p.tenantStats {
+		st.Tenants[name] = TenantStats{Grants: tc.grants, Waits: tc.waits}
+	}
+	for c := Class(0); c < numClasses; c++ {
+		for name, tq := range p.classes[c].tenants {
+			ts := st.Tenants[name]
+			ts.Waiting += len(tq.ws)
+			st.Tenants[name] = ts
+		}
+	}
+	return st
 }

@@ -156,7 +156,7 @@ func TestJournalReplayCompletesSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := j.Admit(sw.Hash, journal.KindSweep, sw.JSON); err != nil {
+	if _, _, err := j.Admit(sw.Hash, journal.KindSweep, "", sw.JSON); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -202,7 +202,7 @@ func TestJournalGarbageDropped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := j.Admit("nothex", journal.KindSweep, []byte(`{"bogus":true}`)); err != nil {
+	if _, _, err := j.Admit("nothex", journal.KindSweep, "", []byte(`{"bogus":true}`)); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()

@@ -86,6 +86,7 @@ type fleet struct {
 	leasesGranted atomic.Uint64
 	leaseDenials  atomic.Uint64
 	prefetched    atomic.Uint64
+	leaseRenewals atomic.Uint64
 }
 
 // fleetSweep tracks one active sweep's per-point lease table.
@@ -277,6 +278,39 @@ func (f *fleet) gate(ctx context.Context, entry *journal.Entry, sweepHash, point
 	return sweep.GateProceed
 }
 
+// renew re-asserts this replica's lease on a point still computing:
+// the local expiry is pushed out and every peer is re-claimed (a
+// same-holder claim is a renewal at the grantor, extending its table's
+// expiry too). Called by the sweep runner at half the lease TTL, so a
+// slow point never outlives its lease and gets duplicated by a peer
+// that mistook the TTL for a death certificate. Every failure is
+// ignored: a missed renewal just falls back to expiry semantics.
+func (f *fleet) renew(ctx context.Context, sweepHash, pointHash string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	fs := f.sweeps[sweepHash]
+	var pl *pointLease
+	if fs != nil {
+		pl = fs.points[pointHash]
+	}
+	if pl == nil || pl.done || pl.holder != f.self {
+		// Not ours (anymore): a tie-break may have reassigned it while
+		// we computed. Renewing would re-steal it — leave it alone.
+		f.mu.Unlock()
+		return
+	}
+	pl.expiry = time.Now().Add(f.ttl)
+	f.mu.Unlock()
+	f.leaseRenewals.Add(1)
+	for _, peer := range f.peers {
+		if _, err := f.claimFrom(ctx, peer, sweepHash, pointHash); err != nil {
+			f.claimErrors.Add(1)
+		}
+	}
+}
+
 // leaseBody is the POST /v1/leases/{sweep}/{point} response payload.
 type leaseBody struct {
 	// Granted says the claim succeeded; State is the point's standing
@@ -374,7 +408,7 @@ func (f *fleet) notePeer(peer string, err error) {
 // fire-and-forget: content addressing makes the POST idempotent, the
 // forward header stops re-forwarding, and a peer that misses it only
 // loses the chance to help (its cache still converges via the others).
-func (f *fleet) forward(sw *sweep.Sweep, timeout time.Duration) {
+func (f *fleet) forward(sw *sweep.Sweep, timeout time.Duration, tenant string) {
 	if f == nil {
 		return
 	}
@@ -387,6 +421,11 @@ func (f *fleet) forward(sw *sweep.Sweep, timeout time.Duration) {
 			}
 			req.Header.Set("Content-Type", "application/json")
 			req.Header.Set(forwardHeader, f.self)
+			if tenant != "" {
+				// The owner travels with the forward, so every replica
+				// quota-accounts and fair-shares the sweep identically.
+				req.Header.Set(TenantHeader, tenant)
+			}
 			resp, err := f.client.Do(req)
 			if err != nil {
 				f.logf("serve: forwarding sweep %s to %s: %v", sw.Hash[:12], peer, err)
@@ -514,6 +553,9 @@ type FleetStats struct {
 	LeaseDenials  uint64 `json:"lease_denials"`
 	// Prefetched counts peer completions pulled in by the syncer.
 	Prefetched uint64 `json:"prefetched"`
+	// LeaseRenewals counts mid-compute renewals of this replica's own
+	// leases (fired at half the lease TTL for still-running points).
+	LeaseRenewals uint64 `json:"lease_renewals"`
 }
 
 func (f *fleet) stats() FleetStats {
@@ -538,6 +580,7 @@ func (f *fleet) stats() FleetStats {
 		LeasesGranted:   f.leasesGranted.Load(),
 		LeaseDenials:    f.leaseDenials.Load(),
 		Prefetched:      f.prefetched.Load(),
+		LeaseRenewals:   f.leaseRenewals.Load(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -280,5 +281,69 @@ func TestLeaseRouteErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("claim for unknown sweep: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetRenewExtendsOwnLease: renew pushes out the local expiry of
+// a lease this replica holds — and only then; foreign, done, and
+// unknown leases are left alone.
+func TestFleetRenewExtendsOwnLease(t *testing.T) {
+	sw, err := sweep.Expand(mustDecodeSpec(t, gridSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFleet(Config{
+		SelfID:      "b",
+		Peers:       []string{"http://127.0.0.1:1"},
+		LeaseTTL:    time.Minute,
+		FleetPoll:   time.Second,
+		PeerTimeout: 100 * time.Millisecond,
+	}, cache.New(1<<20), func(string, ...any) {})
+	f.register(sw)
+	ctx := context.Background()
+
+	mine := sw.Points[0].Canonical.Hash
+	if granted, _, _ := f.claim(sw.Hash, mine, "b"); !granted {
+		t.Fatal("self-claim failed")
+	}
+	f.mu.Lock()
+	before := f.sweeps[sw.Hash].points[mine].expiry
+	f.mu.Unlock()
+	time.Sleep(2 * time.Millisecond)
+	f.renew(ctx, sw.Hash, mine)
+	f.mu.Lock()
+	after := f.sweeps[sw.Hash].points[mine].expiry
+	f.mu.Unlock()
+	if !after.After(before) {
+		t.Fatalf("renewal did not extend expiry: %v -> %v", before, after)
+	}
+	if got := f.leaseRenewals.Load(); got != 1 {
+		t.Errorf("leaseRenewals = %d, want 1", got)
+	}
+
+	// A point held by someone else must not be renewed by us.
+	theirs := sw.Points[1].Canonical.Hash
+	if granted, _, _ := f.claim(sw.Hash, theirs, "a"); !granted {
+		t.Fatal("foreign claim failed")
+	}
+	f.mu.Lock()
+	before = f.sweeps[sw.Hash].points[theirs].expiry
+	f.mu.Unlock()
+	f.renew(ctx, sw.Hash, theirs)
+	f.mu.Lock()
+	after = f.sweeps[sw.Hash].points[theirs].expiry
+	f.mu.Unlock()
+	if !after.Equal(before) {
+		t.Error("renewal touched a foreign lease")
+	}
+
+	// Done and unknown points are no-ops rather than panics.
+	done := sw.Points[2].Canonical.Hash
+	f.markDone(sw.Hash, done)
+	f.renew(ctx, sw.Hash, done)
+	f.renew(ctx, "nope", mine)
+	f.renew(ctx, sw.Hash, "nope")
+	if got := f.leaseRenewals.Load(); got != 1 {
+		t.Errorf("leaseRenewals = %d after no-op renewals, want 1", got)
 	}
 }

@@ -25,7 +25,6 @@ import (
 	"net/http"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -117,6 +116,23 @@ type Config struct {
 	// PeerTimeout bounds one peer HTTP call — cache fetches, lease
 	// claims, ledger polls (0 = 2s).
 	PeerTimeout time.Duration
+	// InteractiveReserve is the slot floor withheld from bulk sweep
+	// points so interactive /v1/run work is admitted without waiting
+	// for a saturating sweep to drain (0 = none; clamped to
+	// Workers-1).
+	InteractiveReserve int
+	// TenantRPS / TenantBurst shape the per-tenant token-bucket rate
+	// limit on run and sweep submissions; over-limit tenants get 429 +
+	// Retry-After (TenantRPS 0 = unlimited; TenantBurst 0 = max(1,
+	// 2×TenantRPS)).
+	TenantRPS   float64
+	TenantBurst float64
+	// TenantMaxJobs caps one tenant's concurrently running sweep jobs
+	// (429 over the cap); TenantMaxResultBytes bounds one tenant's
+	// retained job result bytes, evicting that tenant's own oldest
+	// finished jobs first. 0 = unlimited.
+	TenantMaxJobs        int
+	TenantMaxResultBytes int64
 }
 
 // Server executes Specs over HTTP. Construct with New; one Server
@@ -129,6 +145,7 @@ type Server struct {
 	jobs    *jobs.Manager
 	journal *journal.Journal // nil when no JournalDir is configured
 	fleet   *fleet           // nil when no Peers are configured
+	tenants *tenantTable
 	started time.Time
 
 	// fault is the test-only chaos seam threaded into sweep runners;
@@ -147,6 +164,7 @@ type Server struct {
 	sweepRetried     atomic.Uint64
 	sweepRetries     atomic.Uint64
 	journalReplayed  atomic.Uint64
+	throttled429     atomic.Uint64
 }
 
 // New builds a Server with its engine, cache, scheduler and job
@@ -185,7 +203,22 @@ func New(cfg Config) *Server {
 	if cfg.MaxQueue == 0 {
 		cfg.MaxQueue = 4 * cfg.Workers
 	}
-	pool := sched.New(cfg.Workers)
+	if cfg.InteractiveReserve < 0 {
+		cfg.InteractiveReserve = 0
+	}
+	if cfg.InteractiveReserve > cfg.Workers-1 {
+		cfg.InteractiveReserve = cfg.Workers - 1
+	}
+	// The class queue-wait bounds piggyback on the request deadlines:
+	// an interactive acquisition queued past the longest request
+	// deadline, or a bulk one past the sweep budget, can never be
+	// served in time anyway — fail it as overload instead.
+	pool := sched.NewFair(sched.Config{
+		Capacity:           cfg.Workers,
+		InteractiveReserve: cfg.InteractiveReserve,
+		InteractiveMaxWait: cfg.MaxTimeout,
+		BulkMaxWait:        cfg.SweepTimeout,
+	})
 	var copts []cache.Option
 	if cfg.CacheDir != "" {
 		copts = append(copts, cache.WithDir(cfg.CacheDir))
@@ -209,11 +242,18 @@ func New(cfg Config) *Server {
 		cfg.Peers = nil
 	}
 	s := &Server{
-		cfg:     cfg,
-		eng:     engine.New(engine.WithScheduler(pool)),
-		cache:   cache.New(cfg.CacheBytes, copts...),
-		pool:    pool,
-		jobs:    jobs.NewManager(jobs.Config{MaxJobs: cfg.MaxJobs, MaxResultBytes: cfg.MaxJobBytes, TTL: cfg.JobTTL}),
+		cfg:   cfg,
+		eng:   engine.New(engine.WithScheduler(pool)),
+		cache: cache.New(cfg.CacheBytes, copts...),
+		pool:  pool,
+		jobs: jobs.NewManager(jobs.Config{
+			MaxJobs:              cfg.MaxJobs,
+			MaxResultBytes:       cfg.MaxJobBytes,
+			TTL:                  cfg.JobTTL,
+			TenantMaxJobs:        cfg.TenantMaxJobs,
+			TenantMaxResultBytes: cfg.TenantMaxResultBytes,
+		}),
+		tenants: newTenantTable(cfg.TenantRPS, cfg.TenantBurst),
 		started: time.Now(),
 	}
 	if cfg.JournalDir != "" {
@@ -299,11 +339,11 @@ func (s *Server) overloaded() (shed bool, retryAfter int) {
 	return true, s.retryAfterSeconds()
 }
 
-// shed writes the 503 + Retry-After load-shed response.
-func (s *Server) shed(w http.ResponseWriter, retryAfter int, what string) {
-	s.shedRequests.Add(1)
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-	writeError(w, http.StatusServiceUnavailable,
+// shed writes the 503 + Retry-After load-shed response through the
+// unified throttle path (limit "queue": the global backlog bound
+// decided, not a per-tenant limit).
+func (s *Server) shed(w http.ResponseWriter, tenant string, retryAfter int, what string) {
+	s.throttle(w, http.StatusServiceUnavailable, tenant, throttleQueue, retryAfter,
 		fmt.Errorf("server overloaded (%d runs queued, bound %d): %s shed; retry after %ds",
 			s.pool.Stats().Waiting, s.cfg.MaxQueue, what, retryAfter))
 }
@@ -372,6 +412,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // the content address.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.runRequests.Add(1)
+	tenant, err := tenantFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.rateLimit(w, tenant) {
+		return
+	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		status := http.StatusBadRequest
@@ -405,10 +453,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if stored, inflight := s.cache.Contains(canon.Hash); stored || inflight {
 		cacheable = true
 	} else if over, retryAfter := s.overloaded(); over {
-		s.shed(w, retryAfter, "uncached run")
+		s.shed(w, tenant, retryAfter, "uncached run")
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	// The request's compute runs as this tenant's interactive work:
+	// the scheduler serves it ahead of queued bulk sweep points and
+	// from the reserved slot floor.
+	ctx := sched.WithIdentity(r.Context(), sched.Identity{Tenant: tenant, Class: sched.ClassInteractive})
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
 	body, hit, err := s.cache.GetOrCompute(ctx, canon.Hash, func() ([]byte, error) {
@@ -440,7 +492,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var se shedError
 		if errors.As(err, &se) {
-			s.shed(w, se.retryAfter, "uncached run (cache entry lost before compute)")
+			s.shed(w, tenant, se.retryAfter, "uncached run (cache entry lost before compute)")
+			return
+		}
+		var qw *sched.QueueWaitError
+		if errors.As(err, &qw) {
+			// The acquisition sat queued past the class bound — overload,
+			// through the same unified throttle path as the sheds.
+			s.throttle(w, http.StatusServiceUnavailable, tenant, throttleQueue, s.retryAfterSeconds(), err)
 			return
 		}
 		status := http.StatusInternalServerError
@@ -551,9 +610,11 @@ type StatsBody struct {
 	RunRequests   uint64  `json:"run_requests"`
 	RunsExecuted  uint64  `json:"runs_executed"`
 	// ShedRequests counts requests refused with 503 + Retry-After by
-	// the load-shed bound; MaxQueue echoes the bound.
+	// the load-shed bound; MaxQueue echoes the bound. Throttled429
+	// counts per-tenant rate-limit and quota refusals (429s).
 	ShedRequests uint64 `json:"shed_requests"`
 	MaxQueue     int    `json:"max_queue"`
+	Throttled429 uint64 `json:"throttled_429"`
 	// ShedBypassMisses counts runs admitted as cache-servable whose
 	// entry vanished before compute started (the check-then-act race);
 	// each re-checked the overload bound at compute admission.
@@ -567,6 +628,9 @@ type StatsBody struct {
 	Journal    *JournalStats `json:"journal,omitempty"`
 	// Fleet is present when the server runs with peers configured.
 	Fleet *FleetStats `json:"fleet,omitempty"`
+	// Tenants breaks admission, job and scheduler counters down by
+	// tenant name.
+	Tenants map[string]TenantStatsBody `json:"tenants"`
 }
 
 // handleStats is GET /v1/stats: cache hit/miss/dedup counters, the
@@ -591,12 +655,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RunsExecuted:     s.runsExecuted.Load(),
 		ShedRequests:     s.shedRequests.Load(),
 		MaxQueue:         s.cfg.MaxQueue,
+		Throttled429:     s.throttled429.Load(),
 		ShedBypassMisses: s.shedBypassMisses.Load(),
 		PeerServes:       s.peerServes.Load(),
 		Cache:            s.cache.Stats(),
 		Scheduler:        s.pool.Stats(),
 		Jobs:             s.jobs.Stats(),
 		Sweeps:           sw,
+		Tenants:          s.tenantStats(),
 	}
 	if s.journal != nil {
 		body.Journal = &JournalStats{Stats: s.journal.Stats(), Replayed: s.journalReplayed.Load()}

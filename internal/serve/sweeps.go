@@ -19,7 +19,6 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"strconv"
 	"time"
 
 	"qla/internal/jobs"
@@ -65,6 +64,19 @@ func parseTimeout(r *http.Request, def, max time.Duration) (time.Duration, error
 // newly started job, 200 when the submission joined an existing one.
 func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	s.sweepRequests.Add(1)
+	tenant, err := tenantFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Fleet-forwarded copies skip the per-tenant limits: the
+	// originating replica already enforced them, and a replica-count
+	// fan-out must not multiply one submission's token spend. The
+	// tenant still rides along for scheduling and stats.
+	forwarded := r.Header.Get(forwardHeader) != ""
+	if !forwarded && !s.rateLimit(w, tenant) {
+		return
+	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		status := http.StatusBadRequest
@@ -96,25 +108,33 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	// nothing.
 	if _, exists := s.jobs.Get(sw.Hash); !exists {
 		if over, retryAfter := s.overloaded(); over {
-			s.shed(w, retryAfter, "sweep submission")
+			s.shed(w, tenant, retryAfter, "sweep submission")
 			return
 		}
 	}
 
-	job, created, err := s.startSweep(sw, timeout, nil)
+	job, created, err := s.startSweep(sw, timeout, nil, tenant, forwarded)
 	if err != nil {
+		var qe *jobs.QuotaError
+		if errors.As(err, &qe) {
+			// The tenant is over its concurrent-job quota: client
+			// pacing, not server overload — 429, through the same
+			// throttle path and backlog-scaled Retry-After as the rest.
+			s.throttle(w, http.StatusTooManyRequests, tenant, throttleQuota, s.retryAfterSeconds(), err)
+			return
+		}
 		// The bounded store is saturated with running jobs: ask the
 		// client to retry — with the same backlog-scaled hint every
 		// other 503 quotes — nothing about the sweep itself is wrong.
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.throttle(w, http.StatusServiceUnavailable, tenant, throttleQueue, s.retryAfterSeconds(), err)
 		return
 	}
-	if created && r.Header.Get(forwardHeader) == "" {
+	if created && !forwarded {
 		// Replicate a locally originated sweep to the fleet (nil-safe
 		// no-op without peers). Forwarded copies carry the header, so
-		// this never loops.
-		s.fleet.forward(sw, timeout)
+		// this never loops; the tenant rides along so every replica
+		// schedules the sweep under its real owner.
+		s.fleet.forward(sw, timeout, tenant)
 	}
 	snap := job.Snapshot()
 	w.Header().Set("Location", "/v1/jobs/"+job.ID())
@@ -139,12 +159,15 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 // with the job's terminal state), the per-point retry policy, and the
 // test-only fault seam. resumed carries the already-open journal entry
 // when the sweep is being re-admitted by ReplayJournal; nil admits a
-// fresh one.
-func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *journal.Entry) (*jobs.Job, bool, error) {
+// fresh one. tenant is the owning tenant: the job is quota-accounted
+// to it (unless quotaExempt — fleet-forwarded and journal-replayed
+// work was admitted elsewhere/earlier) and every point acquisition
+// runs as that tenant's bulk work.
+func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *journal.Entry, tenant string, quotaExempt bool) (*jobs.Job, bool, error) {
 	entry := resumed
 	freshEntry := false
 	if entry == nil && s.journal != nil {
-		e, fresh, err := s.journal.Admit(sw.Hash, journal.KindSweep, sw.JSON)
+		e, fresh, err := s.journal.Admit(sw.Hash, journal.KindSweep, tenant, sw.JSON)
 		if err != nil {
 			// Journal trouble must not block serving: the job runs, it
 			// just won't survive a crash.
@@ -153,7 +176,8 @@ func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *jou
 			entry, freshEntry = e, fresh
 		}
 	}
-	job, created, err := s.jobs.Submit(sw.Hash, len(sw.Points), func(ctx context.Context, report func(jobs.Progress)) ([]byte, error) {
+	opts := jobs.SubmitOptions{Tenant: tenant, Total: len(sw.Points), BypassQuota: quotaExempt}
+	job, created, err := s.jobs.Submit(sw.Hash, opts, func(ctx context.Context, report func(jobs.Progress)) ([]byte, error) {
 		runCtx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		// Fleet mode (every call below is a nil-safe no-op without
@@ -170,6 +194,7 @@ func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *jou
 			Cache:  s.cache,
 			Retry:  s.retryPolicy(),
 			Fault:  s.fault,
+			Tenant: tenant,
 			Offset: s.fleet.offset(sw),
 			Observer: func(pr sweep.PointResult) {
 				entry.Point(pr.SpecHash, pr.Status, pr.Cached, pr.Attempts)
@@ -185,6 +210,14 @@ func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *jou
 			runner.Gate = func(gctx context.Context, pointHash string) sweep.GateDecision {
 				return s.fleet.gate(gctx, entry, sw.Hash, pointHash)
 			}
+			// Mid-compute lease renewal: a point still computing at
+			// half the lease TTL re-asserts its claim so peers do not
+			// re-run work that merely outlived the TTL. Renewal
+			// failures are ignored — expiry semantics take over.
+			runner.Renew = func(rctx context.Context, pointHash string) {
+				s.fleet.renew(rctx, sw.Hash, pointHash)
+			}
+			runner.RenewEvery = s.cfg.LeaseTTL / 2
 		}
 		res, runErr := runner.Run(runCtx, sw, func(p sweep.Progress) {
 			report(jobs.Progress{Total: p.Total, Done: p.Done, Cached: p.Cached, Failed: p.Failed, Retries: p.Retries, Deferred: p.Deferred})
@@ -251,7 +284,10 @@ func (s *Server) ReplayJournal() (int, error) {
 			// journal continuity.
 			log.Printf("serve: resuming journal entry %s: %v", p.ID, err)
 		}
-		_, created, err := s.startSweep(sw, s.cfg.SweepTimeout, entry)
+		// Replayed jobs keep the tenant recorded at admission and
+		// bypass the concurrent-job quota: refusing durable work at
+		// restart would silently drop it.
+		_, created, err := s.startSweep(sw, s.cfg.SweepTimeout, entry, p.Tenant, true)
 		if err != nil {
 			log.Printf("serve: re-admitting journaled sweep %s: %v", p.ID, err)
 			continue

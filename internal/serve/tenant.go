@@ -1,0 +1,243 @@
+package serve
+
+// Multi-tenant admission: every request carries a tenant identity
+// (X-QLA-Tenant header, "default" otherwise) that the serving stack
+// threads through rate limiting, job quotas, the fair scheduler and
+// /v1/stats. Throttling responses are unified here: 429s (per-tenant
+// rate/quota limits) and 503s (global queue bounds) share one JSON
+// error envelope, one backlog-scaled Retry-After policy, and headers
+// naming the refused tenant and the deciding limit.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qla/internal/sched"
+)
+
+const (
+	// TenantHeader carries the caller's tenant identity. Absent means
+	// sched.DefaultTenant; fleet-forwarded sweeps carry the
+	// originating caller's tenant in it.
+	TenantHeader = "X-QLA-Tenant"
+	// ThrottleHeader names the limit that refused a throttled request:
+	// "rate" (per-tenant token bucket), "quota" (per-tenant job
+	// quota), or "queue" (global backlog / queue-wait bounds).
+	ThrottleHeader = "X-QLA-Throttle"
+)
+
+const (
+	throttleRate  = "rate"
+	throttleQuota = "quota"
+	throttleQueue = "queue"
+)
+
+// tenantFrom resolves and validates the request's tenant identity. An
+// absent header means the default tenant; a malformed one is a client
+// error, not a new tenant — names land in stats maps and scheduler
+// queues, so their alphabet and length stay bounded.
+func tenantFrom(r *http.Request) (string, error) {
+	t := strings.TrimSpace(r.Header.Get(TenantHeader))
+	if t == "" {
+		return sched.DefaultTenant, nil
+	}
+	if len(t) > 64 {
+		return "", fmt.Errorf("invalid %s %q: longer than 64 bytes", TenantHeader, t[:64]+"…")
+	}
+	for _, c := range t {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return "", fmt.Errorf("invalid %s %q: want [A-Za-z0-9._-]{1,64}", TenantHeader, t)
+		}
+	}
+	return t, nil
+}
+
+// tenantTableCap bounds the rate-limiter table; past it the least
+// recently seen tenant's bucket is recycled.
+const tenantTableCap = 4096
+
+// tenantTable holds the per-tenant token buckets and serve-side
+// counters. One table is safe for concurrent use.
+type tenantTable struct {
+	rps   float64 // tokens accrued per second; <= 0 disables limiting
+	burst float64 // bucket depth
+
+	mu      sync.Mutex
+	entries map[string]*tenantEntry
+}
+
+type tenantEntry struct {
+	tokens   float64
+	last     time.Time
+	lastSeen time.Time
+
+	requests    uint64
+	rateLimited uint64
+	quotaDenied uint64
+	shed        uint64
+}
+
+func newTenantTable(rps, burst float64) *tenantTable {
+	if burst <= 0 {
+		burst = math.Max(1, 2*rps)
+	}
+	return &tenantTable{rps: rps, burst: burst, entries: make(map[string]*tenantEntry)}
+}
+
+// entryLocked finds or creates a tenant's bucket, recycling the least
+// recently seen one when the table is full.
+func (t *tenantTable) entryLocked(tenant string, now time.Time) *tenantEntry {
+	e := t.entries[tenant]
+	if e == nil {
+		if len(t.entries) >= tenantTableCap {
+			var victim string
+			var oldest time.Time
+			for name, v := range t.entries {
+				if victim == "" || v.lastSeen.Before(oldest) {
+					victim, oldest = name, v.lastSeen
+				}
+			}
+			delete(t.entries, victim)
+		}
+		e = &tenantEntry{tokens: t.burst, last: now}
+		t.entries[tenant] = e
+	}
+	e.lastSeen = now
+	return e
+}
+
+// admit spends one rate-limit token for tenant, counting the request
+// either way. When refused it returns the whole seconds until the
+// bucket accrues a token — the client-facing wait the 429 quotes.
+func (t *tenantTable) admit(tenant string) (ok bool, tokenWait int) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entryLocked(tenant, now)
+	e.requests++
+	if t.rps <= 0 {
+		return true, 0
+	}
+	e.tokens = math.Min(t.burst, e.tokens+now.Sub(e.last).Seconds()*t.rps)
+	e.last = now
+	if e.tokens >= 1 {
+		e.tokens--
+		return true, 0
+	}
+	e.rateLimited++
+	return false, int(math.Ceil((1 - e.tokens) / t.rps))
+}
+
+// note bumps a tenant's refusal counter for limits decided outside the
+// token bucket (job quotas, global sheds).
+func (t *tenantTable) note(tenant, limit string) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entryLocked(tenant, now)
+	switch limit {
+	case throttleQuota:
+		e.quotaDenied++
+	case throttleQueue:
+		e.shed++
+	}
+}
+
+// TenantStatsBody is one tenant's slice of GET /v1/stats: serve-side
+// admission counters merged with the job store's quota ledger and the
+// scheduler's fair-share counters.
+type TenantStatsBody struct {
+	// Requests counts run and sweep submissions seen; RateLimited,
+	// QuotaDenied and Shed count the refusals by deciding limit.
+	Requests    uint64 `json:"requests"`
+	RateLimited uint64 `json:"rate_limited"`
+	QuotaDenied uint64 `json:"quota_denied"`
+	Shed        uint64 `json:"shed"`
+	// JobsRunning / JobsStored / JobResultBytes mirror the job store's
+	// per-tenant ledgers (what -tenant-max-jobs caps).
+	JobsRunning    int   `json:"jobs_running"`
+	JobsStored     int   `json:"jobs_stored"`
+	JobResultBytes int64 `json:"job_result_bytes"`
+	// SchedGrants / SchedWaits / SchedWaiting mirror the scheduler's
+	// per-tenant fair-share counters.
+	SchedGrants  uint64 `json:"sched_grants"`
+	SchedWaits   uint64 `json:"sched_waits"`
+	SchedWaiting int    `json:"sched_waiting"`
+}
+
+// tenantStats assembles the per-tenant stats map from the three
+// subsystems that keep tenant ledgers.
+func (s *Server) tenantStats() map[string]TenantStatsBody {
+	out := make(map[string]TenantStatsBody)
+	s.tenants.mu.Lock()
+	for name, e := range s.tenants.entries {
+		out[name] = TenantStatsBody{
+			Requests:    e.requests,
+			RateLimited: e.rateLimited,
+			QuotaDenied: e.quotaDenied,
+			Shed:        e.shed,
+		}
+	}
+	s.tenants.mu.Unlock()
+	for name, js := range s.jobs.Tenants() {
+		ts := out[name]
+		ts.JobsRunning, ts.JobsStored, ts.JobResultBytes = js.Running, js.Stored, js.ResultBytes
+		out[name] = ts
+	}
+	for name, ss := range s.pool.Stats().Tenants {
+		ts := out[name]
+		ts.SchedGrants, ts.SchedWaits, ts.SchedWaiting = ss.Grants, ss.Waits, ss.Waiting
+		out[name] = ts
+	}
+	return out
+}
+
+// throttle writes one unified refusal — the single path every 429 and
+// throttling 503 goes through: the JSON error envelope, Retry-After,
+// and the tenant/limit headers clients use to tell limits apart.
+func (s *Server) throttle(w http.ResponseWriter, status int, tenant, limit string, retryAfter int, err error) {
+	if status == http.StatusServiceUnavailable {
+		s.shedRequests.Add(1)
+	} else {
+		s.throttled429.Add(1)
+	}
+	if limit != throttleRate {
+		// admit already counted rate refusals under the bucket lock.
+		s.tenants.note(tenant, limit)
+	}
+	w.Header().Set(TenantHeader, tenant)
+	w.Header().Set(ThrottleHeader, limit)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, status, err)
+}
+
+// rateLimit runs the per-tenant token bucket for one submission,
+// writing the 429 itself when the tenant is over. The Retry-After is
+// backlog-consistent: at least the bucket's token wait, never less
+// than what a 503 would quote right now, capped like every
+// retryAfterSeconds answer.
+func (s *Server) rateLimit(w http.ResponseWriter, tenant string) bool {
+	ok, tokenWait := s.tenants.admit(tenant)
+	if ok {
+		return true
+	}
+	ra := s.retryAfterSeconds()
+	if tokenWait > ra {
+		ra = tokenWait
+	}
+	if ra > 30 {
+		ra = 30
+	}
+	s.throttle(w, http.StatusTooManyRequests, tenant, throttleRate, ra,
+		fmt.Errorf("tenant %q over rate limit (%g req/s, burst %g); retry after %ds",
+			tenant, s.tenants.rps, s.tenants.burst, ra))
+	return false
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"qla/internal/sched"
+)
+
+// doRun posts a run spec under a tenant identity and returns the raw
+// response (caller closes the body via the returned cleanup).
+func doRun(t *testing.T, url, tenant, spec string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/run", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func doSweep(t *testing.T, url, tenant, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/sweeps", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestTenantHeaderValidation: a malformed tenant name is a 400, not a
+// fresh stats bucket.
+func TestTenantHeaderValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp := doRun(t, ts.URL, "bad tenant!", tinySpec(60))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestInteractiveNotStarvedByBulk is the acceptance-criteria
+// starvation test: tenant A floods the server with a bulk sweep that
+// saturates the bulk share of a 2-worker pool; tenant B's interactive
+// /v1/run must still complete while the sweep is running, admitted
+// through the reserved slot. Run under -race in CI.
+func TestInteractiveNotStarvedByBulk(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2, InteractiveReserve: 1})
+
+	resp := doSweep(t, ts.URL, "tenant-a", fig7Sweep(300000))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant-a sweep submit: %d", resp.StatusCode)
+	}
+
+	// Wait until bulk work actually occupies the pool.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := srv.SchedulerStats()
+		if st.Classes[sched.ClassBulk.String()].InUse >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bulk sweep never occupied the pool: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Tenant B's interactive run completes while the sweep holds the
+	// bulk share — the reserve guarantees it a slot.
+	start := time.Now()
+	resp = doRun(t, ts.URL, "tenant-b", tinySpec(61))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive run under bulk flood: status %d", resp.StatusCode)
+	}
+	t.Logf("interactive run completed in %v under bulk load", time.Since(start))
+
+	st := srv.SchedulerStats()
+	if st.InteractiveReserve != 1 {
+		t.Errorf("stats interactive_reserve = %d, want 1", st.InteractiveReserve)
+	}
+	if got := st.Classes[sched.ClassBulk.String()].SlotCap; got != 1 {
+		t.Errorf("bulk slot_cap = %d, want 1", got)
+	}
+	if st.Tenants["tenant-b"].Grants == 0 {
+		t.Error("tenant-b recorded no scheduler grants")
+	}
+
+	var body StatsBody
+	if status := getJSON(t, ts.URL+"/v1/stats", &body); status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	if body.Scheduler.InteractiveReserve != 1 {
+		t.Errorf("/v1/stats scheduler.interactive_reserve = %d", body.Scheduler.InteractiveReserve)
+	}
+	if _, ok := body.Scheduler.Classes["interactive"]; !ok {
+		t.Error("/v1/stats scheduler.classes missing interactive")
+	}
+	if _, ok := body.Tenants["tenant-b"]; !ok {
+		t.Errorf("/v1/stats tenants missing tenant-b: %v", body.Tenants)
+	}
+}
+
+// TestTenantRateLimit429: past its token bucket a tenant's submissions
+// get 429 with the unified throttle envelope — tenant and limit
+// headers, a Retry-After no smaller than the bucket wait — while other
+// tenants are unaffected.
+func TestTenantRateLimit429(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, TenantRPS: 0.1, TenantBurst: 1})
+
+	resp := doRun(t, ts.URL, "rl", tinySpec(70))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: %d", resp.StatusCode)
+	}
+	resp = doRun(t, ts.URL, "rl", tinySpec(71))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second run: %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(TenantHeader); got != "rl" {
+		t.Errorf("%s = %q, want rl", TenantHeader, got)
+	}
+	if got := resp.Header.Get(ThrottleHeader); got != throttleRate {
+		t.Errorf("%s = %q, want %q", ThrottleHeader, got, throttleRate)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Errorf("Retry-After = %q, want integer in [1,30]", resp.Header.Get("Retry-After"))
+	}
+
+	// Another tenant has its own bucket.
+	resp = doRun(t, ts.URL, "other", tinySpec(72))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant: %d, want 200", resp.StatusCode)
+	}
+
+	var body StatsBody
+	if status := getJSON(t, ts.URL+"/v1/stats", &body); status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	if body.Throttled429 != 1 {
+		t.Errorf("throttled_429 = %d, want 1", body.Throttled429)
+	}
+	tb := body.Tenants["rl"]
+	if tb.RateLimited != 1 || tb.Requests != 2 {
+		t.Errorf("tenant rl stats = %+v, want requests=2 rate_limited=1", tb)
+	}
+	_ = srv
+}
+
+// TestTenantJobQuota429: a tenant at its concurrent-job quota gets 429
+// with the quota limit named; a different tenant may still submit.
+func TestTenantJobQuota429(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, TenantMaxJobs: 1})
+	// Hold the only worker slot so the first sweep stays running (its
+	// bulk points queue) for the whole test.
+	release := saturate(t, srv, 0)
+	defer release()
+
+	resp := doSweep(t, ts.URL, "q", fig7Sweep(4000))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first sweep: %d", resp.StatusCode)
+	}
+	resp = doSweep(t, ts.URL, "q", fig7Sweep(4001))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second sweep: %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ThrottleHeader); got != throttleQuota {
+		t.Errorf("%s = %q, want %q", ThrottleHeader, got, throttleQuota)
+	}
+	if got := resp.Header.Get(TenantHeader); got != "q" {
+		t.Errorf("%s = %q, want q", TenantHeader, got)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("quota 429 missing Retry-After")
+	}
+
+	resp = doSweep(t, ts.URL, "unconstrained", fig7Sweep(4002))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant sweep: %d, want 202", resp.StatusCode)
+	}
+
+	var body StatsBody
+	if status := getJSON(t, ts.URL+"/v1/stats", &body); status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	if got := body.Tenants["q"].QuotaDenied; got != 1 {
+		t.Errorf("tenant q quota_denied = %d, want 1", got)
+	}
+	if body.Jobs.QuotaDenied != 1 {
+		t.Errorf("jobs quota_denied = %d, want 1", body.Jobs.QuotaDenied)
+	}
+}

@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"qla/internal/cache"
+	"qla/internal/engine"
+)
+
+// TestMidComputeLeaseRenewal: with a Renew hook armed, the runner
+// calls it periodically while a point computes — with that point's
+// hash — and stops once the point finishes.
+func TestMidComputeLeaseRenewal(t *testing.T) {
+	sw, err := Expand(Spec{
+		Base: engine.Spec{Experiment: "figure7", Params: map[string]any{
+			"phys-errors": []any{0.004}, "trials": 8000,
+		}},
+		Axes: []Axis{{Field: "params.seed", Values: []any{41}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := sw.Points[0].Canonical.Hash
+
+	var mu sync.Mutex
+	renewals := map[string]int{}
+	r := &Runner{
+		Cache:      cache.New(0),
+		RenewEvery: time.Millisecond,
+		Renew: func(_ context.Context, pointHash string) {
+			mu.Lock()
+			renewals[pointHash]++
+			mu.Unlock()
+		},
+	}
+	res, err := r.Run(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != res.Total {
+		t.Fatalf("ok=%d of %d", res.OK, res.Total)
+	}
+	mu.Lock()
+	n := renewals[wantHash]
+	extra := len(renewals) - 1
+	mu.Unlock()
+	if n < 1 {
+		t.Fatalf("Renew never fired for point %s (map: %v)", wantHash, renewals)
+	}
+	if extra > 0 {
+		t.Errorf("Renew fired for unexpected hashes: %v", renewals)
+	}
+
+	// The loop must stop with the point: no renewals accrue afterward.
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	after := renewals[wantHash]
+	mu.Unlock()
+	if after != n {
+		t.Errorf("renewals kept firing after the sweep finished: %d -> %d", n, after)
+	}
+}
+
+// TestRenewalDisabledByDefault: a runner without the hook or with a
+// zero period never spawns the renewal loop.
+func TestRenewalDisabledByDefault(t *testing.T) {
+	sw, err := Expand(gridSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Cache: cache.New(0), Renew: func(context.Context, string) {
+		t.Error("Renew called with RenewEvery unset")
+	}}
+	if _, err := r.Run(context.Background(), sw, nil); err != nil {
+		t.Fatal(err)
+	}
+}

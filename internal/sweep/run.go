@@ -10,6 +10,7 @@ import (
 
 	"qla/internal/cache"
 	"qla/internal/engine"
+	"qla/internal/sched"
 )
 
 // defaultCancelGrace is how long a cache-shared point computation may
@@ -91,6 +92,20 @@ type Runner struct {
 	// by index): replica k of a fleet starts k·(points/replicas) in,
 	// so replicas meet in the middle instead of racing point by point.
 	Offset int
+	// Tenant names the sweep's owner. Every point acquisition runs as
+	// this tenant's bulk-class work in the engine's shared scheduler,
+	// so a sweep can neither starve interactive requests nor crowd out
+	// another tenant's points ("" = the default tenant).
+	Tenant string
+	// Renew, when non-nil, is called every RenewEvery while a point is
+	// actually computing (never for cache hits) — the fleet's
+	// mid-compute lease renewal hook, so points that outlive the lease
+	// TTL are not re-claimed and duplicated by peers. Failures inside
+	// Renew are the hook's own business; the runner ignores them.
+	Renew func(ctx context.Context, pointHash string)
+	// RenewEvery is the renewal period; <= 0 disables renewal. The
+	// serving layer wires lease-ttl/2.
+	RenewEvery time.Duration
 }
 
 // Progress is a monotonic snapshot of a sweep run, delivered to the
@@ -171,6 +186,11 @@ func (r *Runner) Run(ctx context.Context, sw *Sweep, progress func(Progress)) (*
 	if eng == nil {
 		eng = engine.New()
 	}
+	// Every point acquisition below is this tenant's bulk-class work;
+	// the identity rides the context through the cache's compute
+	// closures (context.WithoutCancel keeps values) into the engine's
+	// scheduler acquisitions.
+	ctx = sched.WithIdentity(ctx, sched.Identity{Tenant: r.Tenant, Class: sched.ClassBulk})
 	workers := r.Concurrency
 	if workers <= 0 {
 		if eng.HasScheduler() {
@@ -388,6 +408,8 @@ func (r *Runner) runPointOnce(parent context.Context, eng *engine.Engine, sw *Sw
 				_ = timer
 			})
 			defer stop()
+			stopRenew := r.startRenewal(runCtx, pt.Canonical.Hash)
+			defer stopRenew()
 			out, err := eng.RunCanonical(runCtx, pt.Canonical)
 			if err != nil {
 				return nil, err
@@ -395,10 +417,12 @@ func (r *Runner) runPointOnce(parent context.Context, eng *engine.Engine, sw *Sw
 			return json.Marshal(out)
 		})
 	} else {
+		stopRenew := r.startRenewal(ctx, pt.Canonical.Hash)
 		var out engine.Result
 		if out, err = eng.RunCanonical(ctx, pt.Canonical); err == nil {
 			body, err = json.Marshal(out)
 		}
+		stopRenew()
 	}
 	pr.Cached = hit
 	if err != nil {
@@ -407,4 +431,29 @@ func (r *Runner) runPointOnce(parent context.Context, eng *engine.Engine, sw *Sw
 	pr.Status = "ok"
 	pr.Result = body
 	return pr, nil
+}
+
+// startRenewal arms the mid-compute lease renewal loop for one point:
+// Renew fires every RenewEvery until stop is called or ctx dies. A
+// no-op (and no goroutine) when renewal is not configured.
+func (r *Runner) startRenewal(ctx context.Context, pointHash string) (stop func()) {
+	if r.Renew == nil || r.RenewEvery <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(r.RenewEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				r.Renew(ctx, pointHash)
+			}
+		}
+	}()
+	return func() { close(done) }
 }
