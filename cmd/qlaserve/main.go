@@ -30,9 +30,11 @@
 //	curl localhost:8080/v1/jobs/<id>/result
 //	curl localhost:8080/v1/experiments
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/metrics
 //
-// See the "Serving over HTTP" and "Batch sweeps & async jobs" sections
-// of EXPERIMENTS.md for the endpoint reference.
+// See the "Serving over HTTP", "Batch sweeps & async jobs" and
+// "Observability" sections of EXPERIMENTS.md for the endpoint
+// reference.
 package main
 
 import (
@@ -40,8 +42,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +56,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "listen address for the private debug listener (net/http/pprof); keep it off the public network (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (negative = unbounded)")
 	cacheDir := flag.String("cache-dir", "", "directory for the result cache's file persistence tier (empty = memory only)")
 	workers := flag.Int("workers", 0, "global Monte Carlo worker budget shared across concurrent runs (0 = GOMAXPROCS)")
@@ -79,6 +84,14 @@ func main() {
 	tenantMaxJobBytes := flag.Int64("tenant-max-job-bytes", 0, "byte budget for one tenant's retained job results; past it the tenant's oldest finished jobs evict (0 = unlimited)")
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "qlaserve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	var peerList []string
 	if *peers != "" {
 		peerList = strings.Split(*peers, ",")
@@ -102,6 +115,7 @@ func main() {
 		LeaseTTL:       *leaseTTL,
 		FleetPoll:      *fleetPoll,
 		PeerTimeout:    *peerTimeout,
+		Logger:         logger,
 
 		InteractiveReserve:   *interactiveReserve,
 		TenantRPS:            *tenantRPS,
@@ -113,14 +127,33 @@ func main() {
 	// did not finish, before the listener opens — their points replay
 	// from the content-addressed cache, so only lost work recomputes.
 	if n, err := srv.ReplayJournal(); err != nil {
-		log.Printf("qlaserve: journal replay: %v", err)
+		logger.Error("journal replay", "err", err)
 	} else if n > 0 {
-		log.Printf("qlaserve: re-admitted %d journaled sweep job(s)", n)
+		logger.Info("re-admitted journaled sweep jobs", "jobs", n)
 	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The debug listener carries pprof and nothing else. It is a
+	// separate server on a separate address so profiling endpoints are
+	// never reachable through the public mux.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener (pprof)", "addr", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight runs gracefully.
@@ -129,20 +162,26 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
+	bi := serve.ReadBuildInfo()
+	logger.Info("build", "go", bi.GoVersion, "path", bi.Path, "version", bi.Version,
+		"vcs_revision", bi.Revision, "vcs_modified", bi.Modified)
+
 	cfg := srv.Config()
 	persist := cfg.CacheDir
 	if persist == "" {
 		persist = "memory-only"
 	}
-	log.Printf("qlaserve: listening on %s (workers=%d cache=%d bytes [%s], timeout=%v/%v, jobs=%d/%v, sweep-timeout=%v)",
-		*addr, cfg.Workers, cfg.CacheBytes, persist, cfg.DefaultTimeout, cfg.MaxTimeout, cfg.MaxJobs, cfg.JobTTL, cfg.SweepTimeout)
+	logger.Info("listening", "addr", *addr, "workers", cfg.Workers,
+		"cache_bytes", cfg.CacheBytes, "cache_persist", persist,
+		"timeout", cfg.DefaultTimeout, "max_timeout", cfg.MaxTimeout,
+		"max_jobs", cfg.MaxJobs, "job_ttl", cfg.JobTTL, "sweep_timeout", cfg.SweepTimeout)
 	if len(cfg.Peers) > 0 {
-		log.Printf("qlaserve: fleet mode: self=%s peers=%v (lease-ttl=%v, fleet-poll=%v, peer-timeout=%v)",
-			cfg.SelfID, cfg.Peers, cfg.LeaseTTL, cfg.FleetPoll, cfg.PeerTimeout)
+		logger.Info("fleet mode", "self", cfg.SelfID, "peers", cfg.Peers,
+			"lease_ttl", cfg.LeaseTTL, "fleet_poll", cfg.FleetPoll, "peer_timeout", cfg.PeerTimeout)
 	}
 	if cfg.InteractiveReserve > 0 || cfg.TenantRPS > 0 || cfg.TenantMaxJobs > 0 {
-		log.Printf("qlaserve: admission: interactive-reserve=%d tenant-rps=%g tenant-burst=%g tenant-max-jobs=%d",
-			cfg.InteractiveReserve, cfg.TenantRPS, cfg.TenantBurst, cfg.TenantMaxJobs)
+		logger.Info("admission control", "interactive_reserve", cfg.InteractiveReserve,
+			"tenant_rps", cfg.TenantRPS, "tenant_burst", cfg.TenantBurst, "tenant_max_jobs", cfg.TenantMaxJobs)
 	}
 	select {
 	case err := <-errc:
@@ -151,16 +190,16 @@ func main() {
 		// Graceful shutdown: stop accepting, drain in-flight requests
 		// for up to -shutdown-grace, flush and close the journal (open
 		// entries replay on the next start), then exit 0.
-		log.Printf("qlaserve: %v, draining in-flight requests (grace %v)", sig, *shutdownGrace)
+		logger.Info("draining in-flight requests", "signal", sig.String(), "grace", *shutdownGrace)
 		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("qlaserve: drain incomplete: %v", err)
+			logger.Warn("drain incomplete", "err", err)
 		}
 		if err := srv.Close(); err != nil {
-			log.Printf("qlaserve: closing journal: %v", err)
+			logger.Warn("closing journal", "err", err)
 		}
-		log.Printf("qlaserve: shutdown complete")
+		logger.Info("shutdown complete")
 	}
 }
 

@@ -35,6 +35,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"qla/internal/obs"
 )
 
 // Cache is a byte-budgeted LRU keyed by content hash, safe for
@@ -70,6 +72,12 @@ type Cache struct {
 	diskHits, diskWrites, persistErrors uint64
 	degradeEvents, skippedWrites        uint64
 	peerHits, peerMisses, peerErrors    uint64
+
+	// Metrics (see WithMetrics). peerRTT is nil when unset; the tier
+	// counters above are bridged into the registry as pull-based
+	// series, so they stay the single source of truth for /v1/stats.
+	metrics *obs.Registry
+	peerRTT *obs.Histogram
 }
 
 type entry struct {
@@ -114,6 +122,60 @@ func WithDegrade(consecutive int, probe time.Duration) Option {
 	}
 }
 
+// WithLogger routes the cache's rare episode logs (tier degradation
+// and recovery) through logf instead of the standard library default.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(c *Cache) {
+		if logf != nil {
+			c.logf = logf
+		}
+	}
+}
+
+// WithMetrics registers the cache's instruments on reg: tier
+// resolution outcomes as qla_cache_hits_total{tier=...} (memory, disk,
+// peer, inflight) plus miss/eviction/error counters bridged from the
+// existing stats fields, and a qla_cache_peer_rtt_seconds histogram
+// observed per peer round trip.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Cache) { c.metrics = reg }
+}
+
+func (c *Cache) instrument() {
+	reg := c.metrics
+	bridge := func(p *uint64) func() float64 {
+		return func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(*p)
+		}
+	}
+	tier := func(t string) map[string]string { return map[string]string{"tier": t} }
+	hitsHelp := "Cache lookups resolved per tier (inflight = collapsed onto an in-progress compute)."
+	reg.CounterFunc("qla_cache_hits_total", hitsHelp, tier("memory"), bridge(&c.hits))
+	reg.CounterFunc("qla_cache_hits_total", hitsHelp, tier("disk"), bridge(&c.diskHits))
+	reg.CounterFunc("qla_cache_hits_total", hitsHelp, tier("peer"), bridge(&c.peerHits))
+	reg.CounterFunc("qla_cache_hits_total", hitsHelp, tier("inflight"), bridge(&c.dedups))
+	reg.CounterFunc("qla_cache_misses_total", "Lookups that fell through every tier to a fresh compute.", nil, bridge(&c.misses))
+	reg.CounterFunc("qla_cache_evictions_total", "Entries evicted by the LRU byte budget.", nil, bridge(&c.evictions))
+	reg.CounterFunc("qla_cache_disk_writes_total", "Successful write-throughs to the disk tier.", nil, bridge(&c.diskWrites))
+	reg.CounterFunc("qla_cache_persist_errors_total", "Failed disk-tier writes.", nil, bridge(&c.persistErrors))
+	reg.CounterFunc("qla_cache_peer_misses_total", "Clean 404 peer probes.", nil, bridge(&c.peerMisses))
+	reg.CounterFunc("qla_cache_peer_errors_total", "Failed peer fetches (transport, status, or hash mismatch).", nil, bridge(&c.peerErrors))
+	reg.GaugeFunc("qla_cache_bytes", "Bytes currently held by the memory tier.", nil, func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.bytes)
+	})
+	reg.GaugeFunc("qla_cache_entries", "Entries currently held by the memory tier.", nil, func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.entries))
+	})
+	c.peerRTT = reg.Histogram("qla_cache_peer_rtt_seconds",
+		"Round-trip latency of one peer cache fetch (any response, including 404).", obs.LatencyBuckets)
+}
+
 // New builds a Cache bounded to maxBytes of stored values (keys charged
 // against the budget too). maxBytes <= 0 means unbounded.
 func New(maxBytes int64, opts ...Option) *Cache {
@@ -132,6 +194,9 @@ func New(maxBytes int64, opts ...Option) *Cache {
 	}
 	if len(c.peers) > 0 {
 		c.peerClient = &http.Client{Timeout: c.peerTimeout}
+	}
+	if c.metrics != nil {
+		c.instrument()
 	}
 	if c.dir != "" {
 		if err := os.MkdirAll(c.dir, 0o755); err != nil {
@@ -197,7 +262,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	// peer hit is written through to the local disk (after releasing the
 	// followers, like the compute path): the peer can die, and the whole
 	// point of the fleet is that its results survive anywhere.
-	if val, ok := c.loadPeers(key); ok {
+	if val, ok := c.loadPeers(ctx, key); ok {
 		c.mu.Lock()
 		delete(c.inflight, key)
 		c.storeLocked(key, val)

@@ -17,6 +17,7 @@
 package cache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -24,6 +25,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"qla/internal/obs"
 )
 
 // PeerPath is the route prefix peers serve cached bytes under; the
@@ -82,7 +85,11 @@ func BodyHash(val []byte) string {
 
 // loadPeers fetches key from the first peer that holds it. Breaker
 // bookkeeping happens under the cache lock; the HTTP requests do not.
-func (c *Cache) loadPeers(key string) ([]byte, bool) {
+// ctx contributes only values (the trace ID forwarded to peers), not
+// cancellation: followers collapsed onto this flight may outlive the
+// leader's request, so the fetch is bounded by the client timeout
+// alone, as before.
+func (c *Cache) loadPeers(ctx context.Context, key string) ([]byte, bool) {
 	if len(c.peers) == 0 || !safeKey(key) {
 		return nil, false
 	}
@@ -99,7 +106,7 @@ func (c *Cache) loadPeers(key string) ([]byte, bool) {
 		}
 		c.mu.Unlock()
 
-		val, ok, err := c.fetchPeer(p.url, key)
+		val, ok, err := c.fetchPeer(ctx, p.url, key)
 
 		c.mu.Lock()
 		if err != nil {
@@ -136,11 +143,20 @@ func (c *Cache) loadPeers(key string) ([]byte, bool) {
 // validated hit, (nil, false, nil) on a clean 404 miss, an error for
 // everything else — transport failures, unexpected statuses, and
 // bodies whose hash header does not match.
-func (c *Cache) fetchPeer(base, key string) ([]byte, bool, error) {
-	resp, err := c.peerClient.Get(base + PeerPath + key)
+func (c *Cache) fetchPeer(ctx context.Context, base, key string) ([]byte, bool, error) {
+	req, err := http.NewRequest(http.MethodGet, base+PeerPath+key, nil)
 	if err != nil {
 		return nil, false, err
 	}
+	if id := obs.TraceFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	start := time.Now()
+	resp, err := c.peerClient.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	c.peerRTT.Observe(time.Since(start).Seconds())
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
@@ -209,7 +225,7 @@ func (c *Cache) Prefetch(key string) bool {
 		c.mu.Unlock()
 		return true
 	}
-	val, ok := c.loadPeers(key)
+	val, ok := c.loadPeers(context.Background(), key)
 	if !ok {
 		return false
 	}

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qla/internal/obs"
 )
 
 // State is a job's lifecycle phase.
@@ -106,6 +108,41 @@ type Manager struct {
 	tenantBytes   map[string]int64
 
 	submitted, deduped, completed, failed, cancelled, evicted, quotaDenied atomic.Uint64
+}
+
+// Instrument registers the manager's instruments on reg: lifecycle
+// event counters bridged from the existing atomics (single source of
+// truth for /v1/stats too) and store occupancy gauges evaluated at
+// scrape time.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	bridge := func(c *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(c.Load()) }
+	}
+	event := func(e string) map[string]string { return map[string]string{"event": e} }
+	help := "Job lifecycle events, by kind."
+	reg.CounterFunc("qla_jobs_events_total", help, event("submitted"), bridge(&m.submitted))
+	reg.CounterFunc("qla_jobs_events_total", help, event("deduped"), bridge(&m.deduped))
+	reg.CounterFunc("qla_jobs_events_total", help, event("completed"), bridge(&m.completed))
+	reg.CounterFunc("qla_jobs_events_total", help, event("failed"), bridge(&m.failed))
+	reg.CounterFunc("qla_jobs_events_total", help, event("cancelled"), bridge(&m.cancelled))
+	reg.CounterFunc("qla_jobs_events_total", help, event("evicted"), bridge(&m.evicted))
+	reg.CounterFunc("qla_jobs_events_total", help, event("quota_denied"), bridge(&m.quotaDenied))
+	reg.GaugeFunc("qla_jobs_running", "Jobs currently running.", nil, func() float64 {
+		return float64(m.Stats().Running)
+	})
+	reg.GaugeFunc("qla_jobs_stored", "Jobs held in the store, running and finished.", nil, func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.jobs))
+	})
+	reg.GaugeFunc("qla_jobs_result_bytes", "Bytes of stored job results.", nil, func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.resultBytes)
+	})
 }
 
 // NewManager builds a Manager.

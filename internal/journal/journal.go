@@ -31,6 +31,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
+
+	"qla/internal/obs"
 )
 
 // Kind labels what the admitted spec payload decodes as.
@@ -99,6 +102,10 @@ type Journal struct {
 	open map[string]*Entry
 
 	admitted, resumed, points, leases, finished, dropped, errors uint64
+
+	// Set by Instrument; nil histograms are no-ops.
+	appendSec *obs.Histogram
+	fsyncSec  *obs.Histogram
 }
 
 // Open prepares a Journal rooted at dir, creating the directory.
@@ -107,6 +114,36 @@ func Open(dir string) (*Journal, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	return &Journal{dir: dir, open: make(map[string]*Entry)}, nil
+}
+
+// Instrument registers the journal's instruments on reg: append and
+// fsync latency histograms (observed inside the single write path) and
+// the record counters bridged as pull-based series. Safe on a nil
+// Journal.
+func (j *Journal) Instrument(reg *obs.Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	j.appendSec = reg.Histogram("qla_journal_append_seconds",
+		"Latency of one journal record append (write plus fsync when the record is synced).", obs.LatencyBuckets)
+	j.fsyncSec = reg.Histogram("qla_journal_fsync_seconds",
+		"Latency of the fsync alone, for synced records.", obs.LatencyBuckets)
+	bridge := func(p *uint64) func() float64 {
+		return func() float64 {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			return float64(*p)
+		}
+	}
+	kind := func(k string) map[string]string { return map[string]string{"kind": k} }
+	recHelp := "Journal records appended, by kind."
+	reg.CounterFunc("qla_journal_records_total", recHelp, kind("admit"), bridge(&j.admitted))
+	reg.CounterFunc("qla_journal_records_total", recHelp, kind("point"), bridge(&j.points))
+	reg.CounterFunc("qla_journal_records_total", recHelp, kind("lease"), bridge(&j.leases))
+	reg.CounterFunc("qla_journal_records_total", recHelp, kind("finish"), bridge(&j.finished))
+	reg.CounterFunc("qla_journal_resumed_total", "Entries re-opened by a resubmission of a journaled job.", nil, bridge(&j.resumed))
+	reg.CounterFunc("qla_journal_dropped_total", "Journal files removed after their job settled.", nil, bridge(&j.dropped))
+	reg.CounterFunc("qla_journal_errors_total", "Failed journal writes.", nil, bridge(&j.errors))
 }
 
 // safeID reports whether id can name a journal file (hex content
@@ -402,10 +439,14 @@ func (e *Entry) append(rec record, sync bool, counter *uint64) error {
 		if e.closed {
 			err = fmt.Errorf("journal: entry %s closed", e.id)
 		} else {
+			start := time.Now()
 			_, err = e.f.Write(line)
 			if err == nil && sync {
+				s := time.Now()
 				err = e.f.Sync()
+				e.j.fsyncSec.Observe(time.Since(s).Seconds())
 			}
+			e.j.appendSec.Observe(time.Since(start).Seconds())
 		}
 		e.mu.Unlock()
 	}

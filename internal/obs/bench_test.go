@@ -1,0 +1,32 @@
+package obs
+
+import "testing"
+
+// Target: <20ns/op uncontended for both (CI bench smoke).
+
+func BenchmarkObsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("qla_bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("qla_bench_seconds", "bench", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("qla_bench_vec_total", "bench", "route", "status")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("POST /v1/run", "200").Inc()
+	}
+}

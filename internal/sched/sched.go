@@ -28,6 +28,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"qla/internal/obs"
 )
 
 // Class is an admission priority class. Lower values outrank higher
@@ -113,6 +115,11 @@ type Config struct {
 	// A tenant with weight 2 receives twice the slot-time of a
 	// weight-1 tenant while both have queued work.
 	Weights map[string]float64
+	// Metrics, when non-nil, receives a qla_sched_queue_wait_seconds
+	// observation for every grant (zero for fast-path grants), labeled
+	// by class and tenant — the per-class wait percentiles are the
+	// pool's autoscaling signal.
+	Metrics *obs.Registry
 }
 
 // maxWait returns the queue-wait bound for a class.
@@ -167,6 +174,8 @@ type Pool struct {
 
 	classStats  [numClasses]classCounters
 	tenantStats map[string]*tenantCounters
+
+	queueWait *obs.HistogramVec // nil unless Config.Metrics set
 }
 
 // classQueue holds one class's queued tenants and the class virtual
@@ -237,6 +246,11 @@ func NewFair(cfg Config) *Pool {
 	}
 	for c := Class(0); c < numClasses; c++ {
 		p.classes[c] = &classQueue{tenants: make(map[string]*tenantQueue)}
+	}
+	if cfg.Metrics != nil {
+		p.queueWait = cfg.Metrics.HistogramVec("qla_sched_queue_wait_seconds",
+			"Queue wait before a slot grant, by admission class and tenant.",
+			obs.LatencyBuckets, "class", "tenant")
 	}
 	return p
 }
@@ -462,6 +476,7 @@ func (p *Pool) bookLocked(id Identity, g int, waited time.Duration, queued bool)
 	p.grants++
 	p.classStats[id.Class].grants++
 	p.tenantCountersLocked(id.Tenant).grants++
+	p.queueWait.With(id.Class.String(), id.Tenant).Observe(waited.Seconds())
 	if queued {
 		cs := &p.classStats[id.Class]
 		cs.waitTotal += waited

@@ -121,7 +121,7 @@ func TestUnboundedQueueNeverSheds(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("unbounded queue shed a request: %d %s", status, raw)
 	}
-	if n := srv.shedRequests.Load(); n != 0 {
+	if n := srv.shedRequests.Value(); n != 0 {
 		t.Fatalf("shed_requests = %d, want 0", n)
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -50,6 +51,7 @@ import (
 
 	"qla/internal/cache"
 	"qla/internal/journal"
+	"qla/internal/obs"
 	"qla/internal/sweep"
 )
 
@@ -73,7 +75,7 @@ type fleet struct {
 	poll   time.Duration
 	cache  *cache.Cache
 	client *http.Client
-	logf   func(format string, args ...any)
+	log    *slog.Logger
 
 	mu     sync.Mutex
 	sweeps map[string]*fleetSweep
@@ -109,7 +111,7 @@ type peerHealth struct {
 	nextProbe  time.Time
 }
 
-func newFleet(cfg Config, c *cache.Cache, logf func(string, ...any)) *fleet {
+func newFleet(cfg Config, c *cache.Cache, logger *slog.Logger) *fleet {
 	return &fleet{
 		self:   cfg.SelfID,
 		peers:  cfg.Peers,
@@ -117,7 +119,7 @@ func newFleet(cfg Config, c *cache.Cache, logf func(string, ...any)) *fleet {
 		poll:   cfg.FleetPoll,
 		cache:  c,
 		client: &http.Client{Timeout: cfg.PeerTimeout},
-		logf:   logf,
+		log:    logger.With("subsystem", "fleet", "self", cfg.SelfID),
 		sweeps: make(map[string]*fleetSweep),
 		health: make(map[string]*peerHealth),
 	}
@@ -336,6 +338,11 @@ func (f *fleet) postClaim(ctx context.Context, peer, sweepHash, pointHash string
 	if err != nil {
 		return false, err
 	}
+	// The claim carries the sweep's trace, so the grantor's log line
+	// joins the same story as the origin's admission.
+	if id := obs.TraceFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return false, err
@@ -393,13 +400,13 @@ func (f *fleet) notePeer(peer string, err error) {
 			h.degraded = true
 			h.nextProbe = time.Now().Add(fleetProbeEvery)
 			// Logged once per episode: the steady state is silent skips.
-			f.logf("serve: fleet peer %s skipped after %d consecutive errors (last: %v); probing every %v",
-				peer, h.consecErrs, err, fleetProbeEvery)
+			f.log.Warn("fleet peer skipped", "peer", peer, "consecutive_errors", h.consecErrs,
+				"err", err, "probe_every", fleetProbeEvery)
 		}
 		return
 	}
 	if h.degraded {
-		f.logf("serve: fleet peer %s reachable again", peer)
+		f.log.Info("fleet peer reachable again", "peer", peer)
 	}
 	h.degraded, h.consecErrs = false, 0
 }
@@ -408,9 +415,13 @@ func (f *fleet) notePeer(peer string, err error) {
 // fire-and-forget: content addressing makes the POST idempotent, the
 // forward header stops re-forwarding, and a peer that misses it only
 // loses the chance to help (its cache still converges via the others).
-func (f *fleet) forward(sw *sweep.Sweep, timeout time.Duration, tenant string) {
+func (f *fleet) forward(sw *sweep.Sweep, timeout time.Duration, tenant, trace string) {
 	if f == nil {
 		return
+	}
+	log := f.log
+	if trace != "" {
+		log = log.With("trace", trace)
 	}
 	for _, peer := range f.peers {
 		go func(peer string) {
@@ -426,15 +437,21 @@ func (f *fleet) forward(sw *sweep.Sweep, timeout time.Duration, tenant string) {
 				// quota-accounts and fair-shares the sweep identically.
 				req.Header.Set(TenantHeader, tenant)
 			}
+			if trace != "" {
+				// The goroutine outlives the submitting request, so the
+				// trace travels by value, not context: the peer's
+				// admission logs under the same ID as ours.
+				req.Header.Set(obs.TraceHeader, trace)
+			}
 			resp, err := f.client.Do(req)
 			if err != nil {
-				f.logf("serve: forwarding sweep %s to %s: %v", sw.Hash[:12], peer, err)
+				log.Warn("sweep forward failed", "sweep", sw.Hash[:12], "peer", peer, "err", err)
 				return
 			}
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 			resp.Body.Close()
 			if resp.StatusCode >= 300 {
-				f.logf("serve: forwarding sweep %s to %s: status %d", sw.Hash[:12], peer, resp.StatusCode)
+				log.Warn("sweep forward refused", "sweep", sw.Hash[:12], "peer", peer, "status", resp.StatusCode)
 				return
 			}
 			f.forwarded.Add(1)
@@ -597,6 +614,7 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.peerServes.Add(1)
+	obs.L(r.Context(), s.log).Info("peer cache fetch served", "hash", hash, "bytes", len(val))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(cache.HashHeader, cache.BodyHash(val))
 	w.Write(val)
@@ -621,6 +639,9 @@ func (s *Server) handleLeaseClaim(w http.ResponseWriter, r *http.Request) {
 	if !known {
 		writeError(w, http.StatusNotFound, fmt.Errorf("not tracking sweep %q point %q", sweepHash, pointHash))
 		return
+	}
+	if granted {
+		obs.L(r.Context(), s.log).Info("lease granted", "sweep", sweepHash, "point", pointHash, "holder", holder)
 	}
 	writeJSON(w, http.StatusOK, leaseBody{Granted: granted, State: state})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -89,7 +90,7 @@ func TestCacheRouteServesStoredBytes(t *testing.T) {
 	if h := resp.Header.Get(cache.HashHeader); h != cache.BodyHash(want) {
 		t.Fatalf("integrity header %q, want %q", h, cache.BodyHash(want))
 	}
-	if n := srv.peerServes.Load(); n != 1 {
+	if n := srv.peerServes.Value(); n != 1 {
 		t.Fatalf("peer_serves = %d, want 1", n)
 	}
 
@@ -116,13 +117,13 @@ func TestFleetPeerCacheHit(t *testing.T) {
 	if status != http.StatusOK || xc != "hit" {
 		t.Fatalf("run on B: status %d xcache %q, want a peer-tier hit", status, xc)
 	}
-	if n := srvs[1].runsExecuted.Load(); n != 0 {
+	if n := srvs[1].runsExecuted.Value(); n != 0 {
 		t.Fatalf("B executed %d runs, want 0 (peer tier should have served it)", n)
 	}
 	if cs := srvs[1].CacheStats(); cs.PeerHits != 1 {
 		t.Fatalf("B cache stats %+v, want peer_hits 1", cs)
 	}
-	if n := srvs[0].peerServes.Load(); n != 1 {
+	if n := srvs[0].peerServes.Value(); n != 1 {
 		t.Fatalf("A peer_serves = %d, want 1", n)
 	}
 }
@@ -203,7 +204,7 @@ func TestFleetClaimProtocol(t *testing.T) {
 		LeaseTTL:    50 * time.Millisecond,
 		FleetPoll:   time.Second,
 		PeerTimeout: time.Second,
-	}, cache.New(1<<20), func(string, ...any) {})
+	}, cache.New(1<<20), slog.New(slog.DiscardHandler))
 	pt := sw.Points[0].Canonical.Hash
 
 	if _, _, known := f.claim("nope", pt, "a"); known {
@@ -298,7 +299,7 @@ func TestFleetRenewExtendsOwnLease(t *testing.T) {
 		LeaseTTL:    time.Minute,
 		FleetPoll:   time.Second,
 		PeerTimeout: 100 * time.Millisecond,
-	}, cache.New(1<<20), func(string, ...any) {})
+	}, cache.New(1<<20), slog.New(slog.DiscardHandler))
 	f.register(sw)
 	ctx := context.Background()
 

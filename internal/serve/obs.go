@@ -1,0 +1,178 @@
+// The server's observability surface: the per-Server metrics registry
+// (GET /metrics, Prometheus text exposition), the ingress trace
+// middleware (X-QLA-Trace minted or accepted, stamped on the response,
+// carried in the request context), per-route HTTP instruments, and the
+// GET /buildinfo report.
+package serve
+
+import (
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"qla/internal/obs"
+)
+
+// instrument registers the serve layer's own instruments: the request
+// counters /v1/stats reads (the registry is their single home), the
+// per-route HTTP vecs, and pull-based scheduler occupancy gauges.
+func (s *Server) instrument() {
+	reg := s.reg
+	s.runRequests = reg.Counter("qla_serve_run_requests_total", "POST /v1/run submissions.")
+	s.runsExecuted = reg.Counter("qla_serve_runs_executed_total", "Fresh engine executions (cache misses that computed).")
+	s.shedRequests = reg.Counter("qla_serve_shed_total", "Requests refused 503 by the load-shed queue bound.")
+	s.shedBypassMisses = reg.Counter("qla_serve_shed_bypass_misses_total",
+		"Runs admitted as cache-servable whose entry vanished before compute (re-checked admission).")
+	s.peerServes = reg.Counter("qla_serve_peer_serves_total", "GET /v1/cache/{hash} hits served to fleet peers.")
+	s.throttled429 = reg.Counter("qla_serve_throttled_total", "Per-tenant rate-limit and quota refusals (429s).")
+	s.sweepRequests = reg.Counter("qla_sweep_requests_total", "POST /v1/sweeps submissions (including joins).")
+	s.sweepPoints = reg.Counter("qla_sweep_points_total", "Grid points settled across completed sweep jobs.")
+	s.sweepCached = reg.Counter("qla_sweep_points_cached_total", "Sweep points served from a cache tier.")
+	s.sweepFailed = reg.Counter("qla_sweep_points_failed_total", "Sweep points that settled as errors.")
+	s.sweepRetried = reg.Counter("qla_sweep_points_retried_total", "Sweep points that needed more than one attempt.")
+	s.sweepRetries = reg.Counter("qla_sweep_retry_attempts_total", "Extra sweep-point attempts spent by the retry policy.")
+	s.journalReplayed = reg.Counter("qla_journal_replayed_jobs_total", "Jobs re-admitted from the journal at startup.")
+
+	s.httpReqs = reg.CounterVec("qla_http_requests_total",
+		"HTTP requests served, by route pattern, status code and tenant.", "route", "status", "tenant")
+	s.httpDur = reg.HistogramVec("qla_http_request_duration_seconds",
+		"Wall time of one HTTP request, by route pattern.", obs.LatencyBuckets, "route")
+	s.httpInflight = reg.Gauge("qla_http_requests_inflight", "Requests currently being served.")
+
+	reg.GaugeFunc("qla_sched_in_use", "Scheduler slots currently granted.", nil, func() float64 {
+		return float64(s.pool.Stats().InUse)
+	})
+	reg.GaugeFunc("qla_sched_waiting", "Acquirers queued for a scheduler slot.", nil, func() float64 {
+		return float64(s.pool.Stats().Waiting)
+	})
+	reg.GaugeFunc("qla_sched_capacity", "The scheduler's global slot budget.", nil, func() float64 {
+		return float64(s.pool.Stats().Capacity)
+	})
+	reg.GaugeFunc("qla_uptime_seconds", "Seconds since the server was built.", nil, func() float64 {
+		return time.Since(s.started).Seconds()
+	})
+}
+
+// Registry exposes the server's metrics registry (tests and embedding
+// callers; the HTTP surface is GET /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// trace is the ingress middleware: accept a well-formed client
+// X-QLA-Trace or mint one, stamp it on the response up front (error
+// envelopes read it back), and carry it in the request context — from
+// where it survives context.WithoutCancel into detached computes and
+// rides outbound fleet requests.
+func (s *Server) trace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.SanitizeTraceID(r.Header.Get(obs.TraceHeader))
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), id)))
+	})
+}
+
+// observe wraps one route's handler with the HTTP instruments. The
+// tenant label reuses the admission header (invalid names collapse to
+// "invalid" rather than growing the vec); the vec's own cardinality
+// cap bounds hostile tenant spreads.
+func (s *Server) observe(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.httpInflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.httpInflight.Add(-1)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		tenant, err := tenantFrom(r)
+		if err != nil {
+			tenant = "invalid"
+		}
+		s.httpReqs.With(route, strconv.Itoa(status), tenant).Inc()
+		s.httpDur.With(route).Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusWriter records the status code while passing Flush through —
+// the SSE route needs the flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// handleMetrics is GET /metrics: the whole registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+// BuildInfo is the GET /buildinfo payload, read once from the binary's
+// embedded module metadata.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	// Revision/Time/Modified carry the vcs stamp when the binary was
+	// built inside a checkout.
+	Revision string `json:"vcs_revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	Modified bool   `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuildInfo assembles the /buildinfo payload.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.GoVersion = bi.GoVersion
+	out.Path = bi.Main.Path
+	out.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.Time = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// handleBuildinfo is GET /buildinfo: module version and vcs revision
+// from the binary's embedded build metadata.
+func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ReadBuildInfo())
+}

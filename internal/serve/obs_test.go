@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qla/internal/obs"
+)
+
+// statsGoldenKeys is the full key shape of GET /v1/stats on a fresh
+// standalone server. The legacy JSON contract is pinned here: removing
+// or renaming a key (the /metrics migration must not drift the JSON
+// surface) fails this test. Conditional sections — peer_serves,
+// journal, fleet — are pinned separately below.
+var statsGoldenKeys = []string{
+	"cache",
+	"cache.bytes",
+	"cache.dedups",
+	"cache.entries",
+	"cache.evictions",
+	"cache.hits",
+	"cache.inflight",
+	"cache.max_bytes",
+	"cache.misses",
+	"experiments",
+	"jobs",
+	"jobs.cancelled",
+	"jobs.completed",
+	"jobs.deduped",
+	"jobs.evicted",
+	"jobs.failed",
+	"jobs.max_jobs",
+	"jobs.max_result_bytes",
+	"jobs.quota_denied",
+	"jobs.result_bytes",
+	"jobs.running",
+	"jobs.stored",
+	"jobs.submitted",
+	"jobs.ttl_seconds",
+	"max_queue",
+	"run_requests",
+	"runs_executed",
+	"scheduler",
+	"scheduler.capacity",
+	"scheduler.classes",
+	"scheduler.classes.bulk",
+	"scheduler.classes.bulk.avg_queue_wait_ms",
+	"scheduler.classes.bulk.grants",
+	"scheduler.classes.bulk.in_use",
+	"scheduler.classes.bulk.max_queue_wait_ms",
+	"scheduler.classes.bulk.queue_timeouts",
+	"scheduler.classes.bulk.slot_cap",
+	"scheduler.classes.bulk.waiting",
+	"scheduler.classes.bulk.waits",
+	"scheduler.classes.interactive",
+	"scheduler.classes.interactive.avg_queue_wait_ms",
+	"scheduler.classes.interactive.grants",
+	"scheduler.classes.interactive.in_use",
+	"scheduler.classes.interactive.max_queue_wait_ms",
+	"scheduler.classes.interactive.queue_timeouts",
+	"scheduler.classes.interactive.slot_cap",
+	"scheduler.classes.interactive.waiting",
+	"scheduler.classes.interactive.waits",
+	"scheduler.grants",
+	"scheduler.in_use",
+	"scheduler.interactive_reserve",
+	"scheduler.peak",
+	"scheduler.waiting",
+	"scheduler.waits",
+	"shed_bypass_misses",
+	"shed_requests",
+	"sweeps",
+	"sweeps.point_cache_hit_ratio",
+	"sweeps.points",
+	"sweeps.points_cached",
+	"sweeps.points_failed",
+	"sweeps.points_retried",
+	"sweeps.requests",
+	"sweeps.retry_attempts",
+	"tenants",
+	"throttled_429",
+	"uptime_seconds",
+}
+
+func jsonKeyPaths(v any, prefix string, out *[]string) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	for k, child := range m {
+		*out = append(*out, prefix+k)
+		jsonKeyPaths(child, prefix+k+".", out)
+	}
+}
+
+// TestStatsGoldenShape pins the /v1/stats JSON key set exactly. The
+// counters now live in the metrics registry; this is the drift guard
+// ensuring the legacy JSON surface stayed byte-compatible in shape.
+func TestStatsGoldenShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	jsonKeyPaths(body, "", &got)
+	sort.Strings(got)
+	want := append([]string(nil), statsGoldenKeys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Errorf("stats key count drifted: got %d keys, want %d", len(got), len(want))
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, k := range got {
+		gotSet[k] = true
+	}
+	for _, k := range want {
+		if !gotSet[k] {
+			t.Errorf("stats key %q missing from /v1/stats", k)
+		}
+		delete(gotSet, k)
+	}
+	for k := range gotSet {
+		t.Errorf("stats key %q is new: add it to the golden list deliberately", k)
+	}
+
+	// The conditional keys keep their tag names: peer_serves appears
+	// once a peer fetch is served, journal with -journal-dir.
+	raw, err := json.Marshal(StatsBody{PeerServes: 1, Journal: &JournalStats{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{`"peer_serves":1`, `"journal"`, `"shed_bypass_misses"`} {
+		if !strings.Contains(string(raw), k) {
+			t.Errorf("StatsBody marshal lost %s: %s", k, raw)
+		}
+	}
+}
+
+// TestMetricsEndpoint drives a run and reads GET /metrics: the
+// exposition must carry the serve counters, cache tier counters, the
+// per-class queue-wait histogram and the per-route HTTP vec, with
+// HELP/TYPE headers in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if status, _, body := postRun(t, ts.URL, tinySpec(31)); status != http.StatusOK {
+		t.Fatalf("run: %d %s", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE qla_serve_run_requests_total counter",
+		"qla_serve_run_requests_total 1",
+		"# TYPE qla_cache_hits_total counter",
+		`qla_cache_hits_total{tier="memory"}`,
+		"# TYPE qla_sched_queue_wait_seconds histogram",
+		`qla_sched_queue_wait_seconds_bucket{class="interactive",`,
+		`qla_http_requests_total{route="POST /v1/run",status="200"`,
+		"qla_http_request_duration_seconds_bucket",
+		"qla_sched_capacity",
+		"qla_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every sample line belongs to an announced family: no typos in
+	// family names, no unannounced series.
+	types := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			types[strings.Fields(line)[2]] = true
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(name, suffix); ok && types[trimmed] {
+				base = trimmed
+			}
+		}
+		if !types[base] {
+			t.Errorf("sample %q has no # TYPE header", line)
+		}
+	}
+}
+
+// TestBuildinfoEndpoint: GET /buildinfo reports the module metadata
+// embedded in the binary. Under `go test` only the Go version is
+// guaranteed, so that is what is pinned.
+func TestBuildinfoEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var bi BuildInfo
+	if status := getJSON(t, ts.URL+"/buildinfo", &bi); status != http.StatusOK {
+		t.Fatalf("GET /buildinfo: %d", status)
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Fatalf("buildinfo go_version %q", bi.GoVersion)
+	}
+}
+
+// TestTraceHeaderRoundTrip: a well-formed client trace ID is accepted
+// and echoed; an absent one is minted; a hostile one is replaced; and
+// error envelopes carry the trace for log correlation.
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set(obs.TraceHeader, "client-trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != "client-trace-42" {
+		t.Fatalf("client trace not echoed: %q", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	minted := resp.Header.Get(obs.TraceHeader)
+	if len(minted) != 32 {
+		t.Fatalf("minted trace %q, want 32 hex chars", minted)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set(obs.TraceHeader, "bad trace\twith spaces")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); strings.Contains(got, " ") || len(got) != 32 {
+		t.Fatalf("hostile trace not replaced: %q", got)
+	}
+
+	// Error envelope: invalid spec → 4xx with the trace echoed in JSON.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/run", strings.NewReader("{"))
+	req.Header.Set(obs.TraceHeader, "err-trace-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Error string `json:"error"`
+		Trace string `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Trace != "err-trace-7" {
+		t.Fatalf("error envelope trace %q, want err-trace-7 (error=%q)", envelope.Trace, envelope.Error)
+	}
+}
+
+// logBuffer collects slog text output concurrently.
+type logBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// lines returns the buffered log lines containing every given substring.
+func (l *logBuffer) lines(subs ...string) []string {
+	var out []string
+outer:
+	for _, line := range strings.Split(l.String(), "\n") {
+		for _, s := range subs {
+			if !strings.Contains(line, s) {
+				continue outer
+			}
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// TestFleetTraceOneID is the acceptance-criteria tracing test: one
+// client-supplied trace ID on a sweep submitted to replica A must show
+// up, verbatim, in both replicas' structured logs — at A's admission
+// line and at B's side of the fleet protocol (the forwarded admission,
+// lease grants, peer cache fetches all carry X-QLA-Trace).
+func TestFleetTraceOneID(t *testing.T) {
+	logs := make([]*logBuffer, 2)
+	srvs, urls := newFleetServers(t, 2, func(i int, cfg *Config) {
+		logs[i] = &logBuffer{}
+		cfg.Logger = slog.New(slog.NewTextHandler(logs[i], nil))
+	})
+	_ = srvs
+
+	const trace = "trace-fleet-e2e-0001"
+	req, _ := http.NewRequest(http.MethodPost, urls[0]+"/v1/sweeps", strings.NewReader(gridSweep))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != trace {
+		t.Fatalf("sweep response trace %q", got)
+	}
+
+	snap := pollJob(t, urls[0], sb.JobID)
+	if string(snap.State) != "done" {
+		t.Fatalf("sweep state %s", snap.State)
+	}
+
+	if n := len(logs[0].lines("sweep admitted", "trace="+trace)); n != 1 {
+		t.Fatalf("origin logged %d admission lines with trace %s:\n%s", n, trace, logs[0].String())
+	}
+	// The fire-and-forget forward and the tail of the lease protocol
+	// may land after the origin sees the job done; give B a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(logs[1].lines("sweep admitted", "trace="+trace)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never logged the forwarded admission with trace %s:\n%s", trace, logs[1].String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The same single ID follows the work across the protocol: lease
+	// grants and peer cache fetches on either side log it too.
+	granted := len(logs[0].lines("lease granted", "trace="+trace)) +
+		len(logs[1].lines("lease granted", "trace="+trace))
+	if granted == 0 {
+		t.Fatalf("no lease grant carried trace %s:\nA:\n%s\nB:\n%s", trace, logs[0].String(), logs[1].String())
+	}
+	// Any trace attr on fleet log lines must be this trace or a minted
+	// 32-char ID (peer poll prefetches run outside the request) — a
+	// truncated or mangled ID would show up here.
+	for i, lb := range logs {
+		for _, line := range lb.lines("trace=") {
+			f := line[strings.Index(line, "trace=")+len("trace="):]
+			if j := strings.IndexByte(f, ' '); j >= 0 {
+				f = f[:j]
+			}
+			if f != trace && len(f) != 32 {
+				t.Errorf("replica %d logged malformed trace %q in %q", i, f, line)
+			}
+		}
+	}
+}

@@ -21,12 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"qla/internal/cache"
@@ -34,6 +33,7 @@ import (
 	"qla/internal/engine"
 	"qla/internal/jobs"
 	"qla/internal/journal"
+	"qla/internal/obs"
 	"qla/internal/sched"
 	"qla/internal/sweep"
 )
@@ -53,6 +53,8 @@ var Routes = []string{
 	"GET /v1/leases/{sweep}",
 	"GET /v1/experiments",
 	"GET /v1/stats",
+	"GET /metrics",
+	"GET /buildinfo",
 	"GET /healthz",
 }
 
@@ -133,6 +135,10 @@ type Config struct {
 	// finished jobs first. 0 = unlimited.
 	TenantMaxJobs        int
 	TenantMaxResultBytes int64
+	// Logger receives the server's structured log lines, each stamped
+	// with the request's trace ID (nil = slog.Default()). Tests inject
+	// a captured logger here to follow one trace across replicas.
+	Logger *slog.Logger
 }
 
 // Server executes Specs over HTTP. Construct with New; one Server
@@ -148,23 +154,35 @@ type Server struct {
 	tenants *tenantTable
 	started time.Time
 
+	// reg is the server's metrics registry: every subsystem registers
+	// its instruments here, GET /metrics renders it, and /v1/stats
+	// reads the same instruments — one source of truth.
+	reg *obs.Registry
+	log *slog.Logger
+
+	// HTTP-layer instruments (see obs.go).
+	httpReqs     *obs.CounterVec
+	httpDur      *obs.HistogramVec
+	httpInflight *obs.Gauge
+	pointMetrics *sweep.PointMetrics
+
 	// fault is the test-only chaos seam threaded into sweep runners;
 	// production servers leave it nil.
 	fault sweep.FaultHook
 
-	runRequests      atomic.Uint64
-	runsExecuted     atomic.Uint64
-	shedRequests     atomic.Uint64
-	shedBypassMisses atomic.Uint64
-	peerServes       atomic.Uint64
-	sweepRequests    atomic.Uint64
-	sweepPoints      atomic.Uint64
-	sweepCached      atomic.Uint64
-	sweepFailed      atomic.Uint64
-	sweepRetried     atomic.Uint64
-	sweepRetries     atomic.Uint64
-	journalReplayed  atomic.Uint64
-	throttled429     atomic.Uint64
+	runRequests      *obs.Counter
+	runsExecuted     *obs.Counter
+	shedRequests     *obs.Counter
+	shedBypassMisses *obs.Counter
+	peerServes       *obs.Counter
+	sweepRequests    *obs.Counter
+	sweepPoints      *obs.Counter
+	sweepCached      *obs.Counter
+	sweepFailed      *obs.Counter
+	sweepRetried     *obs.Counter
+	sweepRetries     *obs.Counter
+	journalReplayed  *obs.Counter
+	throttled429     *obs.Counter
 }
 
 // New builds a Server with its engine, cache, scheduler and job
@@ -209,6 +227,11 @@ func New(cfg Config) *Server {
 	if cfg.InteractiveReserve > cfg.Workers-1 {
 		cfg.InteractiveReserve = cfg.Workers - 1
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	reg := obs.NewRegistry()
 	// The class queue-wait bounds piggyback on the request deadlines:
 	// an interactive acquisition queued past the longest request
 	// deadline, or a bulk one past the sweep budget, can never be
@@ -218,8 +241,14 @@ func New(cfg Config) *Server {
 		InteractiveReserve: cfg.InteractiveReserve,
 		InteractiveMaxWait: cfg.MaxTimeout,
 		BulkMaxWait:        cfg.SweepTimeout,
+		Metrics:            reg,
 	})
-	var copts []cache.Option
+	copts := []cache.Option{
+		cache.WithMetrics(reg),
+		cache.WithLogger(func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...), "subsystem", "cache")
+		}),
+	}
 	if cfg.CacheDir != "" {
 		copts = append(copts, cache.WithDir(cfg.CacheDir))
 	}
@@ -255,20 +284,26 @@ func New(cfg Config) *Server {
 		}),
 		tenants: newTenantTable(cfg.TenantRPS, cfg.TenantBurst),
 		started: time.Now(),
+		reg:     reg,
+		log:     logger,
 	}
+	s.instrument()
+	s.jobs.Instrument(reg)
+	s.pointMetrics = sweep.NewPointMetrics(reg)
 	if cfg.JournalDir != "" {
 		j, err := journal.Open(cfg.JournalDir)
 		if err != nil {
 			// A broken journal directory must not take serving down with
 			// it: run journal-less (jobs lose durability, nothing else)
 			// and say so.
-			log.Printf("serve: job journal disabled: %v", err)
+			logger.Error("job journal disabled", "err", err)
 		} else {
 			s.journal = j
+			s.journal.Instrument(reg)
 		}
 	}
 	if len(cfg.Peers) > 0 {
-		s.fleet = newFleet(cfg, s.cache, log.Printf)
+		s.fleet = newFleet(cfg, s.cache, logger)
 	}
 	return s
 }
@@ -365,6 +400,8 @@ func (s *Server) Handler() http.Handler {
 		"GET /v1/leases/{sweep}":          s.handleLeaseLedger,
 		"GET /v1/experiments":             s.handleExperiments,
 		"GET /v1/stats":                   s.handleStats,
+		"GET /metrics":                    s.handleMetrics,
+		"GET /buildinfo":                  s.handleBuildinfo,
 		"GET /healthz":                    s.handleHealthz,
 	}
 	mux := http.NewServeMux()
@@ -373,14 +410,20 @@ func (s *Server) Handler() http.Handler {
 		if !ok {
 			panic("serve: route " + route + " has no handler")
 		}
-		mux.HandleFunc(route, h)
+		// Each handler is wrapped per route (latency/status/tenant
+		// instruments need the route pattern, which the outer trace
+		// middleware cannot see).
+		mux.HandleFunc(route, s.observe(route, h))
 	}
-	return mux
+	return s.trace(mux)
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.
+// Trace echoes the request's X-QLA-Trace ID so a failure report can be
+// matched to the fleet's log lines.
 type errorBody struct {
 	Error string `json:"error"`
+	Trace string `json:"trace,omitempty"`
 }
 
 // shedError carries the Retry-After hint out of a compute closure whose
@@ -401,7 +444,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	// The trace middleware stamps the response header before the
+	// handler runs, so the envelope can echo it without replumbing
+	// every writeError call site.
+	writeJSON(w, status, errorBody{Error: err.Error(), Trace: w.Header().Get(obs.TraceHeader)})
 }
 
 // handleRun is POST /v1/run: decode the Spec strictly, canonicalize and
@@ -638,12 +684,12 @@ type StatsBody struct {
 // the job-manager and sweep workload counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sw := SweepStats{
-		Requests:      s.sweepRequests.Load(),
-		Points:        s.sweepPoints.Load(),
-		PointsCached:  s.sweepCached.Load(),
-		PointsFailed:  s.sweepFailed.Load(),
-		PointsRetried: s.sweepRetried.Load(),
-		RetryAttempts: s.sweepRetries.Load(),
+		Requests:      s.sweepRequests.Value(),
+		Points:        s.sweepPoints.Value(),
+		PointsCached:  s.sweepCached.Value(),
+		PointsFailed:  s.sweepFailed.Value(),
+		PointsRetried: s.sweepRetried.Value(),
+		RetryAttempts: s.sweepRetries.Value(),
 	}
 	if sw.Points > 0 {
 		sw.PointCacheHitRatio = float64(sw.PointsCached) / float64(sw.Points)
@@ -651,13 +697,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	body := StatsBody{
 		UptimeSeconds:    time.Since(s.started).Seconds(),
 		Experiments:      len(engine.Experiments()),
-		RunRequests:      s.runRequests.Load(),
-		RunsExecuted:     s.runsExecuted.Load(),
-		ShedRequests:     s.shedRequests.Load(),
+		RunRequests:      s.runRequests.Value(),
+		RunsExecuted:     s.runsExecuted.Value(),
+		ShedRequests:     s.shedRequests.Value(),
 		MaxQueue:         s.cfg.MaxQueue,
-		Throttled429:     s.throttled429.Load(),
-		ShedBypassMisses: s.shedBypassMisses.Load(),
-		PeerServes:       s.peerServes.Load(),
+		Throttled429:     s.throttled429.Value(),
+		ShedBypassMisses: s.shedBypassMisses.Value(),
+		PeerServes:       s.peerServes.Value(),
 		Cache:            s.cache.Stats(),
 		Scheduler:        s.pool.Stats(),
 		Jobs:             s.jobs.Stats(),
@@ -665,7 +711,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Tenants:          s.tenantStats(),
 	}
 	if s.journal != nil {
-		body.Journal = &JournalStats{Stats: s.journal.Stats(), Replayed: s.journalReplayed.Load()}
+		body.Journal = &JournalStats{Stats: s.journal.Stats(), Replayed: s.journalReplayed.Value()}
 	}
 	if s.fleet != nil {
 		fs := s.fleet.stats()

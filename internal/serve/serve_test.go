@@ -143,7 +143,7 @@ func TestConcurrentRunsSingleflightAndBudget(t *testing.T) {
 
 	// (b) one execution per distinct Spec.
 	distinct := uint64(len(bySeed))
-	if got := srv.runsExecuted.Load(); got != distinct {
+	if got := srv.runsExecuted.Value(); got != distinct {
 		t.Errorf("runs executed = %d, want %d (singleflight must collapse duplicates)", got, distinct)
 	}
 	cs := srv.CacheStats()

@@ -17,12 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"time"
 
 	"qla/internal/jobs"
 	"qla/internal/journal"
+	"qla/internal/obs"
 	"qla/internal/sweep"
 )
 
@@ -113,7 +113,8 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	job, created, err := s.startSweep(sw, timeout, nil, tenant, forwarded)
+	trace := obs.TraceFrom(r.Context())
+	job, created, err := s.startSweep(sw, timeout, nil, tenant, forwarded, trace)
 	if err != nil {
 		var qe *jobs.QuotaError
 		if errors.As(err, &qe) {
@@ -129,12 +130,17 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		s.throttle(w, http.StatusServiceUnavailable, tenant, throttleQueue, s.retryAfterSeconds(), err)
 		return
 	}
+	// The admission log line: one trace ID connects this line to the
+	// peer replicas' own admissions (the forward carries it), their
+	// lease grants, and their peer cache fetches.
+	obs.L(r.Context(), s.log).Info("sweep admitted", "sweep", sw.Hash,
+		"points", len(sw.Points), "tenant", tenant, "joined", !created, "forwarded", forwarded)
 	if created && !forwarded {
 		// Replicate a locally originated sweep to the fleet (nil-safe
 		// no-op without peers). Forwarded copies carry the header, so
 		// this never loops; the tenant rides along so every replica
 		// schedules the sweep under its real owner.
-		s.fleet.forward(sw, timeout, tenant)
+		s.fleet.forward(sw, timeout, tenant, trace)
 	}
 	snap := job.Snapshot()
 	w.Header().Set("Location", "/v1/jobs/"+job.ID())
@@ -162,8 +168,11 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 // fresh one. tenant is the owning tenant: the job is quota-accounted
 // to it (unless quotaExempt — fleet-forwarded and journal-replayed
 // work was admitted elsewhere/earlier) and every point acquisition
-// runs as that tenant's bulk work.
-func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *journal.Entry, tenant string, quotaExempt bool) (*jobs.Job, bool, error) {
+// runs as that tenant's bulk work. trace is the admitting request's
+// trace ID: the job manager detaches the run from the request context,
+// so the trace is re-attached by value inside the closure — lease
+// claims, renewals and peer cache fetches all carry it from there.
+func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *journal.Entry, tenant string, quotaExempt bool, trace string) (*jobs.Job, bool, error) {
 	entry := resumed
 	freshEntry := false
 	if entry == nil && s.journal != nil {
@@ -171,14 +180,15 @@ func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *jou
 		if err != nil {
 			// Journal trouble must not block serving: the job runs, it
 			// just won't survive a crash.
-			log.Printf("serve: journal admission for sweep %s failed (job runs without durability): %v", sw.Hash[:12], err)
+			s.log.Error("journal admission failed; job runs without durability",
+				"sweep", sw.Hash[:12], "err", err, "trace", trace)
 		} else {
 			entry, freshEntry = e, fresh
 		}
 	}
 	opts := jobs.SubmitOptions{Tenant: tenant, Total: len(sw.Points), BypassQuota: quotaExempt}
 	job, created, err := s.jobs.Submit(sw.Hash, opts, func(ctx context.Context, report func(jobs.Progress)) ([]byte, error) {
-		runCtx, cancel := context.WithTimeout(ctx, timeout)
+		runCtx, cancel := context.WithTimeout(obs.WithTrace(ctx, trace), timeout)
 		defer cancel()
 		// Fleet mode (every call below is a nil-safe no-op without
 		// peers): track the sweep's lease table for the job's lifetime,
@@ -190,12 +200,13 @@ func (s *Server) startSweep(sw *sweep.Sweep, timeout time.Duration, resumed *jou
 		defer close(syncDone)
 		go s.fleet.sync(sw.Hash, syncDone)
 		runner := &sweep.Runner{
-			Engine: s.eng,
-			Cache:  s.cache,
-			Retry:  s.retryPolicy(),
-			Fault:  s.fault,
-			Tenant: tenant,
-			Offset: s.fleet.offset(sw),
+			Engine:  s.eng,
+			Cache:   s.cache,
+			Retry:   s.retryPolicy(),
+			Fault:   s.fault,
+			Tenant:  tenant,
+			Offset:  s.fleet.offset(sw),
+			Metrics: s.pointMetrics,
 			Observer: func(pr sweep.PointResult) {
 				entry.Point(pr.SpecHash, pr.Status, pr.Cached, pr.Attempts)
 				if pr.Status == "ok" {
@@ -274,7 +285,7 @@ func (s *Server) ReplayJournal() (int, error) {
 	for _, p := range pending {
 		sw, err := decodePending(p)
 		if err != nil {
-			log.Printf("serve: dropping unreplayable journal entry %s: %v", p.ID, err)
+			s.log.Warn("dropping unreplayable journal entry", "entry", p.ID, "err", err)
 			s.journal.Drop(p.ID)
 			continue
 		}
@@ -282,21 +293,24 @@ func (s *Server) ReplayJournal() (int, error) {
 		if err != nil {
 			// Re-admit anyway: completing the sweep beats preserving its
 			// journal continuity.
-			log.Printf("serve: resuming journal entry %s: %v", p.ID, err)
+			s.log.Warn("resuming journal entry", "entry", p.ID, "err", err)
 		}
 		// Replayed jobs keep the tenant recorded at admission and
 		// bypass the concurrent-job quota: refusing durable work at
-		// restart would silently drop it.
-		_, created, err := s.startSweep(sw, s.cfg.SweepTimeout, entry, p.Tenant, true)
+		// restart would silently drop it. Each replay runs under a
+		// fresh trace ID — the admitting request's trace died with the
+		// crashed process.
+		trace := obs.NewTraceID()
+		_, created, err := s.startSweep(sw, s.cfg.SweepTimeout, entry, p.Tenant, true, trace)
 		if err != nil {
-			log.Printf("serve: re-admitting journaled sweep %s: %v", p.ID, err)
+			s.log.Error("re-admitting journaled sweep failed", "entry", p.ID, "err", err, "trace", trace)
 			continue
 		}
 		if created {
 			n++
 			s.journalReplayed.Add(1)
-			log.Printf("serve: re-admitted journaled sweep %s (%d points, %d completions already recorded)",
-				p.ID[:12], len(sw.Points), len(p.Points))
+			s.log.Info("re-admitted journaled sweep", "sweep", p.ID[:12],
+				"points", len(sw.Points), "completions_recorded", len(p.Points), "trace", trace)
 		}
 	}
 	return n, nil

@@ -10,6 +10,7 @@ import (
 
 	"qla/internal/cache"
 	"qla/internal/engine"
+	"qla/internal/obs"
 	"qla/internal/sched"
 )
 
@@ -106,6 +107,52 @@ type Runner struct {
 	// RenewEvery is the renewal period; <= 0 disables renewal. The
 	// serving layer wires lease-ttl/2.
 	RenewEvery time.Duration
+	// Metrics, when non-nil, records every point's final outcome —
+	// duration by outcome, retry attempts, gate deferrals. Shared
+	// across sweeps: the serving layer builds one per process.
+	Metrics *PointMetrics
+}
+
+// PointMetrics aggregates per-point instruments. A nil *PointMetrics
+// records nothing.
+type PointMetrics struct {
+	// Duration is observed once per settled point, labeled by outcome:
+	// "ok" (fresh compute), "cached" (any tier replay), or "error".
+	Duration *obs.HistogramVec
+	// Retries counts extra attempts beyond each point's first.
+	Retries *obs.Counter
+	// Defers counts gate deferrals (probes parked on a peer's lease).
+	Defers *obs.Counter
+}
+
+// NewPointMetrics registers the per-point instruments on reg.
+func NewPointMetrics(reg *obs.Registry) *PointMetrics {
+	return &PointMetrics{
+		Duration: reg.HistogramVec("qla_sweep_point_duration_seconds",
+			"Wall time of one settled sweep point, by outcome (ok, cached, error).",
+			obs.LatencyBuckets, "outcome"),
+		Retries: reg.Counter("qla_sweep_point_retries_total",
+			"Extra per-point attempts beyond the first."),
+		Defers: reg.Counter("qla_sweep_point_defers_total",
+			"Point probes parked because a fleet peer held the lease."),
+	}
+}
+
+func (m *PointMetrics) observe(pr PointResult) {
+	if m == nil {
+		return
+	}
+	outcome := pr.Status
+	if pr.Cached {
+		outcome = "cached"
+	}
+	m.Duration.With(outcome).Observe(pr.Elapsed.Seconds())
+	if pr.Attempts > 1 {
+		m.Retries.Add(uint64(pr.Attempts - 1))
+	}
+	if pr.Deferred > 0 {
+		m.Defers.Add(uint64(pr.Deferred))
+	}
 }
 
 // Progress is a monotonic snapshot of a sweep run, delivered to the
@@ -233,6 +280,7 @@ func (r *Runner) Run(ctx context.Context, sw *Sweep, progress func(Progress)) (*
 			res.RetryAttempts += pr.Attempts - 1
 		}
 		res.Deferred += pr.Deferred
+		r.Metrics.observe(pr)
 		if r.Observer != nil {
 			r.Observer(pr)
 		}
